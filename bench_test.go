@@ -1,0 +1,363 @@
+package ftnet
+
+// One benchmark per experiment table/figure (see DESIGN.md section 4 and
+// EXPERIMENTS.md): each exercises the code path that regenerates the
+// corresponding result, so `go test -bench .` doubles as a performance
+// regression suite for the whole reproduction.
+
+import (
+	"testing"
+
+	"ftnet/internal/baseline"
+	"ftnet/internal/core"
+	"ftnet/internal/expander"
+	"ftnet/internal/fault"
+	"ftnet/internal/grid"
+	"ftnet/internal/parsim"
+	"ftnet/internal/rng"
+	"ftnet/internal/supernode"
+	"ftnet/internal/viz"
+	"ftnet/internal/worstcase"
+)
+
+func benchGraphB2(b *testing.B) *core.Graph {
+	b.Helper()
+	g, err := core.NewGraph(core.Params{D: 2, W: 6, Pitch: 18, Scale: 1}) // n=432
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchFaultsB2(b *testing.B, g *core.Graph, p float64, seed uint64) *fault.Set {
+	b.Helper()
+	f := fault.NewSet(g.NumNodes())
+	f.Bernoulli(rng.New(seed), p)
+	return f
+}
+
+// BenchmarkBuildB2 covers E1 (Theorem 2 resources): parameter fitting plus
+// host construction.
+func BenchmarkBuildB2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := core.FitParams(2, 1000, 0.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.NewGraph(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlaceBandsB2 covers E2/E3 (Lemma 5): band placement around
+// random faults at 10x the theorem probability.
+func BenchmarkPlaceBandsB2(b *testing.B) {
+	g := benchGraphB2(b)
+	p := 10 * g.P.TheoremFailureProb()
+	faults := benchFaultsB2(b, g, p, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.PlaceBands(faults); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtractB2 covers E2 (Lemma 6): torus extraction given bands.
+func BenchmarkExtractB2(b *testing.B) {
+	g := benchGraphB2(b)
+	faults := benchFaultsB2(b, g, 10*g.P.TheoremFailureProb(), 7)
+	bands, _, err := g.PlaceBands(faults)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Extract(bands, core.ExtractOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSurvivalTrialB2 covers E2 end to end: one full Monte-Carlo
+// trial (inject, place, extract, verify).
+func BenchmarkSurvivalTrialB2(b *testing.B) {
+	g := benchGraphB2(b)
+	p := g.P.TheoremFailureProb()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		faults := benchFaultsB2(b, g, p, uint64(i))
+		if _, err := g.ContainTorus(faults, core.ExtractOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHealthCheckB2 covers E3 (Lemma 4 diagnostics).
+func BenchmarkHealthCheckB2(b *testing.B) {
+	g := benchGraphB2(b)
+	faults := benchFaultsB2(b, g, 50*g.P.TheoremFailureProb(), 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CheckHealth(faults)
+	}
+}
+
+// BenchmarkPlaceBandsB3 covers the d=3 rows of E1: placement on the
+// 3-dimensional host.
+func BenchmarkPlaceBandsB3(b *testing.B) {
+	g, err := core.NewGraph(core.Params{D: 3, W: 4, Pitch: 16, Scale: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fault.NewSet(g.NumNodes())
+	r := rng.New(5)
+	for i := 0; i < 8; i++ {
+		faults.Add(r.Intn(g.NumNodes()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.PlaceBands(faults); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchGraphA2(b *testing.B, q float64, h int) *supernode.Graph {
+	b.Helper()
+	g, err := supernode.NewGraph(supernode.Params{
+		Base: core.Params{D: 2, W: 4, Pitch: 16, Scale: 1}, K: 2, H: h, Q: q})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkEmbedA2 covers E4/E5 (Theorem 1): the full supernode pipeline
+// at p = 0.1.
+func BenchmarkEmbedA2(b *testing.B) {
+	g := benchGraphA2(b, 0, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := g.NewFaultState(uint64(i), 0.1, rng.New(uint64(i)))
+		if _, _, err := g.Embed(fs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGoodNodesA2 covers the half-edge goodness scan of E5/E6 with
+// q > 0 (the oracle-heavy path).
+func BenchmarkGoodNodesA2(b *testing.B) {
+	g := benchGraphA2(b, 1e-6, 16)
+	fs := g.NewFaultState(9, 0.1, rng.New(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.Embed(fs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterEmbed covers the FKP-style baseline side of E6.
+func BenchmarkClusterEmbed(b *testing.B) {
+	ct, err := baseline.NewClusterTorus(2, 384, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fault.NewSet(ct.NumNodes())
+	faults.Bernoulli(rng.New(3), 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ct.Embed(faults, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchGraphD2(b *testing.B) *worstcase.Graph {
+	b.Helper()
+	g, err := worstcase.NewGraph(worstcase.Params{D: 2, N: 200, K: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkMaskD2 covers E7/E9 (Theorem 13): the pigeonhole cascade at
+// full adversarial budget.
+func BenchmarkMaskD2(b *testing.B) {
+	g := benchGraphD2(b)
+	faults, err := fault.Adversarial(fault.ClassSpread, g.Shape, g.P.Capacity(), g.P.B()+1, rng.New(11))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Mask(faults); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTolerateD2 covers E7 end to end including extraction and
+// verification.
+func BenchmarkTolerateD2(b *testing.B) {
+	g := benchGraphD2(b)
+	faults, err := fault.Adversarial(fault.Cluster, g.Shape, g.P.Capacity(), g.P.B()+1, rng.New(13))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.Tolerate(faults, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaskD3 covers E8 (general-d cascade).
+func BenchmarkMaskD3(b *testing.B) {
+	g, err := worstcase.NewGraph(worstcase.Params{D: 3, N: 16, K: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults, err := fault.Adversarial(fault.Uniform, g.Shape, g.P.Capacity(), g.P.B()+1, rng.New(17))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Mask(faults); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpareGridRecover covers the comparator side of E9.
+func BenchmarkSpareGridRecover(b *testing.B) {
+	sg, err := baseline.NewSpareGrid(200, 50, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fault.NewSet(sg.NumNodes())
+	for i := 0; i < 40; i++ {
+		faults.Add((5*i)*sg.Side() + 4*i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sg.Recover(faults); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPosaPath covers E11 (Alon-Chung baseline): long-path search on
+// the expander with 25% deletions.
+func BenchmarkPosaPath(b *testing.B) {
+	g, err := expander.NewGabberGalil(20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dead := fault.NewSet(g.N)
+	if err := dead.ExactRandom(rng.New(3), g.N/4); err != nil {
+		b.Fatal(err)
+	}
+	alive := func(v int) bool { return !dead.Has(v) }
+	target := g.N / 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := g.LongestPath(alive, target, rng.New(uint64(i)), 400_000)
+		if len(path) < target {
+			b.Fatal("path search fell short")
+		}
+	}
+}
+
+// BenchmarkSpectralGap covers E11's expansion certificate.
+func BenchmarkSpectralGap(b *testing.B) {
+	g, err := expander.NewGabberGalil(23)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if l := g.SecondEigenvalue(100, rng.New(uint64(i))); l >= 1 {
+			b.Fatal("no gap")
+		}
+	}
+}
+
+// BenchmarkRenderFigure covers E12 (Figures 1-2).
+func BenchmarkRenderFigure(b *testing.B) {
+	g, err := core.NewGraph(core.Params{D: 2, W: 4, Pitch: 16, Scale: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := fault.NewSet(g.NumNodes())
+	faults.Add(g.NodeIndex(44, 40))
+	res, err := g.ContainTorus(faults, core.ExtractOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := viz.Bands(g, res.Bands, faults, 30, 20, 28, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStencil covers the application check (EXPERIMENTS.md): one
+// Jacobi step per processor on the extracted machine's logical torus.
+func BenchmarkStencil(b *testing.B) {
+	m := parsimIdeal(b, 432)
+	field := make([]float64, m.P())
+	field[0] = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Stencil(field, 1, 0.8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCannon covers the matrix-multiply workload on the logical torus.
+func BenchmarkCannon(b *testing.B) {
+	m := parsimIdeal(b, 64)
+	n := 64
+	a := make([]float64, n*n)
+	bb := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i % 7)
+		bb[i] = float64(i % 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Cannon(a, bb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func parsimIdeal(b *testing.B, side int) *parsim.Machine {
+	b.Helper()
+	return parsim.NewIdeal(grid.Shape{side, side})
+}
+
+// BenchmarkFacadeExtract covers the public API path used by downstream
+// code (quickstart example).
+func BenchmarkFacadeExtract(b *testing.B) {
+	host, err := NewRandomFaultTorus(2, 400, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults := host.InjectRandom(42, host.TheoremFailureProb())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := host.Extract(faults); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-list] [-run E1,E7,...|all]
+//
+// Each experiment prints the claim it reproduces followed by the measured
+// table; EXPERIMENTS.md records the expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ftnet/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "smaller sweeps and trial counts")
+		seed  = flag.Uint64("seed", 20250611, "master seed for all Monte-Carlo trials")
+		run   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n     %s\n", e.ID, e.Title, e.PaperClaim)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Out: os.Stdout, Quick: *quick, Seed: *seed}
+	ids := strings.Split(*run, ",")
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	if err := experiments.Run(cfg, ids...); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,292 @@
+// Command ftnet builds the paper's fault-tolerant hosts, injects faults,
+// and extracts (and verifies) the surviving torus.
+//
+// Usage:
+//
+//	ftnet random    -d 2 -side 400 -eps 0.5 [-p PROB] [-seed N] [-fig]
+//	ftnet clique    -d 2 -side 400 -p 0.1 -q 0 -c 2.5 [-seed N]
+//	ftnet worstcase -d 2 -side 100 -k 27 [-faults N] [-pattern cluster] [-seed N]
+//	ftnet health    -side 400 -p 1e-5 [-seed N]
+//	ftnet simulate  -side 200 -faults 10 [-steps N] [-seed N]
+//
+// Each subcommand prints the host resources, the injected fault count,
+// and whether a fault-free torus was extracted (extraction is always
+// verified independently before being reported as a success).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ftnet"
+	"ftnet/internal/core"
+	"ftnet/internal/fault"
+	"ftnet/internal/parsim"
+	"ftnet/internal/rng"
+	"ftnet/internal/viz"
+	"ftnet/internal/worstcase"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "random":
+		err = runRandom(os.Args[2:])
+	case "clique":
+		err = runClique(os.Args[2:])
+	case "worstcase":
+		err = runWorstcase(os.Args[2:])
+	case "health":
+		err = runHealth(os.Args[2:])
+	case "simulate":
+		err = runSimulate(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftnet:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ftnet {random|clique|worstcase|health|simulate} [flags]   (run with -h for flags)")
+	os.Exit(2)
+}
+
+// runHealth reports the Lemma 4 healthiness diagnostics for a random
+// fault pattern, alongside whether constructive placement succeeds.
+func runHealth(args []string) error {
+	fs := flag.NewFlagSet("health", flag.ExitOnError)
+	side := fs.Int("side", 400, "minimum torus side")
+	eps := fs.Float64("eps", 0.5, "maximum node redundancy")
+	p := fs.Float64("p", 1e-5, "node failure probability")
+	seed := fs.Uint64("seed", 1, "fault seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	params, err := core.FitParams(2, *side, *eps)
+	if err != nil {
+		return err
+	}
+	g, err := core.NewGraph(params)
+	if err != nil {
+		return err
+	}
+	faults := fault.NewSet(g.NumNodes())
+	faults.Bernoulli(rng.New(*seed), *p)
+	h := g.CheckHealth(faults)
+	fmt.Printf("%v with %d faults (p=%.2g):\n", params, faults.Count(), *p)
+	fmt.Printf("  condition 1 (2b fault-free rows per brick):    ok=%v (violations: %d bricks)\n", h.Cond1OK, h.BricksNoFreeRun)
+	fmt.Printf("  condition 2 (<= eps*b faults per brick):       ok=%v (max %d, threshold %d)\n", h.Cond2OK, h.MaxBrickFaults, h.Threshold)
+	fmt.Printf("  condition 3 (fault-free frame around nodes):   ok=%v (violations: %d tiles)\n", h.Cond3OK, h.TilesUnenclosed)
+	fmt.Printf("  healthy per Lemma 4: %v\n", h.Healthy())
+	_, rep, err := g.PlaceBands(faults)
+	if err != nil {
+		fmt.Printf("  constructive placement: FAILS (%v)\n", err)
+		return nil
+	}
+	fmt.Printf("  constructive placement: ok (%d boxes, %d segments, %d fillers)\n",
+		rep.Boxes, rep.Segments, rep.Padded)
+	return nil
+}
+
+// runSimulate reconfigures a faulty host and runs the torus workloads on
+// the surviving machine.
+func runSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	side := fs.Int("side", 200, "minimum torus side")
+	faultsN := fs.Int("faults", 10, "random faults to inject")
+	steps := fs.Int("steps", 30, "stencil steps")
+	seed := fs.Uint64("seed", 1, "fault seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	params, err := core.FitParams(2, *side, 0.5)
+	if err != nil {
+		return err
+	}
+	g, err := core.NewGraph(params)
+	if err != nil {
+		return err
+	}
+	faults := fault.NewSet(g.NumNodes())
+	if err := faults.ExactRandom(rng.New(*seed), *faultsN); err != nil {
+		return err
+	}
+	res, err := g.ContainTorus(faults, core.ExtractOptions{})
+	if err != nil {
+		return err
+	}
+	machine, err := parsim.New(res.Embedding, core.HostView{G: g, Faults: faults})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reconfigured %dx%d machine around %d faults\n", params.N(), params.N(), faults.Count())
+	field := make([]float64, machine.P())
+	field[0] = 1
+	out, err := machine.Stencil(field, *steps, 0.8)
+	if err != nil {
+		return err
+	}
+	ideal, err := parsim.NewIdeal(machine.Shape).Stencil(field, *steps, 0.8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stencil(%d): deviation from pristine machine = %v\n", *steps, parsim.MaxDiff(out, ideal))
+	sum, redSteps, err := machine.AllReduceSum(field)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("all-reduce: sum=%.6f in %d steps\n", sum, redSteps)
+	return nil
+}
+
+func runRandom(args []string) error {
+	fs := flag.NewFlagSet("random", flag.ExitOnError)
+	d := fs.Int("d", 2, "dimension")
+	side := fs.Int("side", 400, "minimum torus side")
+	eps := fs.Float64("eps", 0.5, "maximum node redundancy")
+	p := fs.Float64("p", -1, "node failure probability (default: the theorem's log^-3d n)")
+	seed := fs.Uint64("seed", 1, "fault seed")
+	fig := fs.Bool("fig", false, "render the band figure around the first fault (d=2)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	host, err := ftnet.NewRandomFaultTorus(*d, *side, *eps)
+	if err != nil {
+		return err
+	}
+	prob := *p
+	if prob < 0 {
+		prob = host.TheoremFailureProb()
+	}
+	fmt.Printf("B^%d_n: side %d, host nodes %d, degree %d, eps %.3f, theorem p %.2e\n",
+		host.Dims(), host.Side(), host.HostNodes(), host.Degree(), host.Eps(), host.TheoremFailureProb())
+	faults := host.InjectRandom(*seed, prob)
+	fmt.Printf("injected %d random faults (p = %.2e); healthy per Lemma 4: %v\n",
+		faults.Count(), prob, host.Healthy(faults))
+	emb, err := host.Extract(faults)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("extracted and verified a fault-free %d-dimensional %d-torus (%d nodes)\n",
+		host.Dims(), host.Side(), len(emb.Map))
+	if *fig && *d == 2 {
+		return renderFigure(*side, *eps, *seed, prob)
+	}
+	return nil
+}
+
+// renderFigure redoes the run against the internal API to reach the band
+// family, then prints the Figure 1 window.
+func renderFigure(side int, eps float64, seed uint64, prob float64) error {
+	params, err := core.FitParams(2, side, eps)
+	if err != nil {
+		return err
+	}
+	g, err := core.NewGraph(params)
+	if err != nil {
+		return err
+	}
+	faults := fault.NewSet(g.NumNodes())
+	faults.Bernoulli(rng.New(seed), prob)
+	res, err := g.ContainTorus(faults, core.ExtractOptions{})
+	if err != nil {
+		return err
+	}
+	rowLo, colLo := viz.FaultWindow(g, faults, 24, 72)
+	pic, err := viz.Bands(g, res.Bands, faults, rowLo, colLo, 24, 72)
+	if err != nil {
+		return err
+	}
+	fmt.Println(viz.Legend)
+	fmt.Print(pic)
+	return nil
+}
+
+func runClique(args []string) error {
+	fs := flag.NewFlagSet("clique", flag.ExitOnError)
+	d := fs.Int("d", 2, "dimension")
+	side := fs.Int("side", 400, "minimum torus side")
+	p := fs.Float64("p", 0.1, "node failure probability")
+	q := fs.Float64("q", 0, "edge failure probability")
+	c := fs.Float64("c", 2.5, "node redundancy target (> 1/(1-p))")
+	seed := fs.Uint64("seed", 1, "fault seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	host, err := ftnet.NewCliqueTorus(*d, *side, *p, *q, *c)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("A^%d_n: side %d, host nodes %d, degree %d, supernode size %d, realized c %.2f\n",
+		host.Dims(), host.Side(), host.HostNodes(), host.Degree(), host.SupernodeSize(), host.Redundancy())
+	emb, err := host.ExtractRandom(*seed, *p)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("survived p=%.2f q=%.2g: verified fault-free %d-torus (%d nodes)\n",
+		*p, *q, host.Side(), len(emb.Map))
+	return nil
+}
+
+func runWorstcase(args []string) error {
+	fs := flag.NewFlagSet("worstcase", flag.ExitOnError)
+	d := fs.Int("d", 2, "dimension")
+	side := fs.Int("side", 100, "minimum torus side")
+	k := fs.Int("k", 27, "worst-case fault budget")
+	nFaults := fs.Int("faults", -1, "faults to inject (default: full capacity)")
+	pattern := fs.String("pattern", "cluster", "adversary: uniform|cluster|rowsweep|diagonal|classspread|columnsweep")
+	seed := fs.Uint64("seed", 1, "fault seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	host, err := ftnet.NewWorstCaseTorus(*d, *side, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("D^%d_{n,k}: side %d, host nodes %d, degree %d, capacity %d\n",
+		host.Dims(), host.Side(), host.HostNodes(), host.Degree(), host.Capacity())
+	count := *nFaults
+	if count < 0 {
+		count = host.Capacity()
+	}
+	pat, err := parsePattern(*pattern)
+	if err != nil {
+		return err
+	}
+	// Build the adversarial set against the internal host shape.
+	wg, err := worstcase.NewGraph(worstcase.Params{D: *d, N: *side, K: *k})
+	if err != nil {
+		return err
+	}
+	set, err := fault.Adversarial(pat, wg.Shape, count, wg.P.B()+1, rng.New(*seed))
+	if err != nil {
+		return err
+	}
+	faults := host.NewFaults()
+	for _, v := range set.Slice() {
+		faults.Add(v)
+	}
+	emb, err := host.Extract(faults, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tolerated %d %s faults: verified fault-free %d-torus (%d nodes)\n",
+		count, pat, host.Side(), len(emb.Map))
+	return nil
+}
+
+func parsePattern(s string) (fault.Pattern, error) {
+	for _, p := range fault.AllPatterns() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown pattern %q", s)
+}

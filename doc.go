@@ -1,0 +1,28 @@
+// Package ftnet builds interconnection networks that keep working after a
+// large number of faults, reproducing Hisao Tamaki, "Construction of the
+// Mesh and the Torus Tolerating a Large Number of Faults" (SPAA 1994;
+// JCSS 53:371-379, 1996).
+//
+// Three host constructions are provided, one per theorem:
+//
+//   - RandomFaultTorus (Theorem 2): degree 6d-2, (1+eps)n^d nodes,
+//     survives independent node failures of probability log^{-3d}(n) with
+//     high probability. The survival proof is fully constructive here:
+//     faults are masked with winding bands and the fault-free
+//     d-dimensional n-torus is extracted and verified.
+//
+//   - CliqueTorus (Theorem 1): degree O(log log N), c*n^d nodes, survives
+//     *constant* node and edge failure probabilities. Built by replacing
+//     each RandomFaultTorus node with a clique supernode.
+//
+//   - WorstCaseTorus (Theorem 3): degree 4d, roughly (n + k^{2^d/(2^d-1)})^d
+//     nodes, tolerates ANY k node and edge faults, adversarial included.
+//
+// Every extraction returns an Embedding that has already been verified by
+// an independent checker: the mapping is injective, avoids faulty nodes,
+// and realizes every torus edge over a fault-free host edge.
+//
+// The internal packages contain the full machinery (bands, healthiness,
+// pigeonhole cascades, expander baselines, experiment drivers); this
+// package is the stable surface.
+package ftnet

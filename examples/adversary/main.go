@@ -1,0 +1,89 @@
+// Adversary: stress the Theorem 3 host with worst-case fault patterns.
+//
+//	go run ./examples/adversary
+//
+// D^2_{n,k} guarantees tolerance of ANY k faults. This example throws six
+// qualitatively different adversaries at the full budget (all must be
+// tolerated), then keeps raising the fault count past the guarantee to
+// locate the empirical breaking point of each adversary.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftnet"
+	"ftnet/internal/fault"
+	"ftnet/internal/rng"
+	"ftnet/internal/worstcase"
+)
+
+func main() {
+	const (
+		side   = 120
+		budget = 64 // b = 4
+	)
+	host, err := ftnet.NewWorstCaseTorus(2, side, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("host: %d nodes, degree %d, guaranteed capacity %d worst-case faults\n",
+		host.HostNodes(), host.Degree(), host.Capacity())
+
+	// The internal host shape drives the adversarial generators.
+	wg, err := worstcase.NewGraph(worstcase.Params{D: 2, N: side, K: budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nat the guaranteed budget, every adversary must lose:")
+	for _, pat := range fault.AllPatterns() {
+		ok, err := attack(host, wg, pat, host.Capacity(), 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "tolerated"
+		if !ok {
+			status = "NOT TOLERATED (Theorem 3 violated!)"
+			defer log.Fatalf("guarantee violated by %v", pat)
+		}
+		fmt.Printf("  %-12s k=%-4d %s\n", pat, host.Capacity(), status)
+	}
+
+	fmt.Println("\nbeyond the guarantee (empirical margin, doubling until the host breaks):")
+	for _, pat := range fault.AllPatterns() {
+		k := host.Capacity()
+		last := k
+		for mult := 2; ; mult *= 2 {
+			kk := host.Capacity() * mult
+			if kk > host.HostNodes()/8 {
+				break
+			}
+			ok, err := attack(host, wg, pat, kk, 11)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			last = kk
+		}
+		fmt.Printf("  %-12s guaranteed %-5d still tolerated at %-6d (%.1fx margin)\n",
+			pat, host.Capacity(), last, float64(last)/float64(host.Capacity()))
+	}
+}
+
+// attack runs one adversarial pattern with k faults; false means the
+// pattern defeated the host (only legitimate past the budget).
+func attack(host *ftnet.WorstCaseTorus, wg *worstcase.Graph, pat fault.Pattern, k int, seed uint64) (bool, error) {
+	set, err := fault.Adversarial(pat, wg.Shape, k, wg.P.B()+1, rng.New(seed))
+	if err != nil {
+		return false, err
+	}
+	faults := host.NewFaults()
+	for _, v := range set.Slice() {
+		faults.Add(v)
+	}
+	_, err = host.Extract(faults, nil)
+	return err == nil, nil
+}

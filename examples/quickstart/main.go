@@ -1,0 +1,57 @@
+// Quickstart: build the Theorem 2 host, break it, and get the torus back.
+//
+//	go run ./examples/quickstart
+//
+// It constructs B^2_n for a ~400-side torus, injects random node faults at
+// the rate Theorem 2 tolerates (log^-6 n), extracts the fault-free torus,
+// and shows that the extracted coordinates avoid every fault.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftnet"
+)
+
+func main() {
+	// A 2-dimensional torus with side at least 400 and at most 50% extra
+	// nodes. The library rounds the side up to the nearest size with exact
+	// tile divisibility.
+	host, err := ftnet.NewRandomFaultTorus(2, 400, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("host: %d nodes for a %dx%d torus (eps=%.2f), degree %d\n",
+		host.HostNodes(), host.Side(), host.Side(), host.Eps(), host.Degree())
+
+	// Fail every node independently with the probability the paper's
+	// Theorem 2 assumes.
+	p := host.TheoremFailureProb()
+	faults := host.InjectRandom(42, p)
+	fmt.Printf("injected %d random faults at p = %.2e\n", faults.Count(), p)
+
+	// Extract the fault-free torus. The embedding returned has already
+	// been verified: injective, away from faults, every torus edge on a
+	// real host edge.
+	emb, err := host.Extract(faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("extracted a verified %dx%d torus\n", emb.Side, emb.Side)
+
+	// Where did the logical node (0, 0) land? And its right neighbor?
+	h00, _ := emb.HostOf(0, 0)
+	h01, _ := emb.HostOf(0, 1)
+	fmt.Printf("guest (0,0) -> host node %d; guest (0,1) -> host node %d\n", h00, h01)
+
+	// The image avoids every fault, demonstrably.
+	for _, f := range faults.Nodes() {
+		for _, h := range emb.Map {
+			if h == f {
+				log.Fatalf("embedding used faulty node %d", f)
+			}
+		}
+	}
+	fmt.Println("checked: no faulty node appears in the embedding")
+}

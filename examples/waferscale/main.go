@@ -1,0 +1,53 @@
+// Waferscale: manufacturing-yield scenario for the Theorem 1 host.
+//
+//	go run ./examples/waferscale
+//
+// Wafer-scale integration is the paper's motivating setting: on a huge die
+// some constant fraction of processors is defective at fabrication time.
+// A^2_n pays a constant factor c in silicon and O(log log N) wiring per
+// node, and in exchange every wafer that passes the (high-probability)
+// reconfiguration step ships a full nxn torus.
+//
+// This example "fabricates" a batch of wafers with a 12% defect rate and
+// reports the yield and the reconfiguration outcome per wafer.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"ftnet"
+)
+
+func main() {
+	const (
+		defectRate = 0.12
+		redundancy = 2.5 // must exceed 1/(1-p) ~ 1.14
+		wafers     = 8
+	)
+	host, err := ftnet.NewCliqueTorus(2, 300, defectRate, 0, redundancy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wafer design: %d processors for a %dx%d torus\n", host.HostNodes(), host.Side(), host.Side())
+	fmt.Printf("  supernode size h=%d, per-processor links %d (Theta(log log N))\n",
+		host.SupernodeSize(), host.Degree())
+	fmt.Printf("  silicon overhead: %.2fx the logical torus\n", host.Redundancy())
+
+	good := 0
+	for wafer := 0; wafer < wafers; wafer++ {
+		seed := uint64(1000 + wafer)
+		emb, err := host.ExtractRandom(seed, defectRate)
+		switch {
+		case err == nil:
+			good++
+			fmt.Printf("wafer %d: reconfigured OK (%d logical nodes mapped)\n", wafer, len(emb.Map))
+		case errors.Is(err, ftnet.ErrNotTolerated):
+			fmt.Printf("wafer %d: defect pattern not reconfigurable (scrap)\n", wafer)
+		default:
+			log.Fatalf("wafer %d: %v", wafer, err)
+		}
+	}
+	fmt.Printf("yield: %d/%d wafers at %.0f%% defect rate\n", good, wafers, defectRate*100)
+}

@@ -1,0 +1,296 @@
+package ftnet
+
+import (
+	"errors"
+	"fmt"
+
+	"ftnet/internal/core"
+	"ftnet/internal/embed"
+	"ftnet/internal/fault"
+	"ftnet/internal/rng"
+	"ftnet/internal/supernode"
+	"ftnet/internal/worstcase"
+)
+
+// Faults is a set of faulty host nodes.
+type Faults struct {
+	set *fault.Set
+}
+
+// Count returns the number of faulty nodes.
+func (f *Faults) Count() int { return f.set.Count() }
+
+// Has reports whether host node v is faulty.
+func (f *Faults) Has(v int) bool { return f.set.Has(v) }
+
+// Add marks host node v faulty.
+func (f *Faults) Add(v int) { f.set.Add(v) }
+
+// Nodes returns the faulty node indices in increasing order.
+func (f *Faults) Nodes() []int { return f.set.Slice() }
+
+// Embedding maps each node of the guest d-dimensional n-torus (or mesh)
+// to a host node. It is returned only after independent verification.
+type Embedding struct {
+	// Side is the guest side length n.
+	Side int
+	// Dims is the guest dimension d.
+	Dims int
+	// Map lists the host node for each guest node in row-major order
+	// (the last coordinate varies fastest).
+	Map []int
+
+	inner *embed.Embedding
+}
+
+// HostOf returns the host node for the guest node with the given
+// coordinates (each in [0, Side)).
+func (e *Embedding) HostOf(coord ...int) (int, error) {
+	if len(coord) != e.Dims {
+		return 0, fmt.Errorf("ftnet: %d coordinates for a %d-dimensional guest", len(coord), e.Dims)
+	}
+	idx := 0
+	for _, c := range coord {
+		if c < 0 || c >= e.Side {
+			return 0, fmt.Errorf("ftnet: coordinate %d out of [0,%d)", c, e.Side)
+		}
+		idx = idx*e.Side + c
+	}
+	return e.Map[idx], nil
+}
+
+func wrapEmbedding(inner *embed.Embedding, side, dims int) *Embedding {
+	return &Embedding{Side: side, Dims: dims, Map: inner.Map, inner: inner}
+}
+
+// Mesh restricts a torus embedding to the n x ... x n mesh (a subgraph of
+// the torus, per the paper's "and hence a fault-free mesh"). Works on the
+// result of any construction's Extract.
+func (e *Embedding) Mesh() (*Embedding, error) {
+	mesh, err := e.inner.MeshRestriction()
+	if err != nil {
+		return nil, err
+	}
+	return wrapEmbedding(mesh, e.Side, e.Dims), nil
+}
+
+// ErrNotTolerated reports that a fault pattern exceeded what the
+// construction tolerates. For the random-fault constructions this is the
+// low-probability failure event of Theorems 1-2; for the worst-case
+// construction it means the fault budget k was exceeded.
+var ErrNotTolerated = errors.New("ftnet: fault pattern not tolerated")
+
+func classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ue *core.UnhealthyError
+	if errors.As(err, &ue) {
+		return fmt.Errorf("%w: %v", ErrNotTolerated, err)
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// RandomFaultTorus: Theorem 2.
+
+// RandomFaultTorus is the host B^d_n: a slightly stretched torus with
+// vertical and diagonal jump edges, degree 6d-2.
+type RandomFaultTorus struct {
+	g *core.Graph
+}
+
+// NewRandomFaultTorus builds a host for the d-dimensional torus with side
+// at least minSide and node redundancy at most maxEps (host nodes <=
+// (1+maxEps) n^d). Use Side() for the exact side chosen.
+func NewRandomFaultTorus(d, minSide int, maxEps float64) (*RandomFaultTorus, error) {
+	p, err := core.FitParams(d, minSide, maxEps)
+	if err != nil {
+		return nil, err
+	}
+	g, err := core.NewGraph(p)
+	if err != nil {
+		return nil, err
+	}
+	return &RandomFaultTorus{g: g}, nil
+}
+
+// Side returns the guest torus side n.
+func (t *RandomFaultTorus) Side() int { return t.g.P.N() }
+
+// Dims returns d.
+func (t *RandomFaultTorus) Dims() int { return t.g.P.D }
+
+// HostNodes returns the host node count, at most (1+eps) n^d.
+func (t *RandomFaultTorus) HostNodes() int { return t.g.NumNodes() }
+
+// Degree returns the uniform host degree 6d-2.
+func (t *RandomFaultTorus) Degree() int { return t.g.Degree() }
+
+// Eps returns the realized node-redundancy constant.
+func (t *RandomFaultTorus) Eps() float64 { return t.g.P.Eps() }
+
+// TheoremFailureProb returns log^{-3d}(n), the failure probability under
+// which Theorem 2 guarantees survival w.h.p.
+func (t *RandomFaultTorus) TheoremFailureProb() float64 { return t.g.P.TheoremFailureProb() }
+
+// NewFaults returns an empty fault set over the host nodes.
+func (t *RandomFaultTorus) NewFaults() *Faults {
+	return &Faults{set: fault.NewSet(t.g.NumNodes())}
+}
+
+// InjectRandom returns a fault set where each host node failed
+// independently with probability p, drawn deterministically from seed.
+func (t *RandomFaultTorus) InjectRandom(seed uint64, p float64) *Faults {
+	f := t.NewFaults()
+	f.set.Bernoulli(rng.New(seed), p)
+	return f
+}
+
+// Extract masks the faults with bands and extracts a verified fault-free
+// n-torus. It returns ErrNotTolerated (wrapped) when the pattern exceeds
+// the construction's tolerance.
+func (t *RandomFaultTorus) Extract(f *Faults) (*Embedding, error) {
+	res, err := t.g.ContainTorus(f.set, core.ExtractOptions{})
+	if err != nil {
+		return nil, classify(err)
+	}
+	return wrapEmbedding(res.Embedding, t.Side(), t.Dims()), nil
+}
+
+// ExtractMesh is Extract restricted to the n x ... x n mesh (whose edges
+// are a subset of the torus's, so the same node map serves).
+func (t *RandomFaultTorus) ExtractMesh(f *Faults) (*Embedding, error) {
+	emb, err := t.Extract(f)
+	if err != nil {
+		return nil, err
+	}
+	mesh, err := emb.inner.MeshRestriction()
+	if err != nil {
+		return nil, err
+	}
+	return wrapEmbedding(mesh, t.Side(), t.Dims()), nil
+}
+
+// Healthy reports whether the fault pattern satisfies the paper's
+// Lemma 4 healthiness conditions (a diagnostic; Extract uses its own,
+// constructive criteria).
+func (t *RandomFaultTorus) Healthy(f *Faults) bool {
+	return t.g.CheckHealth(f.set).Healthy()
+}
+
+// ---------------------------------------------------------------------------
+// CliqueTorus: Theorem 1.
+
+// CliqueTorus is the host A^d_n: supernode cliques over a RandomFaultTorus,
+// degree O(log log N), surviving constant failure probabilities.
+type CliqueTorus struct {
+	g *supernode.Graph
+}
+
+// NewCliqueTorus builds a host for the d-dimensional torus with side at
+// least minSide, sized for node-failure probability p, edge-failure
+// probability q, and node redundancy c (which must exceed 1/(1-p)).
+func NewCliqueTorus(d, minSide int, p, q, c float64) (*CliqueTorus, error) {
+	params, err := supernode.FitParams(d, minSide, p, q, c)
+	if err != nil {
+		return nil, err
+	}
+	g, err := supernode.NewGraph(params)
+	if err != nil {
+		return nil, err
+	}
+	return &CliqueTorus{g: g}, nil
+}
+
+// Side returns the guest torus side n.
+func (t *CliqueTorus) Side() int { return t.g.P.Side() }
+
+// Dims returns d.
+func (t *CliqueTorus) Dims() int { return t.g.P.Base.D }
+
+// HostNodes returns the host node count c*n^d.
+func (t *CliqueTorus) HostNodes() int { return t.g.NumNodes() }
+
+// Degree returns the uniform host degree, Theta(log log N).
+func (t *CliqueTorus) Degree() int { return t.g.P.Degree() }
+
+// SupernodeSize returns h.
+func (t *CliqueTorus) SupernodeSize() int { return t.g.P.H }
+
+// Redundancy returns the realized constant c with |host| = c n^d.
+func (t *CliqueTorus) Redundancy() float64 { return t.g.P.C() }
+
+// ExtractRandom draws node faults with probability p and edge faults with
+// the construction's q (both from seed), then embeds and verifies the
+// n-torus. Returns ErrNotTolerated (wrapped) on the low-probability
+// failure event.
+func (t *CliqueTorus) ExtractRandom(seed uint64, p float64) (*Embedding, error) {
+	fs := t.g.NewFaultState(seed, p, rng.New(seed))
+	emb, _, err := t.g.Embed(fs)
+	if err != nil {
+		return nil, classify(err)
+	}
+	return wrapEmbedding(emb, t.Side(), t.Dims()), nil
+}
+
+// ---------------------------------------------------------------------------
+// WorstCaseTorus: Theorem 3.
+
+// WorstCaseTorus is the host D^d_{n,k}: a torus with per-dimension jump
+// edges, degree 4d, tolerating any k node and edge faults.
+type WorstCaseTorus struct {
+	g *worstcase.Graph
+}
+
+// NewWorstCaseTorus builds a host for the d-dimensional torus with side at
+// least minSide tolerating any k faults. Use Side() for the exact side.
+func NewWorstCaseTorus(d, minSide, k int) (*WorstCaseTorus, error) {
+	g, err := worstcase.NewGraph(worstcase.Params{D: d, N: minSide, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return &WorstCaseTorus{g: g}, nil
+}
+
+// Side returns the guest torus side n.
+func (t *WorstCaseTorus) Side() int { return t.g.P.Side() }
+
+// Dims returns d.
+func (t *WorstCaseTorus) Dims() int { return t.g.P.D }
+
+// HostNodes returns the host node count m^d.
+func (t *WorstCaseTorus) HostNodes() int { return t.g.NumNodes() }
+
+// Degree returns the uniform host degree 4d.
+func (t *WorstCaseTorus) Degree() int { return t.g.P.Degree() }
+
+// Capacity returns the provable worst-case fault budget (>= the requested k).
+func (t *WorstCaseTorus) Capacity() int { return t.g.P.Capacity() }
+
+// NewFaults returns an empty fault set over the host nodes.
+func (t *WorstCaseTorus) NewFaults() *Faults {
+	return &Faults{set: fault.NewSet(t.g.NumNodes())}
+}
+
+// Extract masks the node faults (plus optional faulty edges, each given as
+// a [2]int host pair) and extracts a verified fault-free n-torus. Any
+// fault set within Capacity() succeeds; the returned error otherwise
+// wraps ErrNotTolerated.
+func (t *WorstCaseTorus) Extract(f *Faults, faultyEdges [][2]int) (*Embedding, error) {
+	emb, _, err := t.g.Tolerate(f.set, faultyEdges)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotTolerated, err)
+	}
+	return wrapEmbedding(emb, t.Side(), t.Dims()), nil
+}
+
+// HostCoord converts a host node index to coordinates on the host torus.
+func (t *WorstCaseTorus) HostCoord(v int) []int {
+	return t.g.Shape.Coord(v, nil)
+}
+
+// HostIndex converts host coordinates to a node index.
+func (t *WorstCaseTorus) HostIndex(coord ...int) int {
+	return t.g.Shape.Index(coord)
+}

@@ -1,0 +1,243 @@
+package ftnet
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRandomFaultTorusRoundtrip(t *testing.T) {
+	host, err := NewRandomFaultTorus(2, 150, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.Side() < 150 || host.Dims() != 2 {
+		t.Fatalf("side=%d dims=%d", host.Side(), host.Dims())
+	}
+	if host.Degree() != 10 {
+		t.Errorf("degree = %d, want 10", host.Degree())
+	}
+	n := float64(host.Side())
+	if got := float64(host.HostNodes()); got > (1+host.Eps())*n*n+1 {
+		t.Errorf("host nodes %v exceed (1+eps)n^2", got)
+	}
+	faults := host.InjectRandom(7, host.TheoremFailureProb())
+	emb, err := host.Extract(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emb.Map) != host.Side()*host.Side() {
+		t.Errorf("embedding size %d", len(emb.Map))
+	}
+	if _, err := emb.HostOf(0, 0); err != nil {
+		t.Errorf("HostOf: %v", err)
+	}
+	if _, err := emb.HostOf(0); err == nil {
+		t.Error("HostOf with wrong arity should fail")
+	}
+	if _, err := emb.HostOf(-1, 0); err == nil {
+		t.Error("HostOf out of range should fail")
+	}
+}
+
+func TestRandomFaultTorusNotTolerated(t *testing.T) {
+	host, err := NewRandomFaultTorus(2, 150, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := host.InjectRandom(3, 0.05) // far beyond tolerance
+	_, err = host.Extract(faults)
+	if err == nil {
+		t.Skip("lucky pattern survived")
+	}
+	if !errors.Is(err, ErrNotTolerated) {
+		t.Fatalf("expected ErrNotTolerated, got %v", err)
+	}
+}
+
+func TestExtractMesh(t *testing.T) {
+	host, err := NewRandomFaultTorus(2, 150, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := host.NewFaults()
+	faults.Add(1234)
+	torusEmb, err := host.Extract(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meshEmb, err := host.ExtractMesh(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same node map (mesh edges are a subset of torus edges).
+	for i := range torusEmb.Map {
+		if torusEmb.Map[i] != meshEmb.Map[i] {
+			t.Fatalf("mesh map differs from torus map at %d", i)
+		}
+	}
+}
+
+func TestRandomFaultTorusHealthy(t *testing.T) {
+	host, err := NewRandomFaultTorus(2, 150, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !host.Healthy(host.NewFaults()) {
+		t.Error("fault-free host unhealthy")
+	}
+}
+
+func TestFaultsAPI(t *testing.T) {
+	host, _ := NewRandomFaultTorus(2, 150, 0.5)
+	f := host.NewFaults()
+	f.Add(10)
+	f.Add(10)
+	f.Add(20)
+	if f.Count() != 2 || !f.Has(10) || f.Has(11) {
+		t.Error("Faults basic ops wrong")
+	}
+	nodes := f.Nodes()
+	if len(nodes) != 2 || nodes[0] != 10 || nodes[1] != 20 {
+		t.Errorf("Nodes = %v", nodes)
+	}
+}
+
+func TestCliqueTorusRoundtrip(t *testing.T) {
+	host, err := NewCliqueTorus(2, 300, 0.1, 0, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.Side() < 300 {
+		t.Fatalf("side %d", host.Side())
+	}
+	if host.Redundancy() <= 1/(1-0.1) {
+		t.Errorf("redundancy %v too small", host.Redundancy())
+	}
+	emb, err := host.ExtractRandom(11, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emb.Map) != host.Side()*host.Side() {
+		t.Errorf("embedding size %d", len(emb.Map))
+	}
+	if host.SupernodeSize() < 4 {
+		t.Errorf("supernode size %d", host.SupernodeSize())
+	}
+}
+
+func TestCliqueTorusRejectsBadC(t *testing.T) {
+	if _, err := NewCliqueTorus(2, 300, 0.5, 0, 1.5); err == nil {
+		t.Error("c < 1/(1-p) accepted")
+	}
+}
+
+func TestWorstCaseTorusRoundtrip(t *testing.T) {
+	host, err := NewWorstCaseTorus(2, 80, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.Capacity() < 27 || host.Degree() != 8 {
+		t.Fatalf("capacity=%d degree=%d", host.Capacity(), host.Degree())
+	}
+	faults := host.NewFaults()
+	// Full budget of clustered faults plus a faulty edge.
+	for i := 0; i < host.Capacity()-1; i++ {
+		faults.Add(host.HostIndex(10+i/5, 10+i%5))
+	}
+	u := host.HostIndex(40, 40)
+	v := host.HostIndex(40, 41)
+	emb, err := host.Extract(faults, [][2]int{{u, v}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emb.Map) != host.Side()*host.Side() {
+		t.Errorf("embedding size %d", len(emb.Map))
+	}
+	// Host coordinate helpers roundtrip.
+	c := host.HostCoord(u)
+	if host.HostIndex(c...) != u {
+		t.Error("HostCoord/HostIndex roundtrip failed")
+	}
+}
+
+func TestWorstCaseTorusOverBudget(t *testing.T) {
+	host, err := NewWorstCaseTorus(2, 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := host.NewFaults()
+	// Hammer one residue class far beyond capacity.
+	for i := 0; i < host.HostNodes()/3; i++ {
+		faults.Add(i * 3)
+	}
+	if _, err := host.Extract(faults, nil); !errors.Is(err, ErrNotTolerated) {
+		t.Fatalf("expected ErrNotTolerated, got %v", err)
+	}
+}
+
+func TestEmbeddingMeshMethod(t *testing.T) {
+	host, err := NewWorstCaseTorus(2, 60, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := host.NewFaults()
+	faults.Add(host.HostIndex(5, 5))
+	emb, err := host.Extract(faults, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh, err := emb.Mesh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mesh.Side != emb.Side || len(mesh.Map) != len(emb.Map) {
+		t.Error("mesh restriction changed shape")
+	}
+	// A second restriction must fail (already a mesh).
+	if _, err := mesh.Mesh(); err == nil {
+		t.Error("double mesh restriction accepted")
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	host, err := NewRandomFaultTorus(2, 150, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := host.InjectRandom(77, 3e-5)
+	a, err := host.Extract(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := host.Extract(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Map {
+		if a.Map[i] != b.Map[i] {
+			t.Fatalf("extraction differs at %d", i)
+		}
+	}
+	// InjectRandom with the same seed is also reproducible.
+	if host.InjectRandom(77, 3e-5).Count() != faults.Count() {
+		t.Error("InjectRandom not deterministic")
+	}
+}
+
+func TestThreeDimensional(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3D hosts are large")
+	}
+	host, err := NewRandomFaultTorus(3, 100, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.Degree() != 16 {
+		t.Errorf("3D degree = %d, want 16", host.Degree())
+	}
+	faults := host.NewFaults()
+	faults.Add(12345)
+	if _, err := host.Extract(faults); err != nil {
+		t.Fatal(err)
+	}
+}

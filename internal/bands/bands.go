@@ -1,0 +1,201 @@
+// Package bands implements the band machinery of the paper's Section 3.
+//
+// A band (paper, before Lemma 6) is a mapping beta from the (d-1)-dimensional
+// column space (C_n)^{d-1} into the host cycle [m] that changes by at most 1
+// between adjacent columns and masks the b rows beta(z) .. beta(z)+b-1 of
+// every column z. Two bands are untouching when, on every column, at least
+// one unmasked node separates them (cyclic gap of band bottoms >= b+1).
+//
+// Lemma 6 is the package's contract: a family of exactly (m-n)/b mutually
+// untouching bands leaves, in every column, exactly n unmasked nodes, and
+// the unmasked part of the augmented torus B^d_n is an n-torus. The Set
+// type stores such a family in a canonical cyclic order and Validate checks
+// the slope, untouching and cardinality conditions exhaustively.
+package bands
+
+import (
+	"fmt"
+
+	"ftnet/internal/grid"
+)
+
+// Set is a family of bands over a common column space.
+//
+// Bands are stored bottom-up in a globally consistent cyclic order: on every
+// column z the values Value(0,z), Value(1,z), ... appear in strictly
+// increasing cyclic order around [m]. The placement algorithm in
+// internal/core produces families in this order by construction; Validate
+// re-checks it.
+type Set struct {
+	M        int        // host cycle length (dimension 0)
+	Width    int        // band width b
+	ColShape grid.Shape // shape of the column space, sides n each
+	vals     [][]int32  // vals[g][z] = bottom row of band g at column z
+}
+
+// NewSet allocates a family of k bands with all values zero; callers fill
+// values via SetValue before validation.
+func NewSet(m, width int, colShape grid.Shape, k int) *Set {
+	vals := make([][]int32, k)
+	cols := colShape.Size()
+	backing := make([]int32, k*cols)
+	for g := range vals {
+		vals[g], backing = backing[:cols:cols], backing[cols:]
+	}
+	return &Set{M: m, Width: width, ColShape: colShape.Clone(), vals: vals}
+}
+
+// K returns the number of bands.
+func (s *Set) K() int { return len(s.vals) }
+
+// NumColumns returns the size of the column space.
+func (s *Set) NumColumns() int { return s.ColShape.Size() }
+
+// Value returns the bottom row of band g at column z.
+func (s *Set) Value(g, z int) int { return int(s.vals[g][z]) }
+
+// SetValue sets the bottom row of band g at column z.
+func (s *Set) SetValue(g, z, bottom int) {
+	s.vals[g][z] = int32(grid.Add(bottom, 0, s.M))
+}
+
+// Masks reports whether band g masks node (row, z).
+func (s *Set) Masks(g, z, row int) bool {
+	return grid.InCyclicInterval(row, int(s.vals[g][z]), s.Width, s.M)
+}
+
+// MaskedBy returns the index of the band masking (row, z), or -1 if the
+// node is unmasked. Runs a binary search over the cyclically ordered band
+// bottoms.
+func (s *Set) MaskedBy(z, row int) int {
+	k := len(s.vals)
+	if k == 0 {
+		return -1
+	}
+	// Binary search for the last band whose bottom is <= row in the cyclic
+	// order anchored at band 0's bottom.
+	anchor := int(s.vals[0][z])
+	target := grid.FwdGap(anchor, row, s.M)
+	lo, hi := 0, k // invariant: gap(anchor, vals[lo-1]) <= target < gap(anchor, vals[hi])
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if grid.FwdGap(anchor, int(s.vals[mid][z]), s.M) <= target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Candidate bands: lo-1 (below or at row) and, for wraparound, k-1.
+	for _, g := range []int{lo - 1, k - 1} {
+		if g >= 0 && s.Masks(g, z, row) {
+			return g
+		}
+	}
+	return -1
+}
+
+// UnmaskedRows appends the unmasked rows of column z in increasing cyclic
+// order starting just above band 0, and returns the slice. With a valid
+// family of (m-n)/b untouching bands the result has exactly n entries.
+func (s *Set) UnmaskedRows(z int, buf []int32) []int32 {
+	k := len(s.vals)
+	if k == 0 {
+		for r := 0; r < s.M; r++ {
+			buf = append(buf, int32(r))
+		}
+		return buf
+	}
+	for g := 0; g < k; g++ {
+		top := grid.Add(int(s.vals[g][z]), s.Width, s.M) // first unmasked row above band g
+		next := int(s.vals[(g+1)%k][z])                  // bottom of the next band
+		gap := grid.FwdGap(top, next, s.M)
+		for o := 0; o < gap; o++ {
+			buf = append(buf, int32(grid.Add(top, o, s.M)))
+		}
+	}
+	return buf
+}
+
+// ColumnValues appends the band bottoms at column z in family order.
+func (s *Set) ColumnValues(z int, buf []int32) []int32 {
+	for g := range s.vals {
+		buf = append(buf, s.vals[g][z])
+	}
+	return buf
+}
+
+// Report describes a validation failure in detail.
+type Report struct {
+	OK      bool
+	Problem string
+}
+
+// Validate checks the three structural conditions on the family:
+//
+//  1. slope: |beta(z) - beta(z')| <= 1 (cyclically) for adjacent columns;
+//  2. untouching: cyclic gap between consecutive band bottoms >= width+1 on
+//     every column, including the wraparound pair;
+//  3. closure: the gaps around each column sum to exactly M, i.e. the
+//     family order is globally consistent and bands never cross.
+//
+// It returns a descriptive error for the first violation found.
+func (s *Set) Validate() error {
+	k := len(s.vals)
+	if k == 0 {
+		return nil
+	}
+	cols := s.NumColumns()
+	need := s.Width + 1
+	if k*need > s.M {
+		return fmt.Errorf("bands: %d bands of width %d cannot fit untouching in cycle of length %d", k, s.Width, s.M)
+	}
+	// Untouching + closure.
+	for z := 0; z < cols; z++ {
+		total := 0
+		for g := 0; g < k; g++ {
+			next := (g + 1) % k
+			gap := grid.FwdGap(int(s.vals[g][z]), int(s.vals[next][z]), s.M)
+			if k > 1 && gap < need {
+				return fmt.Errorf("bands: bands %d and %d touch at column %d (bottoms %d, %d; gap %d < %d)",
+					g, next, z, s.vals[g][z], s.vals[next][z], gap, need)
+			}
+			total += gap
+		}
+		if total != s.M {
+			return fmt.Errorf("bands: band order inconsistent at column %d (gap sum %d != M %d)", z, total, s.M)
+		}
+	}
+	// Slope condition across every adjacent column pair, every dimension.
+	coord := make([]int, len(s.ColShape))
+	for z := 0; z < cols; z++ {
+		s.ColShape.Coord(z, coord)
+		for dim := range s.ColShape {
+			orig := coord[dim]
+			coord[dim] = grid.Add(orig, 1, s.ColShape[dim])
+			zn := s.ColShape.Index(coord)
+			coord[dim] = orig
+			for g := 0; g < k; g++ {
+				if grid.Dist(int(s.vals[g][z]), int(s.vals[g][zn]), s.M) > 1 {
+					return fmt.Errorf("bands: band %d slope violation between columns %d and %d (values %d, %d)",
+						g, z, zn, s.vals[g][z], s.vals[g][zn])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// UnmaskedPerColumn returns M - K*Width, the number of unmasked rows each
+// column has under a valid family.
+func (s *Set) UnmaskedPerColumn() int { return s.M - s.K()*s.Width }
+
+// MasksAll reports whether every fault in the list (given as (row, column)
+// pairs) is masked by some band. Used as a post-placement check.
+func (s *Set) MasksAll(faults [][2]int) error {
+	for _, f := range faults {
+		if s.MaskedBy(f[1], f[0]) < 0 {
+			return fmt.Errorf("bands: fault at row %d column %d left unmasked", f[0], f[1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package bands
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftnet/internal/grid"
+)
+
+// TestMaskComplement: for every column, every row is either masked by
+// exactly one band or listed in UnmaskedRows — a partition.
+func TestMaskComplement(t *testing.T) {
+	s := straightSet(120, 4, 10, 3)
+	for z := 0; z < 3; z++ {
+		unmasked := map[int]bool{}
+		for _, r := range s.UnmaskedRows(z, nil) {
+			unmasked[int(r)] = true
+		}
+		for row := 0; row < 120; row++ {
+			owner := s.MaskedBy(z, row)
+			if owner >= 0 && unmasked[row] {
+				t.Fatalf("row %d both masked and unmasked", row)
+			}
+			if owner < 0 && !unmasked[row] {
+				t.Fatalf("row %d neither masked nor unmasked", row)
+			}
+			// Exactly one band masks it (untouching bands cannot overlap).
+			count := 0
+			for g := 0; g < s.K(); g++ {
+				if s.Masks(g, z, row) {
+					count++
+				}
+			}
+			if owner >= 0 && count != 1 {
+				t.Fatalf("row %d masked by %d bands", row, count)
+			}
+		}
+	}
+}
+
+// TestWindingMaskCount: winding bands still mask exactly width rows per
+// column.
+func TestWindingMaskCount(t *testing.T) {
+	m, width, cols := 80, 5, 8
+	s := NewSet(m, width, grid.Shape{cols}, 2)
+	vals := []int{10, 11, 12, 13, 12, 11, 10, 10} // winds +3 then back
+	for z, v := range vals {
+		s.SetValue(0, z, v)
+		s.SetValue(1, z, v+40)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for z := 0; z < cols; z++ {
+		masked := 0
+		for row := 0; row < m; row++ {
+			if s.MaskedBy(z, row) >= 0 {
+				masked++
+			}
+		}
+		if masked != 2*width {
+			t.Errorf("column %d masks %d rows, want %d", z, masked, 2*width)
+		}
+		if got := len(s.UnmaskedRows(z, nil)); got != m-2*width {
+			t.Errorf("column %d unmasked count %d", z, got)
+		}
+	}
+}
+
+// TestUnmaskedRowsCyclicOrder: the unmasked rows come out in strictly
+// increasing cyclic order with gap sum m.
+func TestUnmaskedRowsCyclicOrder(t *testing.T) {
+	f := func(seed uint8) bool {
+		m, width, k := 77, 3, 7
+		s := NewSet(m, width, grid.Shape{1}, k)
+		base := int(seed) % m
+		for g := 0; g < k; g++ {
+			s.SetValue(g, 0, grid.Add(base, g*11, m))
+		}
+		if s.Validate() != nil {
+			return true // not a valid family; property vacuous
+		}
+		rows := s.UnmaskedRows(0, nil)
+		total := 0
+		for i := range rows {
+			next := rows[(i+1)%len(rows)]
+			total += grid.FwdGap(int(rows[i]), int(next), m)
+		}
+		return total == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiColumnShapes(t *testing.T) {
+	// A 2-d column space (d=3 host): slope must be checked in both
+	// column dimensions.
+	shape := grid.Shape{4, 4}
+	s := NewSet(60, 3, shape, 2)
+	for z := 0; z < shape.Size(); z++ {
+		s.SetValue(0, z, 10)
+		s.SetValue(1, z, 30)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("flat bands over 2-d columns invalid: %v", err)
+	}
+	// Break the slope along dimension 1 only.
+	s.SetValue(0, shape.Index([]int{2, 2}), 13)
+	if err := s.Validate(); err == nil {
+		t.Error("slope violation in second column dimension not caught")
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"ftnet/internal/fault"
+	"ftnet/internal/rng"
+)
+
+// TestLargeInstanceRoundtrip exercises the paper-scale instance used by
+// the full-mode experiments (n=1536, 3.1M nodes) once, with the Lemma 7
+// consistency check on.
+func TestLargeInstanceRoundtrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3.1M-node instance")
+	}
+	p := Params{D: 2, W: 8, Pitch: 32, Scale: 1}
+	g := mustGraph(t, p)
+	if p.N() != 1536 || p.NumNodes() != 3145728 {
+		t.Fatalf("unexpected instance %v", p)
+	}
+	faults := fault.NewSet(g.NumNodes())
+	faults.Bernoulli(rng.New(99), 5*p.TheoremFailureProb())
+	res, err := g.ContainTorus(faults, ExtractOptions{CheckConsistency: true})
+	if err != nil {
+		var ue *UnhealthyError
+		if errors.As(err, &ue) {
+			t.Skipf("pattern unhealthy at 5x: %v", err)
+		}
+		t.Fatal(err)
+	}
+	if res.Bands.K() != p.K() {
+		t.Errorf("band count %d", res.Bands.K())
+	}
+}
+
+// TestParamsHigherDimensions checks the analytic formulas for d = 4, 5
+// (instances far too large to build, but the arithmetic must hold).
+func TestParamsHigherDimensions(t *testing.T) {
+	for d := 4; d <= 5; d++ {
+		p := Params{D: d, W: 4, Pitch: 16, Scale: 1}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if p.Degree() != 6*d-2 {
+			t.Errorf("d=%d degree %d", d, p.Degree())
+		}
+		// NumNodes = m * n^{d-1} and the (1+eps) bound holds exactly.
+		want := p.M()
+		for i := 1; i < d; i++ {
+			want *= p.N()
+		}
+		if p.NumNodes() != want {
+			t.Errorf("d=%d NumNodes %d, want %d", d, p.NumNodes(), want)
+		}
+		// m/n = 1+eps exactly.
+		if float64(p.M())/float64(p.N()) != 1+p.Eps() {
+			t.Errorf("d=%d redundancy mismatch", d)
+		}
+	}
+}
+
+func TestFitParamsRejectsImpossible(t *testing.T) {
+	if _, err := FitParams(2, 1000, 0.0001); err == nil {
+		t.Error("eps=1e-4 should be infeasible for small widths")
+	}
+}
+
+func TestUnhealthyErrorMessage(t *testing.T) {
+	err := unhealthy("box spans %d tiles", 7)
+	var ue *UnhealthyError
+	if !errors.As(err, &ue) {
+		t.Fatal("unhealthy() did not produce an UnhealthyError")
+	}
+	if ue.Reason != "box spans 7 tiles" {
+		t.Errorf("reason = %q", ue.Reason)
+	}
+	if err.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+// TestDeterministicPlacement: identical fault sets yield identical band
+// families, even with the parallel interpolation.
+func TestDeterministicPlacement(t *testing.T) {
+	p := testParams2D()
+	g := mustGraph(t, p)
+	faults := fault.NewSet(g.NumNodes())
+	faults.Bernoulli(rng.New(55), 5e-5)
+	a, _, err := g.PlaceBands(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := g.PlaceBands(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi := 0; gi < a.K(); gi++ {
+		for z := 0; z < g.NumCols; z++ {
+			if a.Value(gi, z) != b.Value(gi, z) {
+				t.Fatalf("band %d column %d differs between runs", gi, z)
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+
+	"ftnet/internal/bands"
+	"ftnet/internal/embed"
+	"ftnet/internal/fault"
+	"ftnet/internal/grid"
+	"ftnet/internal/torus"
+)
+
+// ExtractOptions tunes the Lemma 6 extraction.
+type ExtractOptions struct {
+	// CheckConsistency re-derives the row mapping across every non-tree
+	// column adjacency and demands agreement: the executable analogue of
+	// Lemma 7 (path independence of P_{i,pi}). Costs one extra pass over
+	// all columns; enabled in tests, off in benchmarks.
+	CheckConsistency bool
+}
+
+// Extract realizes Lemma 6: given a valid family of (m-n)/b untouching
+// bands, it constructs the isomorphism psi from (C_n)^d onto the unmasked
+// part of B^d_n. Columns become the n unmasked nodes of each host column
+// (closed into a cycle by torus edges and vertical jumps); rows are grown
+// by the path-transfer rule of Lemma 6, jumping +-b over bands via the
+// diagonal jump edges.
+//
+// The returned embedding maps guest node (i, z) of the n-torus to host
+// node (psi_z(i), z). Callers should verify it with embed.Verify against
+// the faulty host.
+func (g *Graph) Extract(bs *bands.Set, opts ExtractOptions) (*embed.Embedding, error) {
+	p := g.P
+	n := p.N()
+	m := p.M()
+	w := p.W
+	numCols := g.NumCols
+	if bs.K() != p.K() {
+		return nil, fmt.Errorf("core: band family has %d bands, want %d", bs.K(), p.K())
+	}
+
+	// Unmasked rows per column, in cyclic order anchored above band 0.
+	rowmap := make([][]int32, numCols)
+	rowmap[0] = bs.UnmaskedRows(0, make([]int32, 0, n))
+	if len(rowmap[0]) != n {
+		return nil, fmt.Errorf("core: column 0 has %d unmasked rows, want %d", len(rowmap[0]), n)
+	}
+
+	transfer := func(zFrom, zTo int, src []int32, dst []int32) error {
+		for i, r32 := range src {
+			r := int(r32)
+			band := bs.MaskedBy(zTo, r)
+			if band < 0 {
+				dst[i] = r32
+				continue
+			}
+			bTo := bs.Value(band, zTo)
+			bFrom := bs.Value(band, zFrom)
+			switch {
+			case bTo == grid.Sub(bFrom, 1, m):
+				// The band slid down by one: the row just fell onto the
+				// band's bottom; jump upward over it (paper case (a)).
+				dst[i] = int32(grid.Add(r, w, m))
+			case bTo == grid.Add(bFrom, 1, m):
+				// The band slid up by one: the row fell onto the band's
+				// top; jump downward (paper case (b)).
+				dst[i] = int32(grid.Sub(r, w, m))
+			default:
+				return fmt.Errorf("core: band %d masks row %d at column %d yet did not move from column %d (bottoms %d -> %d)",
+					band, r, zTo, zFrom, bFrom, bTo)
+			}
+		}
+		return nil
+	}
+
+	// BFS over the column torus.
+	queue := make([]int, 0, numCols)
+	queue = append(queue, 0)
+	nbuf := make([]int, 0, 2*(p.D-1))
+	for head := 0; head < len(queue); head++ {
+		z := queue[head]
+		nbuf = g.columnNeighbors(z, nbuf[:0])
+		for _, zn := range nbuf {
+			if rowmap[zn] != nil || zn == 0 {
+				continue
+			}
+			dst := make([]int32, n)
+			if err := transfer(z, zn, rowmap[z], dst); err != nil {
+				return nil, err
+			}
+			rowmap[zn] = dst
+			queue = append(queue, zn)
+		}
+	}
+	if len(queue) != numCols {
+		return nil, fmt.Errorf("core: column BFS reached %d of %d columns", len(queue), numCols)
+	}
+
+	if opts.CheckConsistency {
+		dst := make([]int32, n)
+		coord := make([]int, p.D-1)
+		for z := 0; z < numCols; z++ {
+			g.ColShape.Coord(z, coord)
+			for dim := range g.ColShape {
+				orig := coord[dim]
+				coord[dim] = grid.Add(orig, 1, g.ColShape[dim])
+				zn := g.ColShape.Index(coord)
+				coord[dim] = orig
+				if err := transfer(z, zn, rowmap[z], dst); err != nil {
+					return nil, err
+				}
+				for i := range dst {
+					if dst[i] != rowmap[zn][i] {
+						return nil, fmt.Errorf("core: Lemma 7 violation: row %d disagrees across columns %d -> %d (%d vs %d)",
+							i, z, zn, dst[i], rowmap[zn][i])
+					}
+				}
+			}
+		}
+	}
+
+	guest, err := torus.NewUniform(torus.TorusKind, p.D, n)
+	if err != nil {
+		return nil, err
+	}
+	e := embed.New(guest)
+	for z := 0; z < numCols; z++ {
+		rows := rowmap[z]
+		for i := 0; i < n; i++ {
+			e.Map[i*numCols+z] = int(rows[i])*numCols + z
+		}
+	}
+	return e, nil
+}
+
+// columnNeighbors appends the 2(d-1) columns adjacent to z.
+func (g *Graph) columnNeighbors(z int, buf []int) []int {
+	coord := g.ColShape.Coord(z, make([]int, g.P.D-1))
+	for dim := range g.ColShape {
+		orig := coord[dim]
+		coord[dim] = grid.Add(orig, 1, g.ColShape[dim])
+		buf = append(buf, g.ColShape.Index(coord))
+		coord[dim] = grid.Sub(orig, 1, g.ColShape[dim])
+		buf = append(buf, g.ColShape.Index(coord))
+		coord[dim] = orig
+	}
+	return buf
+}
+
+// HostView adapts a faulty B^d_n to the embed.Host interface. Theorem 2
+// treats edges as reliable (an edge fault is charged to an endpoint), so
+// EdgeFaulty is constant false.
+type HostView struct {
+	G      *Graph
+	Faults *fault.Set
+}
+
+// NumNodes implements embed.Host.
+func (h HostView) NumNodes() int { return h.G.NumNodes() }
+
+// Adjacent implements embed.Host.
+func (h HostView) Adjacent(u, v int) bool { return h.G.Adjacent(u, v) }
+
+// NodeFaulty implements embed.Host.
+func (h HostView) NodeFaulty(u int) bool { return h.Faults.Has(u) }
+
+// EdgeFaulty implements embed.Host.
+func (h HostView) EdgeFaulty(u, v int) bool { return false }
+
+// Result bundles a successful survival proof for one faulty instance.
+type Result struct {
+	Bands     *bands.Set
+	Embedding *embed.Embedding
+	Report    *PlaceReport
+}
+
+// ContainTorus runs the full Theorem 2 pipeline on a faulty instance:
+// place bands, extract the torus, and verify the embedding independently.
+// An *UnhealthyError means the fault pattern exceeded what the
+// construction tolerates (a survival failure); any other error is a bug.
+func (g *Graph) ContainTorus(faults *fault.Set, opts ExtractOptions) (*Result, error) {
+	bs, rep, err := g.PlaceBands(faults)
+	if err != nil {
+		return nil, err
+	}
+	emb, err := g.Extract(bs, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := emb.Verify(HostView{G: g, Faults: faults}); err != nil {
+		return nil, err
+	}
+	return &Result{Bands: bs, Embedding: emb, Report: rep}, nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"ftnet/internal/fault"
+)
+
+// FuzzPlacement drives band placement with fuzzer-chosen fault positions
+// on a fixed small instance. The contract: placement either succeeds with
+// a valid all-masking family or fails with a typed UnhealthyError — it
+// never panics, never returns an untyped error, never leaves a fault
+// unmasked. Seed corpus runs under plain `go test`; explore with
+// `go test -fuzz FuzzPlacement -run FuzzPlacement ./internal/core`.
+func FuzzPlacement(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4})
+	f.Add([]byte{0, 0, 255, 255})
+	f.Add([]byte{10, 20, 30, 40, 50, 60, 70, 80})
+	p := Params{D: 2, W: 4, Pitch: 16, Scale: 1}
+	g, err := NewGraph(p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 64 {
+			raw = raw[:64] // bound fault counts; beyond that all unhealthy anyway
+		}
+		faults := fault.NewSet(g.NumNodes())
+		// Interpret consecutive byte pairs as (row, column) seeds spread
+		// over the host.
+		for i := 0; i+1 < len(raw); i += 2 {
+			row := int(raw[i]) * g.P.M() / 256
+			col := int(raw[i+1]) * g.P.N() / 256
+			faults.Add(g.NodeIndex(row, col))
+		}
+		bs, _, err := g.PlaceBands(faults)
+		if err != nil {
+			var ue *UnhealthyError
+			if !errors.As(err, &ue) {
+				t.Fatalf("untyped placement error: %v", err)
+			}
+			return
+		}
+		if err := bs.Validate(); err != nil {
+			t.Fatalf("invalid family: %v", err)
+		}
+		faults.ForEach(func(idx int) {
+			i, z := g.NodeOf(idx)
+			if bs.MaskedBy(z, i) < 0 {
+				t.Fatalf("fault (%d,%d) unmasked", i, z)
+			}
+		})
+		// And the extraction must go through end to end.
+		if _, err := g.Extract(bs, ExtractOptions{}); err != nil {
+			t.Fatalf("extraction after successful placement: %v", err)
+		}
+	})
+}

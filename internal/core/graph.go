@@ -1,0 +1,208 @@
+package core
+
+import (
+	"ftnet/internal/grid"
+)
+
+// Graph is the host network B^d_n. Nodes are pairs (i, z) with i in [m]
+// (dimension 0) and z a column of the (d-1)-dimensional torus (C_n)^{d-1};
+// the flat index is i*numCols + z.
+//
+// Edge classes (paper, Section 3):
+//   - torus edges: the edges of C_m x (C_n)^{d-1};
+//   - vertical jumps: (i, z) -- (i +- (b+1), z);
+//   - diagonal jumps: (i, z) -- (i +- b, z') for each column z' adjacent
+//     to z.
+//
+// Degree: 2d torus + 2 vertical + 4(d-1) diagonal = 6d-2, uniformly.
+//
+// DisableVJump / DisableDJump remove an edge class for ablation studies
+// (experiments A1-A2); with either disabled the extraction of Lemma 6 must
+// fail, which the tests assert.
+type Graph struct {
+	P        Params
+	ColShape grid.Shape // (d-1)-dimensional column space, sides n
+	NumCols  int
+
+	DisableVJump bool
+	DisableDJump bool
+}
+
+// NewGraph builds the host description (adjacency is computed on the fly;
+// nothing is materialized).
+func NewGraph(p Params) (*Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cs := grid.Uniform(p.D-1, p.N())
+	return &Graph{P: p, ColShape: cs, NumCols: cs.Size()}, nil
+}
+
+// NumNodes returns m * n^{d-1}.
+func (g *Graph) NumNodes() int { return g.P.M() * g.NumCols }
+
+// NodeIndex returns the flat index of node (i, z).
+func (g *Graph) NodeIndex(i, z int) int { return i*g.NumCols + z }
+
+// NodeOf splits a flat index into (i, z).
+func (g *Graph) NodeOf(idx int) (i, z int) { return idx / g.NumCols, idx % g.NumCols }
+
+// Degree returns the uniform degree (accounting for ablation switches).
+func (g *Graph) Degree() int {
+	d := g.P.Degree()
+	if g.DisableVJump {
+		d -= 2
+	}
+	if g.DisableDJump {
+		d -= 4 * (g.P.D - 1)
+	}
+	return d
+}
+
+// Neighbors appends the neighbors of idx to buf and returns it.
+func (g *Graph) Neighbors(idx int, buf []int) []int {
+	m := g.P.M()
+	w := g.P.W
+	i, z := g.NodeOf(idx)
+	// Dimension-0 torus edges.
+	buf = append(buf, g.NodeIndex(grid.Add(i, 1, m), z))
+	buf = append(buf, g.NodeIndex(grid.Sub(i, 1, m), z))
+	// Vertical jumps.
+	if !g.DisableVJump {
+		buf = append(buf, g.NodeIndex(grid.Add(i, w+1, m), z))
+		buf = append(buf, g.NodeIndex(grid.Sub(i, w+1, m), z))
+	}
+	// Other-dimension torus edges and diagonal jumps.
+	coord := g.ColShape.Coord(z, make([]int, g.P.D-1))
+	for dim := range g.ColShape {
+		orig := coord[dim]
+		for _, delta := range [2]int{1, -1} {
+			coord[dim] = grid.Add(orig, delta, g.ColShape[dim])
+			zn := g.ColShape.Index(coord)
+			buf = append(buf, g.NodeIndex(i, zn))
+			if !g.DisableDJump {
+				buf = append(buf, g.NodeIndex(grid.Add(i, w, m), zn))
+				buf = append(buf, g.NodeIndex(grid.Sub(i, w, m), zn))
+			}
+		}
+		coord[dim] = orig
+	}
+	return buf
+}
+
+// Adjacent reports whether flat indices u and v are connected in B^d_n.
+func (g *Graph) Adjacent(u, v int) bool {
+	if u == v {
+		return false
+	}
+	m := g.P.M()
+	w := g.P.W
+	iu, zu := g.NodeOf(u)
+	iv, zv := g.NodeOf(v)
+	di := grid.Dist(iu, iv, m)
+	if zu == zv {
+		if di == 1 {
+			return true // torus edge along dimension 0
+		}
+		if di == w+1 && !g.DisableVJump {
+			return true // vertical jump
+		}
+		return false
+	}
+	if !g.columnsAdjacent(zu, zv) {
+		return false
+	}
+	if di == 0 {
+		return true // torus edge along another dimension
+	}
+	if di == w && !g.DisableDJump {
+		return true // diagonal jump
+	}
+	return false
+}
+
+func (g *Graph) columnsAdjacent(za, zb int) bool {
+	ca := g.ColShape.Coord(za, nil)
+	cb := g.ColShape.Coord(zb, nil)
+	diffDim := -1
+	for i := range g.ColShape {
+		if ca[i] != cb[i] {
+			if diffDim >= 0 {
+				return false
+			}
+			diffDim = i
+		}
+	}
+	if diffDim < 0 {
+		return false
+	}
+	return grid.Dist(ca[diffDim], cb[diffDim], g.ColShape[diffDim]) == 1
+}
+
+// EdgeKind classifies a host edge for statistics and ablation reports.
+type EdgeKind int
+
+const (
+	// EdgeNone means the pair is not adjacent.
+	EdgeNone EdgeKind = iota
+	// EdgeTorus is an inherited torus edge.
+	EdgeTorus
+	// EdgeVJump is a vertical jump over a band (+-(b+1) in dimension 0).
+	EdgeVJump
+	// EdgeDJump is a diagonal jump over a band (+-b into an adjacent column).
+	EdgeDJump
+)
+
+// Classify returns the edge class of the pair (u, v), ignoring ablation
+// switches.
+func (g *Graph) Classify(u, v int) EdgeKind {
+	iu, zu := g.NodeOf(u)
+	iv, zv := g.NodeOf(v)
+	di := grid.Dist(iu, iv, g.P.M())
+	if zu == zv {
+		switch di {
+		case 1:
+			return EdgeTorus
+		case g.P.W + 1:
+			return EdgeVJump
+		}
+		return EdgeNone
+	}
+	if !g.columnsAdjacent(zu, zv) {
+		return EdgeNone
+	}
+	switch di {
+	case 0:
+		return EdgeTorus
+	case g.P.W:
+		return EdgeDJump
+	}
+	return EdgeNone
+}
+
+// TileOf returns the tile coordinates of a node: (slab, colTile...). The
+// returned slice has d entries; entry 0 is the slab index i / b^2, the rest
+// are the column-tile coordinates z_j / b^2.
+func (g *Graph) TileOf(idx int, buf []int) []int {
+	if buf == nil {
+		buf = make([]int, g.P.D)
+	}
+	t := g.P.Tile()
+	i, z := g.NodeOf(idx)
+	buf[0] = i / t
+	coord := g.ColShape.Coord(z, make([]int, g.P.D-1))
+	for j, c := range coord {
+		buf[j+1] = c / t
+	}
+	return buf
+}
+
+// TileShape returns the shape of the tile grid: [numSlabs, colTiles, ...].
+func (g *Graph) TileShape() grid.Shape {
+	s := make(grid.Shape, g.P.D)
+	s[0] = g.P.NumSlabs()
+	for i := 1; i < g.P.D; i++ {
+		s[i] = g.P.ColTiles()
+	}
+	return s
+}

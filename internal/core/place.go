@@ -1,0 +1,657 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ftnet/internal/bands"
+	"ftnet/internal/fault"
+	"ftnet/internal/grid"
+	"ftnet/internal/multilinear"
+)
+
+// UnhealthyError reports that the fault pattern violates the structural
+// conditions band placement relies on (the constructive analogue of the
+// paper's "healthy" definition). In the random-fault regime of Theorem 2
+// this happens with probability n^{-Omega(log log n)}; Monte-Carlo trials
+// count it as a survival failure, not a bug.
+type UnhealthyError struct {
+	Reason string
+}
+
+func (e *UnhealthyError) Error() string { return "core: unhealthy fault pattern: " + e.Reason }
+
+func unhealthy(format string, args ...any) error {
+	return &UnhealthyError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// PlaceReport carries diagnostics from a band placement run.
+type PlaceReport struct {
+	Faults      int // number of faulty nodes
+	FaultyTiles int // number of tiles containing faults
+	Boxes       int // fault boxes after merging
+	MaxBoxTiles int // largest box extent, in tiles
+	Segments    int // pigeonhole segments masking faults
+	Padded      int // filler segments added to reach PerSlab everywhere
+	MergePasses int // outer merge/extend iterations
+}
+
+// faultBox is a tile-aligned box isolating a cluster of faults: the
+// implementation's version of the paper's black regions (see DESIGN.md,
+// refinement 2). lo/ext are tile coordinates and extents per dimension
+// (dimension 0 indexes slabs); rows inside the box are addressed relative
+// to lo[0]*b^2.
+type faultBox struct {
+	lo  []int
+	ext []int
+	// faultRows lists the distinct fault row offsets (relative), sorted.
+	faultRows []int
+	// segs lists segment bottoms (relative), sorted, after pigeonholing.
+	segs []int
+	// perSlab[s] lists the PerSlab segment bottoms assigned to relative
+	// slab s, sorted, after padding.
+	perSlab [][]int
+}
+
+// PlaceBands runs the constructive proof of Lemma 5: it isolates faults
+// into separated boxes, masks them with straight pigeonhole segments, pads
+// each slab of each box to exactly PerSlab segments, and interpolates
+// everything else multilinearly (Lemmas 9-11). The returned family always
+// passes bands.Set.Validate and masks every fault; if the fault pattern is
+// too dense or too clustered it returns an *UnhealthyError instead.
+func (g *Graph) PlaceBands(faults *fault.Set) (*bands.Set, *PlaceReport, error) {
+	rep := &PlaceReport{Faults: faults.Count()}
+	tileShape := g.TileShape()
+
+	faultyTiles := g.faultyTiles(faults)
+	rep.FaultyTiles = len(faultyTiles)
+
+	boxes := initialBoxes(faultyTiles, tileShape)
+	var err error
+	for pass := 0; ; pass++ {
+		rep.MergePasses = pass + 1
+		if pass > 8 {
+			return nil, rep, unhealthy("box merging did not converge after %d passes", pass)
+		}
+		boxes, err = mergeBoxes(boxes, tileShape)
+		if err != nil {
+			return nil, rep, err
+		}
+		if err := g.checkBoxCaps(boxes, tileShape); err != nil {
+			return nil, rep, err
+		}
+		if err := g.assignFaultRows(boxes, faults, tileShape); err != nil {
+			return nil, rep, err
+		}
+		extended := false
+		for _, b := range boxes {
+			if err := g.pigeonholeSegments(b); err != nil {
+				return nil, rep, err
+			}
+			if len(b.segs) > 0 && b.segs[0] < 0 {
+				// A segment dipped below the box: grow the box one slab down
+				// and redo the merge in case it now touches a neighbor.
+				b.lo[0] = grid.Sub(b.lo[0], 1, tileShape[0])
+				b.ext[0]++
+				extended = true
+			}
+		}
+		if !extended {
+			break
+		}
+	}
+
+	rep.Boxes = len(boxes)
+	for _, b := range boxes {
+		rep.Segments += len(b.segs)
+		for _, e := range b.ext {
+			if e > rep.MaxBoxTiles {
+				rep.MaxBoxTiles = e
+			}
+		}
+	}
+
+	for _, b := range boxes {
+		padded, err := g.padBox(b)
+		if err != nil {
+			return nil, rep, err
+		}
+		rep.Padded += padded
+	}
+
+	bs, err := g.interpolate(boxes)
+	if err != nil {
+		return nil, rep, err
+	}
+	if err := bs.Validate(); err != nil {
+		return nil, rep, fmt.Errorf("core: placed bands invalid: %w", err)
+	}
+	if err := g.checkAllMasked(bs, faults); err != nil {
+		return nil, rep, err
+	}
+	return bs, rep, nil
+}
+
+// faultyTiles returns the flat tile indices containing at least one fault.
+func (g *Graph) faultyTiles(faults *fault.Set) []int {
+	t := g.P.Tile()
+	tileShape := g.TileShape()
+	colTileShape := grid.Shape(tileShape[1:])
+	seen := make(map[int]struct{})
+	var out []int
+	coord := make([]int, g.P.D-1)
+	tcoord := make([]int, g.P.D-1)
+	faults.ForEach(func(idx int) {
+		i, z := g.NodeOf(idx)
+		g.ColShape.Coord(z, coord)
+		for j, c := range coord {
+			tcoord[j] = c / t
+		}
+		flat := (i/t)*colTileShape.Size() + colTileShape.Index(tcoord)
+		if _, ok := seen[flat]; !ok {
+			seen[flat] = struct{}{}
+			out = append(out, flat)
+		}
+	})
+	sort.Ints(out)
+	return out
+}
+
+// initialBoxes groups faulty tiles into Chebyshev-connected components and
+// returns each component's minimal cyclic bounding box.
+func initialBoxes(faultyTiles []int, tileShape grid.Shape) []*faultBox {
+	if len(faultyTiles) == 0 {
+		return nil
+	}
+	index := make(map[int]int, len(faultyTiles))
+	for i, t := range faultyTiles {
+		index[t] = i
+	}
+	parent := make([]int, len(faultyTiles))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	d := len(tileShape)
+	coord := make([]int, d)
+	ncoord := make([]int, d)
+	// Enumerate the 3^d-1 Chebyshev neighbors of each faulty tile.
+	deltas := chebyshevDeltas(d)
+	for i, t := range faultyTiles {
+		tileShape.Coord(t, coord)
+		for _, delta := range deltas {
+			for j := range coord {
+				ncoord[j] = grid.Add(coord[j], delta[j], tileShape[j])
+			}
+			if ni, ok := index[tileShape.Index(ncoord)]; ok {
+				union(i, ni)
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for i, t := range faultyTiles {
+		r := find(i)
+		groups[r] = append(groups[r], t)
+	}
+	var boxes []*faultBox
+	// Deterministic order: iterate roots by their first member.
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(a, b int) bool { return groups[roots[a]][0] < groups[roots[b]][0] })
+	for _, r := range roots {
+		members := groups[r]
+		b := &faultBox{lo: make([]int, d), ext: make([]int, d)}
+		coords := make([]int, len(members))
+		buf := make([]int, d)
+		for dim := 0; dim < d; dim++ {
+			for i, m := range members {
+				tileShape.Coord(m, buf)
+				coords[i] = buf[dim]
+			}
+			b.lo[dim], b.ext[dim] = grid.CyclicCover(coords, tileShape[dim])
+		}
+		boxes = append(boxes, b)
+	}
+	return boxes
+}
+
+func chebyshevDeltas(d int) [][]int {
+	var out [][]int
+	delta := make([]int, d)
+	var rec func(int)
+	rec = func(i int) {
+		if i == d {
+			for _, v := range delta {
+				if v != 0 {
+					c := make([]int, d)
+					copy(c, delta)
+					out = append(out, c)
+					return
+				}
+			}
+			return
+		}
+		for _, v := range [3]int{-1, 0, 1} {
+			delta[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// mergeBoxes repeatedly merges any two boxes whose 1-tile expansions
+// intersect, guaranteeing that distinct boxes end up separated by at least
+// one fault-free white tile in some dimension — and, because expansion is
+// applied in every dimension, even diagonally. This realizes the corner
+// separation the paper derives from the painting procedure ("two hypercubes
+// share a point only within one black region").
+func mergeBoxes(boxes []*faultBox, tileShape grid.Shape) ([]*faultBox, error) {
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < len(boxes) && !changed; i++ {
+			for j := i + 1; j < len(boxes); j++ {
+				if !boxesNear(boxes[i], boxes[j], tileShape) {
+					continue
+				}
+				for dim := range tileShape {
+					lo, e := grid.IntervalCover(
+						boxes[i].lo[dim], boxes[i].ext[dim],
+						boxes[j].lo[dim], boxes[j].ext[dim], tileShape[dim])
+					boxes[i].lo[dim], boxes[i].ext[dim] = lo, e
+				}
+				boxes = append(boxes[:j], boxes[j+1:]...)
+				changed = true
+				break
+			}
+		}
+	}
+	return boxes, nil
+}
+
+// boxesNear reports whether boxes a and b, each expanded by one tile on
+// every side, intersect (i.e. the boxes are Chebyshev-adjacent or closer).
+func boxesNear(a, b *faultBox, tileShape grid.Shape) bool {
+	for dim := range tileShape {
+		if !grid.IntervalsIntersect(
+			grid.Sub(a.lo[dim], 1, tileShape[dim]), a.ext[dim]+2,
+			b.lo[dim], b.ext[dim], tileShape[dim]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *Graph) checkBoxCaps(boxes []*faultBox, tileShape grid.Shape) error {
+	cap := g.P.BoxCap()
+	for _, b := range boxes {
+		for dim, e := range b.ext {
+			limit := cap
+			if tileShape[dim]-2 < limit {
+				limit = tileShape[dim] - 2
+			}
+			if e > limit {
+				return unhealthy("fault box spans %d tiles in dimension %d (limit %d; paper condition 3 fails)", e, dim, limit)
+			}
+		}
+	}
+	return nil
+}
+
+// assignFaultRows recomputes, for every box, the sorted distinct relative
+// rows containing faults. Every fault must land inside exactly one box.
+func (g *Graph) assignFaultRows(boxes []*faultBox, faults *fault.Set, tileShape grid.Shape) error {
+	t := g.P.Tile()
+	m := g.P.M()
+	for _, b := range boxes {
+		b.faultRows = b.faultRows[:0]
+		b.segs = nil
+		b.perSlab = nil
+	}
+	coord := make([]int, g.P.D-1)
+	var outErr error
+	faults.ForEach(func(idx int) {
+		if outErr != nil {
+			return
+		}
+		i, z := g.NodeOf(idx)
+		g.ColShape.Coord(z, coord)
+		owner := (*faultBox)(nil)
+		for _, b := range boxes {
+			if !grid.InCyclicInterval(i/t, b.lo[0], b.ext[0], tileShape[0]) {
+				continue
+			}
+			inside := true
+			for dim := 1; dim < g.P.D; dim++ {
+				if !grid.InCyclicInterval(coord[dim-1]/t, b.lo[dim], b.ext[dim], tileShape[dim]) {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				owner = b
+				break
+			}
+		}
+		if owner == nil {
+			outErr = fmt.Errorf("core: internal: fault %d not covered by any box", idx)
+			return
+		}
+		rel := grid.FwdGap(owner.lo[0]*t, i, m)
+		owner.faultRows = append(owner.faultRows, rel)
+	})
+	if outErr != nil {
+		return outErr
+	}
+	for _, b := range boxes {
+		sort.Ints(b.faultRows)
+		b.faultRows = dedupe(b.faultRows)
+	}
+	return nil
+}
+
+func dedupe(a []int) []int {
+	if len(a) == 0 {
+		return a
+	}
+	out := a[:1]
+	for _, v := range a[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// pigeonholeSegments implements the block argument of Lemma 5: split the
+// box's fault rows into blocks separated by >= 2b fault-free rows, find in
+// each block a cyclic residue class mod (b+1) free of faults, and lay
+// straight width-b segments in the slots between class rows so that every
+// fault is masked and consecutive segments keep one unmasked row between
+// them.
+func (g *Graph) pigeonholeSegments(b *faultBox) error {
+	w := g.P.W
+	rows := b.faultRows
+	b.segs = b.segs[:0]
+	for start := 0; start < len(rows); {
+		end := start
+		for end+1 < len(rows) && rows[end+1]-rows[end] < 2*w {
+			end++
+		}
+		blockStart := rows[start]
+		// Find a fault-free residue class mod (w+1) within the block.
+		used := make([]bool, w+1)
+		for i := start; i <= end; i++ {
+			used[(rows[i]-blockStart)%(w+1)] = true
+		}
+		class := -1
+		for c, u := range used {
+			if !u {
+				class = c
+				break
+			}
+		}
+		if class < 0 {
+			return unhealthy("block with %d fault rows has no fault-free residue class mod %d (paper condition 1/2 fails)",
+				end-start+1, w+1)
+		}
+		anchor := blockStart + class + 1
+		lastSlot := -1 << 62
+		for i := start; i <= end; i++ {
+			slot := grid.FloorDiv(rows[i]-anchor, w+1)
+			if slot != lastSlot {
+				b.segs = append(b.segs, anchor+slot*(w+1))
+				lastSlot = slot
+			}
+		}
+		start = end + 1
+	}
+	sort.Ints(b.segs)
+	// Internal invariants: segments untouching, every fault covered.
+	for i := 1; i < len(b.segs); i++ {
+		if b.segs[i]-b.segs[i-1] < w+1 {
+			return fmt.Errorf("core: internal: segments %d and %d touch", b.segs[i-1], b.segs[i])
+		}
+	}
+	for _, r := range rows {
+		i := sort.SearchInts(b.segs, r+1) - 1
+		if i < 0 || r-b.segs[i] >= w {
+			return fmt.Errorf("core: internal: fault row %d unmasked by segments", r)
+		}
+	}
+	return nil
+}
+
+// padBox tops every slab the box spans up to exactly PerSlab segments,
+// keeping the whole segment family untouching. Returns the number of
+// filler segments added.
+func (g *Graph) padBox(b *faultBox) (int, error) {
+	t := g.P.Tile()
+	w := g.P.W
+	per := g.P.PerSlab()
+	slabs := b.ext[0]
+	counts := make([]int, slabs)
+	for _, s := range b.segs {
+		if s < 0 || s >= slabs*t {
+			return 0, fmt.Errorf("core: internal: segment %d outside box rows [0,%d)", s, slabs*t)
+		}
+		rs := s / t
+		counts[rs]++
+		if counts[rs] > per {
+			return 0, unhealthy("slab needs %d segments but capacity is %d (paper condition 2 fails)", counts[rs], per)
+		}
+	}
+	added := 0
+	all := append([]int(nil), b.segs...)
+	for rs := 0; rs < slabs; rs++ {
+		need := per - counts[rs]
+		pos := rs * t
+		for need > 0 {
+			// Advance pos past any conflict with an existing segment.
+			for {
+				moved := false
+				for _, s := range all {
+					if pos > s-(w+1) && pos < s+(w+1) {
+						pos = s + w + 1
+						moved = true
+					}
+				}
+				if !moved {
+					break
+				}
+			}
+			if pos >= (rs+1)*t {
+				return added, unhealthy("cannot pad slab to %d segments", per)
+			}
+			all = append(all, pos)
+			sort.Ints(all)
+			added++
+			need--
+			pos += w + 1
+		}
+	}
+	b.segs = all
+	b.perSlab = make([][]int, slabs)
+	for _, s := range all {
+		rs := s / t
+		b.perSlab[rs] = append(b.perSlab[rs], s)
+	}
+	for rs, list := range b.perSlab {
+		if len(list) != per {
+			return added, fmt.Errorf("core: internal: slab %d has %d segments, want %d", rs, len(list), per)
+		}
+	}
+	return added, nil
+}
+
+// interpolate builds the full band family: pinned constants over box
+// footprints, defaults elsewhere, multilinear blending in between
+// (Lemmas 9-11), rounded with the monotone half-up rule.
+func (g *Graph) interpolate(boxes []*faultBox) (*bands.Set, error) {
+	p := g.P
+	t := p.Tile()
+	w := p.W
+	per := p.PerSlab()
+	numSlabs := p.NumSlabs()
+	m := p.M()
+	colTiles := p.ColTiles()
+	d1 := p.D - 1 // column-space dimensionality
+	cornerShape := grid.Uniform(d1, colTiles)
+	numCorners := cornerShape.Size()
+
+	// Default local band positions within a slab.
+	defaults := make([]float64, per)
+	spread := w + 1
+	if per > 1 {
+		spread = (t - 2*w - 1) / (per - 1)
+	}
+	for j := range defaults {
+		defaults[j] = float64(w + j*spread)
+	}
+
+	// pinned[slab*numCorners+corner] = per local segment positions.
+	pinned := make(map[int][]float64)
+	cornerCoord := make([]int, d1)
+	for _, b := range boxes {
+		for rs := 0; rs < b.ext[0]; rs++ {
+			slab := grid.Add(b.lo[0], rs, numSlabs)
+			locals := make([]float64, per)
+			for j, s := range b.perSlab[rs] {
+				locals[j] = float64(s - rs*t)
+			}
+			// Pin every corner of the box footprint (ext+1 lattice points
+			// per dimension, cyclically).
+			total := 1
+			for dim := 0; dim < d1; dim++ {
+				total *= b.ext[dim+1] + 1
+			}
+			for it := 0; it < total; it++ {
+				rem := it
+				for dim := d1 - 1; dim >= 0; dim-- {
+					span := b.ext[dim+1] + 1
+					cornerCoord[dim] = grid.Add(b.lo[dim+1], rem%span, colTiles)
+					rem /= span
+				}
+				key := slab*numCorners + cornerShape.Index(cornerCoord)
+				if _, dup := pinned[key]; dup {
+					return nil, unhealthy("two fault boxes pin the same tile corner (separation failed)")
+				}
+				pinned[key] = locals
+			}
+		}
+	}
+
+	bs := bands.NewSet(m, w, g.ColShape, p.K())
+	nc := 1 << uint(d1)
+	// Columns are independent, so shard the evaluation across workers.
+	// Each column writes disjoint band entries; results are deterministic
+	// because every value is a pure function of (band, column).
+	workers := runtime.GOMAXPROCS(0)
+	if workers > g.NumCols {
+		workers = g.NumCols
+	}
+	if len(pinned) == 0 || workers < 2 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		lo := wk * g.NumCols / workers
+		hi := (wk + 1) * g.NumCols / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			colCoord := make([]int, d1)
+			tileCoord := make([]int, d1)
+			cornerCoord := make([]int, d1)
+			x := make([]float64, d1)
+			cornerKeys := make([]int, nc)
+			cornerVals := make([]float64, nc)
+			scratch := make([]float64, nc)
+			pins := make([][]float64, nc)
+			for z := lo; z < hi; z++ {
+				g.ColShape.Coord(z, colCoord)
+				for dim := 0; dim < d1; dim++ {
+					tileCoord[dim] = colCoord[dim] / t
+					x[dim] = (float64(colCoord[dim]%t) + 0.5) / float64(t)
+				}
+				for s := 0; s < nc; s++ {
+					for dim := 0; dim < d1; dim++ {
+						if s&(1<<uint(dim)) != 0 {
+							cornerCoord[dim] = grid.Add(tileCoord[dim], 1, colTiles)
+						} else {
+							cornerCoord[dim] = tileCoord[dim]
+						}
+					}
+					cornerKeys[s] = cornerShape.Index(cornerCoord)
+				}
+				for slab := 0; slab < numSlabs; slab++ {
+					base := slab * t
+					anyPinned := false
+					for s := 0; s < nc; s++ {
+						pins[s] = nil
+						if arr, ok := pinned[slab*numCorners+cornerKeys[s]]; ok {
+							pins[s] = arr
+							anyPinned = true
+						}
+					}
+					for j := 0; j < per; j++ {
+						gIdx := slab*per + j
+						if !anyPinned {
+							bs.SetValue(gIdx, z, base+int(defaults[j]))
+							continue
+						}
+						for s := 0; s < nc; s++ {
+							if pins[s] != nil {
+								cornerVals[s] = pins[s][j]
+							} else {
+								cornerVals[s] = defaults[j]
+							}
+						}
+						var v float64
+						if multilinear.Constant(cornerVals) {
+							v = cornerVals[0]
+						} else {
+							v = multilinear.Eval(cornerVals, x, scratch)
+						}
+						bs.SetValue(gIdx, z, base+multilinear.RoundHalfUp(v))
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return bs, nil
+}
+
+// checkAllMasked verifies that every fault is masked by some band.
+func (g *Graph) checkAllMasked(bs *bands.Set, faults *fault.Set) error {
+	var outErr error
+	faults.ForEach(func(idx int) {
+		if outErr != nil {
+			return
+		}
+		i, z := g.NodeOf(idx)
+		if bs.MaskedBy(z, i) < 0 {
+			outErr = fmt.Errorf("core: internal: fault at row %d column %d left unmasked", i, z)
+		}
+	})
+	return outErr
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ftnet/internal/fault"
+	"ftnet/internal/grid"
+	"ftnet/internal/rng"
+)
+
+// Tests for the placement internals: box algebra, pigeonhole segments,
+// padding, and the structural invariants the interpolation relies on.
+
+func TestChebyshevDeltas(t *testing.T) {
+	for d := 1; d <= 3; d++ {
+		deltas := chebyshevDeltas(d)
+		want := 1
+		for i := 0; i < d; i++ {
+			want *= 3
+		}
+		want-- // minus the zero vector
+		if len(deltas) != want {
+			t.Errorf("d=%d: %d deltas, want %d", d, len(deltas), want)
+		}
+		seen := map[string]bool{}
+		for _, dl := range deltas {
+			key := ""
+			allZero := true
+			for _, v := range dl {
+				key += string(rune('a' + v + 1))
+				if v != 0 {
+					allZero = false
+				}
+			}
+			if allZero {
+				t.Errorf("d=%d: zero delta emitted", d)
+			}
+			if seen[key] {
+				t.Errorf("d=%d: duplicate delta %v", d, dl)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestInitialBoxesSingleton(t *testing.T) {
+	shape := grid.Shape{10, 8}
+	boxes := initialBoxes([]int{3*8 + 5}, shape)
+	if len(boxes) != 1 {
+		t.Fatalf("%d boxes", len(boxes))
+	}
+	b := boxes[0]
+	if b.lo[0] != 3 || b.lo[1] != 5 || b.ext[0] != 1 || b.ext[1] != 1 {
+		t.Errorf("box = %+v", b)
+	}
+}
+
+func TestInitialBoxesMergesComponents(t *testing.T) {
+	shape := grid.Shape{10, 8}
+	// Tiles (2,2) and (3,3) are diagonal: one component. Tile (7,7) is far.
+	tiles := []int{2*8 + 2, 3*8 + 3, 7*8 + 7}
+	boxes := initialBoxes(tiles, shape)
+	if len(boxes) != 2 {
+		t.Fatalf("%d boxes, want 2", len(boxes))
+	}
+}
+
+func TestInitialBoxesWrap(t *testing.T) {
+	shape := grid.Shape{10, 8}
+	// Tiles (9,7) and (0,0) touch across both wraps.
+	boxes := initialBoxes([]int{9*8 + 7, 0}, shape)
+	if len(boxes) != 1 {
+		t.Fatalf("%d boxes, want 1 (wrap adjacency)", len(boxes))
+	}
+	if boxes[0].ext[0] != 2 || boxes[0].ext[1] != 2 {
+		t.Errorf("wrap box extents = %v", boxes[0].ext)
+	}
+}
+
+func TestMergeBoxesFixedPoint(t *testing.T) {
+	shape := grid.Shape{20, 20}
+	// Three boxes in a chain, each within 1 tile of the next: must all merge.
+	mk := func(r, c int) *faultBox {
+		return &faultBox{lo: []int{r, c}, ext: []int{1, 1}}
+	}
+	boxes, err := mergeBoxes([]*faultBox{mk(2, 2), mk(3, 3), mk(4, 4), mk(15, 15)}, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The diagonal chain (2,2)-(3,3)-(4,4) is Chebyshev-adjacent pairwise
+	// and must collapse into one box; (15,15) stays alone. Boxes at
+	// Chebyshev distance 2 (one separating white tile) must NOT merge —
+	// that is exactly the separation the interpolation needs.
+	if len(boxes) != 2 {
+		t.Fatalf("%d boxes after merge, want 2", len(boxes))
+	}
+	sep, err := mergeBoxes([]*faultBox{mk(2, 2), mk(4, 4)}, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sep) != 2 {
+		t.Fatalf("distance-2 boxes merged (lost the white separator)")
+	}
+	// No two remaining boxes may be near each other.
+	for i := range boxes {
+		for j := i + 1; j < len(boxes); j++ {
+			if boxesNear(boxes[i], boxes[j], shape) {
+				t.Error("merge fixed point not reached")
+			}
+		}
+	}
+}
+
+func TestPigeonholeSegmentsCoverAndSpacing(t *testing.T) {
+	g := mustGraph(t, testParams2D())
+	w := g.P.W
+	f := func(rawRows []uint16) bool {
+		if len(rawRows) == 0 {
+			return true
+		}
+		// Confine rows to a plausible box height and dedupe/sort.
+		box := &faultBox{lo: []int{0, 0}, ext: []int{3, 1}}
+		span := 3 * g.P.Tile()
+		rows := map[int]bool{}
+		for _, r := range rawRows {
+			rows[int(r)%span] = true
+		}
+		// Keep the fault count small enough for the pigeonhole to work.
+		box.faultRows = box.faultRows[:0]
+		for r := range rows {
+			if len(box.faultRows) >= w {
+				break
+			}
+			box.faultRows = append(box.faultRows, r)
+		}
+		sortInts(box.faultRows)
+		if err := g.pigeonholeSegments(box); err != nil {
+			// The pigeonhole can legitimately fail for adversarial dense
+			// rows; the property below only applies to successes.
+			return strings.Contains(err.Error(), "unhealthy")
+		}
+		// Every fault row covered; spacing >= w+1.
+		for _, r := range box.faultRows {
+			covered := false
+			for _, s := range box.segs {
+				if r >= s && r < s+w {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		for i := 1; i < len(box.segs); i++ {
+			if box.segs[i]-box.segs[i-1] < w+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func TestPadBoxFillsEverySlab(t *testing.T) {
+	g := mustGraph(t, testParams2D())
+	per := g.P.PerSlab()
+	w := g.P.W
+	box := &faultBox{lo: []int{0, 0}, ext: []int{3, 1}}
+	box.faultRows = []int{5, 40, 90} // a few sparse faults
+	if err := g.pigeonholeSegments(box); err != nil {
+		t.Fatal(err)
+	}
+	added, err := g.padBox(box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 3*per-len(box.segs)+added {
+		// added = total - original segments
+		t.Logf("added %d fillers", added)
+	}
+	if len(box.perSlab) != 3 {
+		t.Fatalf("perSlab has %d slabs", len(box.perSlab))
+	}
+	for rs, list := range box.perSlab {
+		if len(list) != per {
+			t.Errorf("slab %d has %d segments, want %d", rs, len(list), per)
+		}
+	}
+	for i := 1; i < len(box.segs); i++ {
+		if box.segs[i]-box.segs[i-1] < w+1 {
+			t.Errorf("padding broke untouching: %d then %d", box.segs[i-1], box.segs[i])
+		}
+	}
+}
+
+func TestPadBoxOverfullSlabUnhealthy(t *testing.T) {
+	g := mustGraph(t, testParams2D())
+	per := g.P.PerSlab()
+	w := g.P.W
+	box := &faultBox{lo: []int{0, 0}, ext: []int{1, 1}}
+	// More untouching segments in one slab than capacity.
+	for i := 0; i <= per; i++ {
+		box.segs = append(box.segs, i*(w+1))
+	}
+	if _, err := g.padBox(box); err == nil {
+		t.Error("overfull slab not rejected")
+	}
+}
+
+// TestPlacementInvariantsRandom is the main property test: for random
+// sparse fault sets, successful placements always yield a valid family
+// masking every fault, with exactly K bands.
+func TestPlacementInvariantsRandom(t *testing.T) {
+	g := mustGraph(t, testParams2D())
+	f := func(seed uint64, densityByte uint8) bool {
+		density := 2e-5 + float64(densityByte)*2e-6 // up to ~25x theorem rate
+		faults := fault.NewSet(g.NumNodes())
+		faults.Bernoulli(rng.New(seed), density)
+		bs, rep, err := g.PlaceBands(faults)
+		if err != nil {
+			_, isUnhealthy := err.(*UnhealthyError)
+			return isUnhealthy // failures must be typed, never panics/bugs
+		}
+		if bs.K() != g.P.K() {
+			return false
+		}
+		if bs.Validate() != nil {
+			return false
+		}
+		masked := true
+		faults.ForEach(func(idx int) {
+			i, z := g.NodeOf(idx)
+			if bs.MaskedBy(z, i) < 0 {
+				masked = false
+			}
+		})
+		return masked && rep.Faults == faults.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExtractionOrderPreserved checks the structural property behind
+// Lemma 7: along any single column step, the cyclic order of unmasked
+// rows is preserved by the transfer (psi is a cyclic-order isomorphism).
+func TestExtractionOrderPreserved(t *testing.T) {
+	g := mustGraph(t, testParams2D())
+	faults := fault.NewSet(g.NumNodes())
+	faults.Add(g.NodeIndex(100, 100))
+	faults.Add(g.NodeIndex(130, 130))
+	res, err := g.ContainTorus(faults, core_extract_opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	numCols := g.NumCols
+	n := g.P.N()
+	m := g.P.M()
+	for _, z := range []int{0, 50, 100, numCols - 1} {
+		zn := (z + 1) % numCols
+		// Images of consecutive guest rows must stay in increasing cyclic
+		// order with unit gaps in the cyclic ordering of unmasked rows.
+		prev := res.Embedding.Map[0*numCols+zn] / numCols
+		total := 0
+		for i := 1; i <= n; i++ {
+			cur := res.Embedding.Map[(i%n)*numCols+zn] / numCols
+			gap := grid.FwdGap(prev, cur, m)
+			if gap == 0 {
+				t.Fatalf("column %d: duplicate row image", zn)
+			}
+			total += gap
+			prev = cur
+		}
+		if total != m {
+			t.Fatalf("column %d: row images wind %d times around the cycle", zn, total/m)
+		}
+	}
+}
+
+func core_extract_opts() ExtractOptions { return ExtractOptions{CheckConsistency: true} }

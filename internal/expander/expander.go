@@ -1,0 +1,296 @@
+// Package expander provides the expander-based baseline of the paper's
+// Section 5: Alon and Chung's linear-sized fault-tolerant networks for the
+// path (Theorem 12), generalized to the d-dimensional mesh by taking the
+// direct product with a (d-1)-dimensional mesh of supernodes.
+//
+// The explicit expander is the Margulis-Gabber-Galil degree-8 graph on
+// Z_q x Z_q. Alon-Chung's theorem is existential ("a long path survives");
+// the constructive companion used here is the standard DFS + Posa-rotation
+// long-path heuristic, whose success is asserted per trial by the
+// experiment harness.
+package expander
+
+import (
+	"fmt"
+	"math"
+
+	"ftnet/internal/rng"
+)
+
+// Graph is an undirected multigraph with materialized adjacency, used for
+// the expander (whose adjacency is irregular enough that on-the-fly
+// generation buys nothing).
+type Graph struct {
+	N   int
+	adj [][]int32
+}
+
+// NewGabberGalil builds the Margulis-Gabber-Galil expander on Z_q x Z_q:
+// node (x, y) connects to (x+y, y), (x+y+1, y), (x, y+x), (x, y+x+1) and
+// the four inverses, all mod q. Degree 8 (as a multigraph; parallel edges
+// and self-loops are kept, matching the standard analysis, but listed
+// neighbors are deduplicated for simple-graph consumers).
+func NewGabberGalil(q int) (*Graph, error) {
+	if q < 2 {
+		return nil, fmt.Errorf("expander: q = %d < 2", q)
+	}
+	n := q * q
+	g := &Graph{N: n, adj: make([][]int32, n)}
+	idx := func(x, y int) int32 { return int32(x*q + y) }
+	seen := make(map[int32]struct{}, 8)
+	for x := 0; x < q; x++ {
+		for y := 0; y < q; y++ {
+			u := idx(x, y)
+			cands := []int32{
+				idx((x+y)%q, y),
+				idx((x+y+1)%q, y),
+				idx((x-y+2*q)%q, y),
+				idx((x-y-1+2*q)%q, y),
+				idx(x, (y+x)%q),
+				idx(x, (y+x+1)%q),
+				idx(x, (y-x+2*q)%q),
+				idx(x, (y-x-1+2*q)%q),
+			}
+			clear(seen)
+			for _, v := range cands {
+				if v == u {
+					continue
+				}
+				if _, dup := seen[v]; dup {
+					continue
+				}
+				seen[v] = struct{}{}
+				g.adj[u] = append(g.adj[u], v)
+			}
+		}
+	}
+	// Symmetrize: T1 and its inverse generate each other's edges, but make
+	// the invariant explicit and deduplicated.
+	g.symmetrize()
+	return g, nil
+}
+
+func (g *Graph) symmetrize() {
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			found := false
+			for _, w := range g.adj[v] {
+				if int(w) == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				g.adj[v] = append(g.adj[v], int32(u))
+			}
+		}
+	}
+}
+
+// Neighbors returns the (deduplicated) neighbor list of u. The slice is
+// owned by the graph; callers must not modify it.
+func (g *Graph) Neighbors(u int) []int32 { return g.adj[u] }
+
+// MaxDegree returns the largest neighbor-list length.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, l := range g.adj {
+		if len(l) > max {
+			max = len(l)
+		}
+	}
+	return max
+}
+
+// SecondEigenvalue estimates the normalized second eigenvalue via power
+// iteration on the component orthogonal to the all-ones vector. A value
+// bounded away from 1 certifies expansion (Gabber-Galil proves
+// lambda <= 5*sqrt(2)/8 ~ 0.884 for the multigraph normalization).
+func (g *Graph) SecondEigenvalue(iters int, r *rng.Rand) float64 {
+	n := g.N
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.Float64() - 0.5
+	}
+	w := make([]float64, n)
+	lambda := 0.0
+	for it := 0; it < iters; it++ {
+		// Project out the all-ones direction.
+		mean := 0.0
+		for _, x := range v {
+			mean += x
+		}
+		mean /= float64(n)
+		norm := 0.0
+		for i := range v {
+			v[i] -= mean
+			norm += v[i] * v[i]
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return 0
+		}
+		for i := range v {
+			v[i] /= norm
+		}
+		// w = (A / deg) v, using each node's own degree as normalizer.
+		for i := range w {
+			sum := 0.0
+			for _, nb := range g.adj[i] {
+				sum += v[nb]
+			}
+			w[i] = sum / float64(len(g.adj[i]))
+		}
+		// Rayleigh quotient.
+		num := 0.0
+		for i := range v {
+			num += v[i] * w[i]
+		}
+		lambda = math.Abs(num)
+		v, w = w, v
+	}
+	return lambda
+}
+
+// LongestPath searches for a simple path of target alive vertices using
+// greedy DFS extension plus Posa rotations. alive(v) filters usable
+// vertices. Returns the best path found (possibly shorter than target if
+// the step budget runs out).
+func (g *Graph) LongestPath(alive func(int) bool, target int, r *rng.Rand, maxSteps int) []int {
+	n := g.N
+	pos := make([]int32, n) // position in path + 1; 0 = not on path
+	var path []int32
+	var best []int32
+
+	reset := func() {
+		for _, v := range path {
+			pos[v] = 0
+		}
+		path = path[:0]
+		// Random alive start.
+		for try := 0; try < 64; try++ {
+			s := r.Intn(n)
+			if alive(s) {
+				path = append(path, int32(s))
+				pos[s] = 1
+				return
+			}
+		}
+		for s := 0; s < n; s++ {
+			if alive(s) {
+				path = append(path, int32(s))
+				pos[s] = 1
+				return
+			}
+		}
+	}
+	reset()
+	if len(path) == 0 {
+		return nil
+	}
+
+	stall := 0
+	for step := 0; step < maxSteps && len(path) < target; step++ {
+		end := path[len(path)-1]
+		nbrs := g.adj[end]
+		// Try to extend with an unused alive neighbor (random start point
+		// so rotations explore different directions).
+		off := r.Intn(len(nbrs))
+		extended := false
+		for i := 0; i < len(nbrs); i++ {
+			w := nbrs[(i+off)%len(nbrs)]
+			if pos[w] == 0 && alive(int(w)) {
+				path = append(path, w)
+				pos[w] = int32(len(path))
+				extended = true
+				stall = 0
+				break
+			}
+		}
+		if extended {
+			continue
+		}
+		// Posa rotation: pick a neighbor w on the path at position i;
+		// reverse the suffix after i, making path[i+1] the new endpoint.
+		w := nbrs[r.Intn(len(nbrs))]
+		if pos[w] == 0 || int(pos[w]) >= len(path) {
+			stall++
+			if stall > 4*len(nbrs) {
+				if len(path) > len(best) {
+					best = append(best[:0], path...)
+				}
+				reset()
+				stall = 0
+			}
+			continue
+		}
+		i := int(pos[w]) // path index of w plus 1 == first index of suffix
+		for lo, hi := i, len(path)-1; lo < hi; lo, hi = lo+1, hi-1 {
+			path[lo], path[hi] = path[hi], path[lo]
+			pos[path[lo]] = int32(lo + 1)
+			pos[path[hi]] = int32(hi + 1)
+		}
+		if i < len(path) {
+			pos[path[i]] = int32(i + 1)
+		}
+		stall++
+		if stall > 8*len(nbrs) {
+			if len(path) > len(best) {
+				best = append(best[:0], path...)
+			}
+			reset()
+			stall = 0
+		}
+	}
+	if len(path) > len(best) {
+		best = path
+	}
+	out := make([]int, len(best))
+	for i, v := range best {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// VerifyPath checks that p is a simple path in g with every vertex alive.
+func (g *Graph) VerifyPath(p []int, alive func(int) bool) error {
+	seen := make(map[int]struct{}, len(p))
+	for i, v := range p {
+		if v < 0 || v >= g.N {
+			return fmt.Errorf("expander: path vertex %d out of range", v)
+		}
+		if !alive(v) {
+			return fmt.Errorf("expander: path vertex %d not alive", v)
+		}
+		if _, dup := seen[v]; dup {
+			return fmt.Errorf("expander: path revisits vertex %d", v)
+		}
+		seen[v] = struct{}{}
+		if i == 0 {
+			continue
+		}
+		ok := false
+		for _, w := range g.adj[p[i-1]] {
+			if int(w) == v {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("expander: path step %d-%d is not an edge", p[i-1], v)
+		}
+	}
+	return nil
+}
+
+// SmallestQ returns the smallest q with q*q >= minNodes.
+func SmallestQ(minNodes int) int {
+	q := int(math.Sqrt(float64(minNodes)))
+	for q*q < minNodes {
+		q++
+	}
+	if q < 2 {
+		q = 2
+	}
+	return q
+}

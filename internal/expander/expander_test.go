@@ -1,0 +1,250 @@
+package expander
+
+import (
+	"testing"
+
+	"ftnet/internal/fault"
+	"ftnet/internal/rng"
+)
+
+func TestGabberGalilBasics(t *testing.T) {
+	g, err := NewGabberGalil(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 169 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if d := g.MaxDegree(); d > 16 || d < 4 {
+		t.Errorf("MaxDegree = %d, want within [4,16]", d)
+	}
+	// Symmetry.
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.Neighbors(u) {
+			found := false
+			for _, w := range g.Neighbors(int(v)) {
+				if int(w) == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d-%d not symmetric", u, v)
+			}
+		}
+	}
+}
+
+func TestGabberGalilRejectsTiny(t *testing.T) {
+	if _, err := NewGabberGalil(1); err == nil {
+		t.Error("q=1 should be rejected")
+	}
+}
+
+func TestSpectralGap(t *testing.T) {
+	g, err := NewGabberGalil(23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := g.SecondEigenvalue(200, rng.New(5))
+	if lambda >= 0.95 {
+		t.Errorf("second eigenvalue %v too close to 1: no expansion", lambda)
+	}
+	if lambda < 0 {
+		t.Errorf("eigenvalue estimate negative: %v", lambda)
+	}
+}
+
+func TestLongestPathNoFaults(t *testing.T) {
+	g, err := NewGabberGalil(17) // 289 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := func(int) bool { return true }
+	path := g.LongestPath(alive, 200, rng.New(1), 200_000)
+	if err := g.VerifyPath(path, alive); err != nil {
+		t.Fatal(err)
+	}
+	if len(path) < 200 {
+		t.Errorf("found path of %d < 200 on a fault-free expander", len(path))
+	}
+}
+
+func TestLongestPathWithDeletions(t *testing.T) {
+	g, err := NewGabberGalil(20) // 400 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := fault.NewSet(g.N)
+	if err := dead.ExactRandom(rng.New(3), 100); err != nil { // 25% removed
+		t.Fatal(err)
+	}
+	alive := func(v int) bool { return !dead.Has(v) }
+	path := g.LongestPath(alive, 200, rng.New(4), 400_000)
+	if err := g.VerifyPath(path, alive); err != nil {
+		t.Fatal(err)
+	}
+	if len(path) < 200 {
+		t.Errorf("Alon-Chung regime: path %d < 200 after 25%% deletions", len(path))
+	}
+}
+
+func TestLongestPathAllDead(t *testing.T) {
+	g, _ := NewGabberGalil(5)
+	path := g.LongestPath(func(int) bool { return false }, 5, rng.New(1), 1000)
+	if len(path) != 0 {
+		t.Errorf("path on dead graph has %d vertices", len(path))
+	}
+}
+
+func TestVerifyPathCatchesBadPaths(t *testing.T) {
+	g, _ := NewGabberGalil(7)
+	alive := func(int) bool { return true }
+	if err := g.VerifyPath([]int{0, 0}, alive); err == nil {
+		t.Error("revisit not caught")
+	}
+	if err := g.VerifyPath([]int{0, 9999}, alive); err == nil {
+		t.Error("out of range not caught")
+	}
+	// Two non-adjacent vertices (distance likely > 1 for specific picks).
+	u := 0
+	v := -1
+	isNbr := map[int]bool{}
+	for _, w := range g.Neighbors(u) {
+		isNbr[int(w)] = true
+	}
+	for c := 1; c < g.N; c++ {
+		if !isNbr[c] {
+			v = c
+			break
+		}
+	}
+	if v >= 0 {
+		if err := g.VerifyPath([]int{u, v}, alive); err == nil {
+			t.Error("non-edge not caught")
+		}
+	}
+}
+
+func TestSmallestQ(t *testing.T) {
+	if q := SmallestQ(100); q != 10 {
+		t.Errorf("SmallestQ(100) = %d", q)
+	}
+	if q := SmallestQ(101); q != 11 {
+		t.Errorf("SmallestQ(101) = %d", q)
+	}
+	if q := SmallestQ(1); q != 2 {
+		t.Errorf("SmallestQ(1) = %d", q)
+	}
+}
+
+func TestProductEmbed2D(t *testing.T) {
+	p, err := NewProduct(2, 24, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.NewSet(p.NumNodes())
+	if err := faults.ExactRandom(rng.New(9), 24); err != nil { // O(n) faults
+		t.Fatal(err)
+	}
+	emb, err := p.Embed(faults, rng.New(10), 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emb.Map) != 24*24 {
+		t.Errorf("embedding size %d", len(emb.Map))
+	}
+}
+
+func TestProductEmbed1D(t *testing.T) {
+	p, err := NewProduct(1, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.NewSet(p.NumNodes())
+	if err := faults.ExactRandom(rng.New(11), 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Embed(faults, rng.New(12), 500_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProductDegreeConstant(t *testing.T) {
+	p, err := NewProduct(3, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := p.MaxDegree(); d > 16+4 {
+		t.Errorf("product degree %d not constant-ish", d)
+	}
+}
+
+func TestProductRejectsBadParams(t *testing.T) {
+	if _, err := NewProduct(0, 10, 2); err == nil {
+		t.Error("d=0 accepted")
+	}
+	if _, err := NewProduct(2, 1, 2); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := NewProduct(2, 10, 0.5); err == nil {
+		t.Error("c<1 accepted")
+	}
+}
+
+func TestProductEmbed3D(t *testing.T) {
+	p, err := NewProduct(3, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.NewSet(p.NumNodes())
+	if err := faults.ExactRandom(rng.New(21), 10); err != nil {
+		t.Fatal(err)
+	}
+	emb, err := p.Embed(faults, rng.New(22), 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emb.Map) != 1000 {
+		t.Errorf("3D mesh embedding size %d", len(emb.Map))
+	}
+}
+
+func TestProductAdjacency(t *testing.T) {
+	p, err := NewProduct(2, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same supernode, mesh-adjacent positions.
+	if !p.Adjacent(0, 1) {
+		t.Error("intra-supernode mesh edge missing")
+	}
+	// Same supernode, non-adjacent positions.
+	if p.Adjacent(0, 2) {
+		t.Error("spurious intra-supernode edge")
+	}
+	// Different supernodes, same position: adjacent iff F-adjacent.
+	f0 := p.F.Neighbors(0)[0]
+	if !p.Adjacent(0, int(f0)*p.meshSize) {
+		t.Error("inter-supernode edge missing")
+	}
+	// Different supernodes, different positions: never adjacent.
+	if p.Adjacent(0, int(f0)*p.meshSize+1) {
+		t.Error("cross edge with differing mesh position")
+	}
+}
+
+func TestProductEmbedFailsWhenSwamped(t *testing.T) {
+	p, err := NewProduct(2, 20, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill nearly all supernodes.
+	faults := fault.NewSet(p.NumNodes())
+	for s := 0; s < p.F.N-10; s++ {
+		faults.Add(s * p.meshSize)
+	}
+	if _, err := p.Embed(faults, rng.New(2), 50_000); err == nil {
+		t.Error("embedding should fail with almost every supernode dead")
+	}
+}

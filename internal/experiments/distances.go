@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ftnet/internal/core"
+	"ftnet/internal/fault"
+	"ftnet/internal/pathfind"
+	"ftnet/internal/rng"
+	"ftnet/internal/stats"
+	"ftnet/internal/torus"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E15",
+		Title: "host distance structure and routing-around-faults comparison",
+		PaperClaim: "Section 1 (related work): the alternative approach keeps the conventional network " +
+			"and routes around faults [Rag89, LM92]; the paper's approach extracts a pristine torus. " +
+			"Quantify both on the same host: B's jump edges shrink distances, extracted-torus routes " +
+			"have stretch exactly 1 by construction, and fault-avoiding host routes pay a measurable stretch",
+		Run: runE15,
+	})
+}
+
+func runE15(cfg Config) error {
+	p := core.Params{D: 2, W: 4, Pitch: 16, Scale: 1}
+	g, err := core.NewGraph(p)
+	if err != nil {
+		return err
+	}
+	guest, err := torus.NewUniform(torus.TorusKind, 2, p.N())
+	if err != nil {
+		return err
+	}
+	r := rng.New(cfg.Seed + 15)
+	sources := 4
+	if !cfg.Quick {
+		sources = 10
+	}
+
+	// Distance profiles: plain guest torus vs the augmented host.
+	guestProf, err := pathfind.Sample(guest, sources, nil, r.Split(1))
+	if err != nil {
+		return err
+	}
+	hostProf, err := pathfind.Sample(g, sources, nil, r.Split(2))
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable(cfg.Out, "graph", "nodes", "mean distance", "max observed")
+	t.Row(fmt.Sprintf("torus %dx%d", p.N(), p.N()), guest.N(), fmt.Sprintf("%.1f", guestProf.Mean), guestProf.Max)
+	t.Row("B^2_n host (jump edges)", g.NumNodes(), fmt.Sprintf("%.1f", hostProf.Mean), hostProf.Max)
+	if err := t.Flush(); err != nil {
+		return err
+	}
+	if hostProf.Mean >= guestProf.Mean {
+		return fmt.Errorf("E15: jump edges failed to shrink mean distance (%.1f vs %.1f)", hostProf.Mean, guestProf.Mean)
+	}
+
+	// Routing-around-faults on the host vs extraction.
+	faults := fault.NewSet(g.NumNodes())
+	faults.Bernoulli(r.Split(3), 20*p.TheoremFailureProb())
+	alive := func(v int) bool { return !faults.Has(v) }
+	pairs := 20
+	if !cfg.Quick {
+		pairs = 60
+	}
+	stretch, disconnected, err := pathfind.Stretch(g, alive, pairs, r.Split(4))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "with %d random faults on the host:\n", faults.Count())
+	fmt.Fprintf(cfg.Out, "  route-around-faults (related-work approach): mean stretch %.3f, %d/%d pairs disconnected\n",
+		stretch, disconnected, pairs)
+	if _, err := g.ContainTorus(faults, core.ExtractOptions{}); err != nil {
+		fmt.Fprintf(cfg.Out, "  extraction (this paper): failed for this pattern (%v)\n", err)
+		return nil
+	}
+	fmt.Fprintln(cfg.Out, "  extraction (this paper): succeeded; every logical route has stretch exactly 1")
+	fmt.Fprintln(cfg.Out, "  (the extracted torus is a subgraph: neighbors stay neighbors, no route inflation ever)")
+	return nil
+}

@@ -1,0 +1,83 @@
+// Package experiments regenerates every quantitative claim of the paper:
+// the resource/tolerance statements of Theorems 1-3 (and 13), the
+// healthiness analysis of Lemma 4, the comparisons against FKP93 and
+// BCH93b from the introduction, the Section 5 expander baseline, and the
+// two figures. Each experiment is a self-contained driver printing a
+// table (or figure) to the configured writer; EXPERIMENTS.md records the
+// paper-vs-measured outcome for each.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	Out      io.Writer
+	Quick    bool   // smaller sweeps and trial counts
+	Seed     uint64 // master seed; per-trial seeds derive deterministically
+	Parallel int    // worker bound for Monte-Carlo loops (0 = GOMAXPROCS)
+}
+
+func (c Config) trials(quick, full int) int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// Experiment is a runnable reproduction of one paper claim.
+type Experiment struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Run        func(Config) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment, sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Run executes the experiments with the given IDs ("all" runs everything).
+func Run(cfg Config, ids ...string) error {
+	var todo []Experiment
+	if len(ids) == 1 && ids[0] == "all" {
+		todo = All()
+	} else {
+		for _, id := range ids {
+			e, ok := Lookup(id)
+			if !ok {
+				return fmt.Errorf("experiments: unknown id %q", id)
+			}
+			todo = append(todo, e)
+		}
+	}
+	for _, e := range todo {
+		fmt.Fprintf(cfg.Out, "== %s: %s ==\n", e.ID, e.Title)
+		fmt.Fprintf(cfg.Out, "paper: %s\n", e.PaperClaim)
+		if err := e.Run(cfg); err != nil {
+			return fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ftnet/internal/core"
+	"ftnet/internal/layout"
+	"ftnet/internal/stats"
+	"ftnet/internal/supernode"
+	"ftnet/internal/worstcase"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E14",
+		Title: "layout-area estimate (the introduction's open issue)",
+		PaperClaim: "intro: \"if the current VLSI or similar technology is used ... the layout area is of " +
+			"particular importance. Deciding the amount of area redundancy needed to tolerate a linear " +
+			"number of faults is an interesting research issue\" — first-order wire-length accounting",
+		Run: runE14,
+	})
+}
+
+func runE14(cfg Config) error {
+	side := 432
+	bParams := core.Params{D: 2, W: 6, Pitch: 18, Scale: 1}
+	aParams := supernode.Params{Base: core.Params{D: 2, W: 4, Pitch: 16, Scale: 1}, K: 2, H: 10, Q: 0}
+	if err := aParams.Validate(); err != nil {
+		return err
+	}
+	dParams := worstcase.Params{D: 2, N: side, K: 100}
+	if err := dParams.Resolve(); err != nil {
+		return err
+	}
+
+	plain := layout.Torus(2, side)
+	rows := []struct {
+		name string
+		s    layout.Stats
+		note string
+	}{
+		{"plain torus (reference)", plain, "no fault tolerance"},
+		{"B^2_n (Thm 2)", layout.B(bParams), "log^-6 n random faults"},
+		{"A^2_n (Thm 1)", layout.A(aParams), "constant p (upper bound)"},
+		{"D^2_{n,k} (Thm 3)", layout.D(dParams), fmt.Sprintf("any %d faults", dParams.Capacity())},
+	}
+	t := stats.NewTable(cfg.Out, "host", "nodes", "edges", "wire length", "wire/node", "max wire", "area factor", "tolerates")
+	for _, r := range rows {
+		t.Row(r.name, r.s.Nodes, r.s.Edges,
+			fmt.Sprintf("%.3g", r.s.WireLength),
+			fmt.Sprintf("%.1f", r.s.PerNode()),
+			fmt.Sprintf("%.0f", r.s.MaxWire),
+			fmt.Sprintf("%.1fx", r.s.WireLength/plain.WireLength),
+			r.note)
+	}
+	if err := t.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(cfg.Out, "folded-layout model at unit wire pitch; area factor = wire length relative to the")
+	fmt.Fprintln(cfg.Out, "plain torus of the same guest side. Constant-degree tolerance costs O(b) wire per node;")
+	fmt.Fprintln(cfg.Out, "the O(log log N)-degree host pays Theta(h^2) — consistent with the paper deferring the area question.")
+	return nil
+}

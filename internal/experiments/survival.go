@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"ftnet/internal/core"
+	"ftnet/internal/fault"
+	"ftnet/internal/rng"
+	"ftnet/internal/stats"
+	"ftnet/internal/supernode"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E2",
+		Title: "B^2_n survival vs node-failure probability",
+		PaperClaim: "Theorem 2: at p = log^-6(n) the n-torus survives with probability " +
+			"1 - n^-Omega(log log n); survival must collapse only well above that threshold",
+		Run: runE2,
+	})
+	register(Experiment{
+		ID:         "E3",
+		Title:      "Lemma 4 healthiness conditions under increasing p",
+		PaperClaim: "Lemma 4: each of the three healthiness conditions fails with probability n^-Omega(log log n) at p = log^-6(n)",
+		Run:        runE3,
+	})
+	register(Experiment{
+		ID:         "E5",
+		Title:      "A^2_n survival under constant node and edge failure probabilities",
+		PaperClaim: "Theorem 1: constant p (and q) are survivable with probability 1 - n^-Omega(log log n)",
+		Run:        runE5,
+	})
+	register(Experiment{
+		ID:         "E6",
+		Title:      "degree needed for >=95% survival: A^2_n vs FKP-style clusters",
+		PaperClaim: "intro: FKP93 needs degree O(log N); Theorem 1 achieves O(log log N)",
+		Run:        runE6,
+	})
+}
+
+// e2Params is the standard survival-sweep instance: n=432, 280k nodes.
+func e2Params() core.Params { return core.Params{D: 2, W: 6, Pitch: 18, Scale: 1} }
+
+func runE2(cfg Config) error {
+	p := e2Params()
+	g, err := core.NewGraph(p)
+	if err != nil {
+		return err
+	}
+	pThm := p.TheoremFailureProb()
+	multipliers := []float64{0.5, 1, 2, 5, 10, 25, 50, 100, 250}
+	trials := cfg.trials(30, 150)
+	if cfg.Quick {
+		multipliers = []float64{1, 10, 50, 250}
+	}
+	t := stats.NewTable(cfg.Out, "p", "p/p_thm", "trials", "survived", "rate", "95% CI")
+	for _, mult := range multipliers {
+		prob := pThm * mult
+		res, err := stats.MonteCarlo(trials, cfg.Seed+uint64(mult*1000), cfg.Parallel,
+			func(trial int, seed uint64) (stats.Outcome, error) {
+				faults := fault.NewSet(g.NumNodes())
+				faults.Bernoulli(rng.New(seed), prob)
+				_, err := g.ContainTorus(faults, core.ExtractOptions{})
+				return classify(err)
+			})
+		if err != nil {
+			return err
+		}
+		t.Row(fmt.Sprintf("%.2e", prob), fmt.Sprintf("%.1fx", mult), res.Trials, res.Successes,
+			fmt.Sprintf("%.3f", res.Rate), fmt.Sprintf("[%.2f,%.2f]", res.Lo, res.Hi))
+		if mult <= 1 && res.Rate < 0.99 {
+			return fmt.Errorf("E2: survival %.3f below 0.99 at the theorem's own probability", res.Rate)
+		}
+	}
+	fmt.Fprintf(cfg.Out, "n=%d, nodes=%d, p_thm=log^-6(n)=%.2e\n", p.N(), p.NumNodes(), pThm)
+	return t.Flush()
+}
+
+// classify maps pipeline errors to Monte-Carlo outcomes: unhealthy fault
+// patterns are survival failures; anything else is a bug.
+func classify(err error) (stats.Outcome, error) {
+	if err == nil {
+		return stats.Success, nil
+	}
+	var ue *core.UnhealthyError
+	if errors.As(err, &ue) {
+		return stats.Failure, nil
+	}
+	return stats.Failure, err
+}
+
+func runE3(cfg Config) error {
+	p := e2Params()
+	g, err := core.NewGraph(p)
+	if err != nil {
+		return err
+	}
+	pThm := p.TheoremFailureProb()
+	multipliers := []float64{1, 10, 50, 100, 250, 500}
+	if cfg.Quick {
+		multipliers = []float64{1, 50, 500}
+	}
+	trials := cfg.trials(25, 100)
+	t := stats.NewTable(cfg.Out, "p/p_thm", "cond1 fail", "cond2 fail", "cond3 fail", "healthy", "placement ok")
+	for _, mult := range multipliers {
+		prob := pThm * mult
+		var c1, c2, c3, healthy, placed int
+		r := rng.New(cfg.Seed + uint64(mult*7))
+		for trial := 0; trial < trials; trial++ {
+			faults := fault.NewSet(g.NumNodes())
+			faults.Bernoulli(r.Split(uint64(trial)), prob)
+			h := g.CheckHealth(faults)
+			if !h.Cond1OK {
+				c1++
+			}
+			if !h.Cond2OK {
+				c2++
+			}
+			if !h.Cond3OK {
+				c3++
+			}
+			if h.Healthy() {
+				healthy++
+			}
+			if _, _, err := g.PlaceBands(faults); err == nil {
+				placed++
+			} else {
+				var ue *core.UnhealthyError
+				if !errors.As(err, &ue) {
+					return err
+				}
+			}
+		}
+		pct := func(x int) string { return fmt.Sprintf("%d/%d", x, trials) }
+		t.Row(fmt.Sprintf("%.0fx", mult), pct(c1), pct(c2), pct(c3), pct(healthy), pct(placed))
+	}
+	return t.Flush()
+}
+
+func e5Graph(q float64, h int) (*supernode.Graph, error) {
+	return e6Graph(1, q, h)
+}
+
+// e6Graph builds A^2 over a base scaled by kappa: guest side 384*kappa.
+func e6Graph(scale int, q float64, h int) (*supernode.Graph, error) {
+	base := core.Params{D: 2, W: 4, Pitch: 16, Scale: scale}
+	return supernode.NewGraph(supernode.Params{Base: base, K: 2, H: h, Q: q})
+}
+
+func runE5(cfg Config) error {
+	trials := cfg.trials(10, 40)
+	type scenario struct {
+		p, q float64
+		h    int
+	}
+	scenarios := []scenario{
+		{0.05, 0, 10}, {0.10, 0, 10}, {0.20, 0, 16}, {0.30, 0, 24}, {0.10, 1e-6, 16},
+	}
+	if cfg.Quick {
+		scenarios = []scenario{{0.10, 0, 10}, {0.30, 0, 24}}
+	}
+	t := stats.NewTable(cfg.Out, "p", "q", "h", "degree", "n", "trials", "survived", "rate")
+	for i, sc := range scenarios {
+		g, err := e5Graph(sc.q, sc.h)
+		if err != nil {
+			return err
+		}
+		res, err := stats.MonteCarlo(trials, cfg.Seed+uint64(i*131), cfg.Parallel,
+			func(trial int, seed uint64) (stats.Outcome, error) {
+				fs := g.NewFaultState(seed, sc.p, rng.New(seed))
+				_, _, err := g.Embed(fs)
+				if err == nil {
+					return stats.Success, nil
+				}
+				var ue *core.UnhealthyError
+				if errors.As(err, &ue) {
+					return stats.Failure, nil
+				}
+				return stats.Failure, err
+			})
+		if err != nil {
+			return err
+		}
+		t.Row(sc.p, sc.q, sc.h, g.P.Degree(), g.P.Side(), res.Trials, res.Successes,
+			fmt.Sprintf("%.2f", res.Rate))
+	}
+	return t.Flush()
+}
+func runE6(cfg Config) error {
+	// For a sweep of guest sides, find the smallest supernode size h
+	// (ours) and cluster size g (FKP style) reaching >= 95% survival at
+	// p = 0.2, then compare the degrees and their growth.
+	const pNode = 0.2
+	scales := []int{1, 2}
+	if !cfg.Quick {
+		scales = []int{1, 2, 4}
+	}
+
+	findOursH := func(scale, trials int) (int, int, error) {
+		for h := 5; h <= 40; h++ {
+			g, err := e6Graph(scale, 0, h)
+			if err != nil {
+				continue
+			}
+			res, err := stats.MonteCarlo(trials, cfg.Seed+uint64(scale*100+h), cfg.Parallel,
+				func(trial int, seed uint64) (stats.Outcome, error) {
+					fs := g.NewFaultState(seed, pNode, rng.New(seed))
+					_, _, err := g.Embed(fs)
+					return classify(err)
+				})
+			if err != nil {
+				return 0, 0, err
+			}
+			if res.Rate >= 0.95 {
+				return h, g.P.Degree(), nil
+			}
+		}
+		return 0, 0, fmt.Errorf("E6: no h <= 40 reaches 95%%")
+	}
+
+	findClusterG := func(side, trials int) (int, int, error) {
+		for g := 2; g <= 40; g++ {
+			ct, err := newCluster(side, g)
+			if err != nil {
+				return 0, 0, err
+			}
+			res, err := stats.MonteCarlo(trials, cfg.Seed+uint64(side*10+g), cfg.Parallel,
+				func(trial int, seed uint64) (stats.Outcome, error) {
+					faults := fault.NewSet(ct.NumNodes())
+					faults.Bernoulli(rng.New(seed), pNode)
+					if _, err := ct.Embed(faults, nil); err != nil {
+						return stats.Failure, nil
+					}
+					return stats.Success, nil
+				})
+			if err != nil {
+				return 0, 0, err
+			}
+			if res.Rate >= 0.95 {
+				return g, ct.Degree(), nil
+			}
+		}
+		return 0, 0, fmt.Errorf("E6: no cluster size <= 40 reaches 95%%")
+	}
+
+	t := stats.NewTable(cfg.Out, "side n", "ours h", "ours degree", "cluster g", "cluster degree")
+	for _, scale := range scales {
+		side := 384 * scale
+		trials := cfg.trials(8, 20)
+		if scale >= 4 {
+			trials = cfg.trials(5, 10)
+		}
+		hOurs, degOurs, err := findOursH(scale, trials)
+		if err != nil {
+			return err
+		}
+		gBase, degBase, err := findClusterG(side, trials)
+		if err != nil {
+			return err
+		}
+		t.Row(side, hOurs, degOurs, gBase, degBase)
+	}
+	fmt.Fprintf(cfg.Out, "p=%.2f; the cluster size g tracks log(n) (theory: g >= 2*ln(n)/ln(1/p))\n"+
+		"while ours stays pinned near h = Theta(k^2), k^2=4 — the paper's O(log N) vs O(log log N) gap.\n"+
+		"Ours pays a larger constant (11h vs (2d+1)g per node), which dominates at these small sides.\n", pNode)
+	return t.Flush()
+}

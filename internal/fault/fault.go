@@ -1,0 +1,206 @@
+// Package fault provides fault sets over node indices, random and
+// adversarial fault generators, and a lazily evaluated edge-fault oracle.
+//
+// Node fault sets are dense bitsets: every construction in the paper works
+// with networks of up to a few million nodes, for which a bitset is both
+// the most compact and the fastest representation. Edge faults for the
+// supernode construction A^d_n are never materialized (the host has
+// Θ(N·h) edges); instead Oracle answers per-edge queries from a
+// deterministic hash of the edge identity.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"ftnet/internal/rng"
+)
+
+// Set is a set of faulty node indices in [0, n).
+type Set struct {
+	bits  []uint64
+	n     int
+	count int
+}
+
+// NewSet returns an empty fault set over n nodes.
+func NewSet(n int) *Set {
+	if n < 0 {
+		panic("fault: negative universe size")
+	}
+	return &Set{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the universe size n.
+func (s *Set) Len() int { return s.n }
+
+// Count returns the number of faulty nodes.
+func (s *Set) Count() int { return s.count }
+
+// Has reports whether node i is faulty.
+func (s *Set) Has(i int) bool {
+	return s.bits[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Add marks node i faulty. Adding an already-faulty node is a no-op.
+func (s *Set) Add(i int) {
+	w, b := i>>6, uint(i)&63
+	if s.bits[w]&(1<<b) == 0 {
+		s.bits[w] |= 1 << b
+		s.count++
+	}
+}
+
+// Remove clears node i. Removing a non-faulty node is a no-op.
+func (s *Set) Remove(i int) {
+	w, b := i>>6, uint(i)&63
+	if s.bits[w]&(1<<b) != 0 {
+		s.bits[w] &^= 1 << b
+		s.count--
+	}
+}
+
+// Clear empties the set, retaining the universe size.
+func (s *Set) Clear() {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+	s.count = 0
+}
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	c := &Set{bits: make([]uint64, len(s.bits)), n: s.n, count: s.count}
+	copy(c.bits, s.bits)
+	return c
+}
+
+// ForEach calls fn for every faulty node in increasing order.
+func (s *Set) ForEach(fn func(i int)) {
+	for w, word := range s.bits {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			fn(w<<6 + b)
+			word &= word - 1
+		}
+	}
+}
+
+// Slice returns the faulty indices in increasing order.
+func (s *Set) Slice() []int {
+	out := make([]int, 0, s.count)
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// CountRange returns the number of faulty nodes in the half-open index
+// interval [lo, hi).
+func (s *Set) CountRange(lo, hi int) int {
+	if lo >= hi {
+		return 0
+	}
+	c := 0
+	wLo, wHi := lo>>6, (hi-1)>>6
+	for w := wLo; w <= wHi; w++ {
+		word := s.bits[w]
+		if w == wLo {
+			word &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if w == wHi {
+			top := uint(hi-1)&63 + 1
+			if top < 64 {
+				word &= (1 << top) - 1
+			}
+		}
+		c += bits.OnesCount64(word)
+	}
+	return c
+}
+
+// Bernoulli adds each node of the universe independently with probability p,
+// using geometric skip sampling so sparse fault rates cost O(np) not O(n).
+func (s *Set) Bernoulli(r *rng.Rand, p float64) {
+	if p <= 0 {
+		return
+	}
+	if p >= 1 {
+		for i := 0; i < s.n; i++ {
+			s.Add(i)
+		}
+		return
+	}
+	i := r.Geometric(p)
+	for i < s.n {
+		s.Add(i)
+		i += 1 + r.Geometric(p)
+	}
+}
+
+// ExactRandom adds exactly k distinct uniformly random nodes. It returns an
+// error if k exceeds the number of currently non-faulty nodes.
+func (s *Set) ExactRandom(r *rng.Rand, k int) error {
+	free := s.n - s.count
+	if k > free {
+		return fmt.Errorf("fault: cannot place %d faults among %d free nodes", k, free)
+	}
+	// Rejection sampling is fine while the set stays sparse; fall back to a
+	// reservoir scan when k is a large fraction of the universe.
+	if k*3 < free {
+		for placed := 0; placed < k; {
+			i := r.Intn(s.n)
+			if !s.Has(i) {
+				s.Add(i)
+				placed++
+			}
+		}
+		return nil
+	}
+	remaining := k
+	for i := 0; i < s.n && remaining > 0; i++ {
+		if s.Has(i) {
+			continue
+		}
+		if r.Intn(free) < remaining {
+			s.Add(i)
+			remaining--
+		}
+		free--
+	}
+	return nil
+}
+
+// Oracle answers whether an implicit edge (u, v) is faulty, deterministically
+// for a given seed, with marginal probability Q per edge. The orientation of
+// the edge does not matter. It also exposes the half-edge view used by the
+// paper's Section 4 analysis: each edge consists of two half-edges failing
+// independently with probability sqrt(Q), and the edge is faulty iff both
+// half-edges are.
+type Oracle struct {
+	seed  uint64
+	sqrtQ float64
+	// Q == sqrtQ² is the effective per-edge failure probability.
+}
+
+// NewOracle returns an edge-fault oracle with per-edge failure probability q.
+func NewOracle(seed uint64, q float64) *Oracle {
+	if q < 0 || q > 1 {
+		panic("fault: edge probability out of range")
+	}
+	return &Oracle{seed: seed, sqrtQ: math.Sqrt(q)}
+}
+
+// HalfEdgeFaulty reports whether the half-edge incident to u on edge {u,v}
+// is faulty. Independent across the two orientations.
+func (o *Oracle) HalfEdgeFaulty(u, v int) bool {
+	if o.sqrtQ == 0 {
+		return false
+	}
+	return rng.HashFloat(o.seed, uint64(u), uint64(v)) < o.sqrtQ
+}
+
+// EdgeFaulty reports whether edge {u,v} is faulty: both half-edges faulty.
+// Symmetric in u, v.
+func (o *Oracle) EdgeFaulty(u, v int) bool {
+	return o.HalfEdgeFaulty(u, v) && o.HalfEdgeFaulty(v, u)
+}

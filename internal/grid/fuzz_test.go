@@ -1,0 +1,60 @@
+package grid
+
+import "testing"
+
+// FuzzCyclicCover feeds arbitrary byte strings as coordinate lists and
+// checks the covering-interval contract. Runs its seed corpus under plain
+// `go test`; explore further with `go test -fuzz FuzzCyclicCover`.
+func FuzzCyclicCover(f *testing.F) {
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{0})
+	f.Add([]byte{9, 0, 1, 9, 0})
+	f.Add([]byte{7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) == 0 {
+			return
+		}
+		n := 11
+		coords := make([]int, len(raw))
+		orig := make([]int, len(raw))
+		for i, b := range raw {
+			coords[i] = int(b) % n
+			orig[i] = coords[i]
+		}
+		lo, e := CyclicCover(coords, n)
+		if e < 1 || e > n {
+			t.Fatalf("extent %d out of range", e)
+		}
+		for _, c := range orig {
+			if !InCyclicInterval(c, lo, e, n) {
+				t.Fatalf("coordinate %d outside cover (%d,%d)", c, lo, e)
+			}
+		}
+	})
+}
+
+// FuzzIntervalCover checks that the two-interval cover always contains
+// both inputs and is minimal enough to fit in the cycle.
+func FuzzIntervalCover(f *testing.F) {
+	f.Add(uint8(0), uint8(2), uint8(8), uint8(3))
+	f.Add(uint8(9), uint8(4), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, a, b, c, d uint8) {
+		n := 13
+		lo1, lo2 := int(a)%n, int(c)%n
+		e1, e2 := 1+int(b)%5, 1+int(d)%5
+		lo, e := IntervalCover(lo1, e1, lo2, e2, n)
+		if e < 1 || e > n {
+			t.Fatalf("cover extent %d", e)
+		}
+		for o := 0; o < e1; o++ {
+			if !InCyclicInterval(Add(lo1, o, n), lo, e, n) {
+				t.Fatal("first interval escapes cover")
+			}
+		}
+		for o := 0; o < e2; o++ {
+			if !InCyclicInterval(Add(lo2, o, n), lo, e, n) {
+				t.Fatal("second interval escapes cover")
+			}
+		}
+	})
+}

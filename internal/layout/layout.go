@@ -1,0 +1,114 @@
+// Package layout gives first-order VLSI layout estimates for the paper's
+// hosts. The introduction flags layout area as "of particular importance"
+// and leaves it open; this module provides the standard first-order
+// accounting so the trade-off can at least be quantified:
+//
+//   - nodes sit on an integer grid in their natural coordinates, with the
+//     folded (interleaved) torus layout, under which a cyclic step of
+//     distance delta costs 2*delta in Manhattan wire length;
+//   - supernode cliques occupy ceil(sqrt(h)) x ceil(sqrt(h)) blocks;
+//   - wire area is proportional to total wire length at fixed pitch, so
+//     the reported ratio (host wire length) / (plain torus wire length)
+//     is the first-order area-redundancy factor.
+//
+// All quantities are closed-form per edge class; nothing is enumerated.
+package layout
+
+import (
+	"math"
+
+	"ftnet/internal/core"
+	"ftnet/internal/supernode"
+	"ftnet/internal/worstcase"
+)
+
+// Stats summarizes a host's first-order layout cost.
+type Stats struct {
+	Nodes      int
+	Edges      int
+	WireLength float64 // total Manhattan wire length, folded layout
+	MaxWire    float64 // longest single wire
+}
+
+// PerNode returns wire length per node.
+func (s Stats) PerNode() float64 {
+	if s.Nodes == 0 {
+		return 0
+	}
+	return s.WireLength / float64(s.Nodes)
+}
+
+// Torus returns the layout stats of the plain d-dimensional n-torus:
+// d*n^d edges of folded length 2.
+func Torus(d, n int) Stats {
+	nodes := ipow(n, d)
+	edges := d * nodes
+	return Stats{Nodes: nodes, Edges: edges, WireLength: 2 * float64(edges), MaxWire: 2}
+}
+
+// B returns the layout stats of B^d_n: the torus edges plus vertical
+// jumps (cyclic distance b+1 in dimension 0) and diagonal jumps
+// (distance b in dimension 0 plus 1 in another dimension).
+func B(p core.Params) Stats {
+	nodes := p.NumNodes()
+	b := float64(p.W)
+	torusEdges := p.D * nodes
+	vjumpEdges := nodes // 2 per node / 2
+	djumpEdges := 2 * (p.D - 1) * nodes
+	wire := 2*float64(torusEdges) + 2*(b+1)*float64(vjumpEdges) + (2*b+2)*float64(djumpEdges)
+	return Stats{
+		Nodes:      nodes,
+		Edges:      torusEdges + vjumpEdges + djumpEdges,
+		WireLength: wire,
+		MaxWire:    2 * (b + 1),
+	}
+}
+
+// A returns layout stats (upper bounds) for A^d_n: each supernode is a
+// ceil(sqrt(h))-side block; intra-clique wires are bounded by the block
+// semiperimeter, inter-supernode wires by the base wire length scaled by
+// the block side.
+func A(p supernode.Params) Stats {
+	h := float64(p.H)
+	side := math.Ceil(math.Sqrt(h))
+	numSuper := float64(p.NumSupernodes())
+	intraEdges := numSuper * h * (h - 1) / 2
+	intraLen := 2 * (side - 1) // folded block diameter bound
+	baseStats := B(p.Base)
+	// Every base edge becomes h^2 wires whose length is the base wire
+	// length scaled by the block side (blocks replace unit cells).
+	interEdges := float64(baseStats.Edges) * h * h
+	interLen := baseStats.WireLength / float64(baseStats.Edges) * side
+	return Stats{
+		Nodes:      p.NumNodes(),
+		Edges:      int(intraEdges + interEdges),
+		WireLength: intraEdges*intraLen + interEdges*interLen,
+		MaxWire:    baseStats.MaxWire*side + 2*(side-1),
+	}
+}
+
+// D returns layout stats for D^d_{n,k}: per dimension, torus edges of
+// folded length 2 and jump edges over b_i nodes (distance b_i + 1).
+func D(p worstcase.Params) Stats {
+	nodes := p.NumNodes()
+	widths := p.Widths()
+	edges := 0
+	wire := 0.0
+	maxWire := 2.0
+	for _, w := range widths {
+		edges += 2 * nodes // torus + jump edges along this dimension
+		wire += 2*float64(nodes) + 2*float64(w+1)*float64(nodes)
+		if l := 2 * float64(w+1); l > maxWire {
+			maxWire = l
+		}
+	}
+	return Stats{Nodes: nodes, Edges: edges, WireLength: wire, MaxWire: maxWire}
+}
+
+func ipow(base, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= base
+	}
+	return out
+}

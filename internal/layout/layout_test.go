@@ -1,0 +1,79 @@
+package layout
+
+import (
+	"testing"
+
+	"ftnet/internal/core"
+	"ftnet/internal/supernode"
+	"ftnet/internal/worstcase"
+)
+
+func TestTorusStats(t *testing.T) {
+	s := Torus(2, 10)
+	if s.Nodes != 100 || s.Edges != 200 {
+		t.Fatalf("torus stats %+v", s)
+	}
+	if s.WireLength != 400 || s.MaxWire != 2 {
+		t.Errorf("torus wire %v max %v", s.WireLength, s.MaxWire)
+	}
+	if s.PerNode() != 4 {
+		t.Errorf("per node %v", s.PerNode())
+	}
+}
+
+func TestBStatsEdgeAccounting(t *testing.T) {
+	p := core.Params{D: 2, W: 4, Pitch: 16, Scale: 1}
+	s := B(p)
+	// Edges must equal degree * nodes / 2 = (6d-2)/2 * N = 5N.
+	if want := 5 * p.NumNodes(); s.Edges != want {
+		t.Errorf("B edges = %d, want %d", s.Edges, want)
+	}
+	// Longest wire is the vertical jump.
+	if s.MaxWire != 2*float64(p.W+1) {
+		t.Errorf("B max wire = %v", s.MaxWire)
+	}
+	// Redundancy factor vs plain torus of the same guest: finite and > 1.
+	base := Torus(2, p.N())
+	ratio := s.WireLength / base.WireLength
+	if ratio <= 1 || ratio > 20 {
+		t.Errorf("B wire redundancy = %v, want in (1, 20]", ratio)
+	}
+}
+
+func TestDStats(t *testing.T) {
+	p := worstcase.Params{D: 2, N: 60, K: 27}
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	s := D(p)
+	if want := 4 * p.NumNodes(); s.Edges != want { // degree 4d / 2 * N = 2d*N
+		t.Errorf("D edges = %d, want %d", s.Edges, want)
+	}
+	// Longest wire is the last dimension's jump: 2*(b^2+1).
+	if s.MaxWire != 2*float64(9+1) {
+		t.Errorf("D max wire = %v", s.MaxWire)
+	}
+}
+
+func TestAStatsDominatesBase(t *testing.T) {
+	p := supernode.Params{Base: core.Params{D: 2, W: 4, Pitch: 16, Scale: 1}, K: 2, H: 10, Q: 0}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := A(p)
+	if s.Nodes != p.NumNodes() {
+		t.Errorf("A nodes = %d", s.Nodes)
+	}
+	if s.WireLength <= B(p.Base).WireLength {
+		t.Error("A wire must exceed its base's")
+	}
+	if s.MaxWire <= 0 {
+		t.Error("A max wire not positive")
+	}
+}
+
+func TestPerNodeEmpty(t *testing.T) {
+	if (Stats{}).PerNode() != 0 {
+		t.Error("empty stats per-node should be 0")
+	}
+}

@@ -1,0 +1,84 @@
+// Package multilinear implements multilinear polynomial interpolation on
+// the unit hypercube, the tool the paper uses (Lemmas 9-11) to extend band
+// segments from black tiles through white tiles:
+//
+//   - Lemma 9: corner values determine a unique multilinear interpolant.
+//   - Lemma 10: corner-wise dominance implies dominance on the whole cube,
+//     which is what keeps interpolated bands untouching.
+//   - Lemma 11: corner values in [0,1] bound every partial derivative by 1,
+//     which is what keeps band slopes legal after scaling by the tile side.
+//
+// The interpolant of corner values a_S is evaluated by iterated linear
+// interpolation (tensor-product lerp), which is exactly the multilinear
+// polynomial of Lemma 9.
+package multilinear
+
+import "fmt"
+
+// Eval evaluates the multilinear interpolant of the 2^l corner values at
+// point x in [0,1]^l. corners[s] is the value at the corner whose i-th
+// coordinate is bit i of s (bit set means coordinate 1). len(corners) must
+// be 1 << len(x); Eval panics otherwise.
+//
+// The scratch buffer buf, if non-nil and large enough (len >= len(corners)),
+// avoids an allocation.
+func Eval(corners []float64, x []float64, buf []float64) float64 {
+	l := len(x)
+	if len(corners) != 1<<uint(l) {
+		panic(fmt.Sprintf("multilinear: %d corners for %d dims", len(corners), l))
+	}
+	if l == 0 {
+		return corners[0]
+	}
+	var work []float64
+	if cap(buf) >= len(corners) {
+		work = buf[:len(corners)]
+	} else {
+		work = make([]float64, len(corners))
+	}
+	copy(work, corners)
+	size := len(corners)
+	// Collapse the highest remaining dimension each pass: corner s pairs
+	// with corner s+half across bit i, so iterate dimensions from l-1 down.
+	for i := l - 1; i >= 0; i-- {
+		t := x[i]
+		half := size >> 1
+		for s := 0; s < half; s++ {
+			lo := work[s]      // bit i = 0 corner block
+			hi := work[s+half] // bit i = 1 corner block
+			work[s] = lo + t*(hi-lo)
+		}
+		size = half
+	}
+	return work[0]
+}
+
+// Constant reports whether all corner values are equal, enabling a fast
+// path for tiles far from any fault.
+func Constant(corners []float64) bool {
+	for _, v := range corners[1:] {
+		if v != corners[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// RoundHalfUp rounds to the nearest integer, halves away from the floor
+// boundary upward: floor(x + 0.5). The band machinery relies on this being
+// a single monotone map applied uniformly: if f - g >= c pointwise with c a
+// positive integer, then RoundHalfUp(f) - RoundHalfUp(g) >= c as well,
+// which preserves the untouching property after rounding (sharpening the
+// paper's remark following Lemma 10).
+func RoundHalfUp(x float64) int {
+	f := int(floor(x + 0.5))
+	return f
+}
+
+func floor(x float64) float64 {
+	i := float64(int64(x))
+	if x < 0 && x != i {
+		return i - 1
+	}
+	return i
+}

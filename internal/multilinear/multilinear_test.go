@@ -1,0 +1,142 @@
+package multilinear
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEval1D(t *testing.T) {
+	corners := []float64{2, 6}
+	if got := Eval(corners, []float64{0.5}, nil); got != 4 {
+		t.Errorf("midpoint = %v, want 4", got)
+	}
+	if got := Eval(corners, []float64{0}, nil); got != 2 {
+		t.Errorf("corner 0 = %v", got)
+	}
+	if got := Eval(corners, []float64{1}, nil); got != 6 {
+		t.Errorf("corner 1 = %v", got)
+	}
+}
+
+func TestEval2DBilinear(t *testing.T) {
+	// corners[s]: bit 0 -> x0, bit 1 -> x1.
+	corners := []float64{0, 1, 2, 3} // f(x0,x1) = x0 + 2*x1
+	for _, c := range []struct{ x0, x1, want float64 }{
+		{0, 0, 0}, {1, 0, 1}, {0, 1, 2}, {1, 1, 3}, {0.5, 0.5, 1.5}, {0.25, 0.75, 1.75},
+	} {
+		if got := Eval(corners, []float64{c.x0, c.x1}, nil); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("f(%v,%v) = %v, want %v", c.x0, c.x1, got, c.want)
+		}
+	}
+}
+
+func TestEval3DCorners(t *testing.T) {
+	corners := make([]float64, 8)
+	for s := range corners {
+		corners[s] = float64(s * s)
+	}
+	x := make([]float64, 3)
+	for s := 0; s < 8; s++ {
+		for i := 0; i < 3; i++ {
+			if s&(1<<i) != 0 {
+				x[i] = 1
+			} else {
+				x[i] = 0
+			}
+		}
+		if got := Eval(corners, x, nil); math.Abs(got-corners[s]) > 1e-12 {
+			t.Errorf("corner %d = %v, want %v", s, got, corners[s])
+		}
+	}
+}
+
+func TestEvalZeroDim(t *testing.T) {
+	if got := Eval([]float64{7}, nil, nil); got != 7 {
+		t.Errorf("0-dim Eval = %v", got)
+	}
+}
+
+func TestEvalPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched corners should panic")
+		}
+	}()
+	Eval([]float64{1, 2, 3}, []float64{0.5}, nil)
+}
+
+// TestLemma10Dominance: corner-wise dominance implies dominance everywhere.
+func TestLemma10Dominance(t *testing.T) {
+	f := func(raw [4]uint8, gap uint8, px, py uint8) bool {
+		cf := make([]float64, 4)
+		cg := make([]float64, 4)
+		for i, v := range raw {
+			cf[i] = float64(v)
+			cg[i] = cf[i] + 1 + float64(gap%50)
+		}
+		x := []float64{float64(px%100) / 99, float64(py%100) / 99}
+		return Eval(cg, x, nil)-Eval(cf, x, nil) >= 1+float64(gap%50)-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLemma11Slope: corner values spanning at most R bound the per-step
+// change by R when steps are 1/t of the cube.
+func TestLemma11Slope(t *testing.T) {
+	f := func(raw [4]uint8, px, py uint8) bool {
+		c := make([]float64, 4)
+		for i, v := range raw {
+			c[i] = float64(v % 16) // span < 16
+		}
+		tside := 16.0
+		x0 := float64(px%15) / tside
+		y0 := float64(py%15) / tside
+		base := Eval(c, []float64{x0, y0}, nil)
+		dx := Eval(c, []float64{x0 + 1/tside, y0}, nil)
+		dy := Eval(c, []float64{x0, y0 + 1/tside}, nil)
+		// Span 15 over 16 steps: per-step slope < 1.
+		return math.Abs(dx-base) < 1 && math.Abs(dy-base) < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstantFastPath(t *testing.T) {
+	if !Constant([]float64{3, 3, 3, 3}) {
+		t.Error("constant corners not detected")
+	}
+	if Constant([]float64{3, 3, 4, 3}) {
+		t.Error("non-constant corners reported constant")
+	}
+}
+
+func TestRoundHalfUpMonotoneGap(t *testing.T) {
+	f := func(a int16, frac uint8, gap uint8) bool {
+		x := float64(a)/8 + float64(frac)/256
+		g := int(gap%10) + 1
+		return RoundHalfUp(x+float64(g))-RoundHalfUp(x) == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if RoundHalfUp(2.5) != 3 || RoundHalfUp(-2.5) != -2 || RoundHalfUp(2.49) != 2 {
+		t.Error("RoundHalfUp values wrong")
+	}
+}
+
+func TestEvalScratchReuse(t *testing.T) {
+	corners := []float64{1, 2, 3, 4}
+	scratch := make([]float64, 4)
+	a := Eval(corners, []float64{0.3, 0.7}, scratch)
+	b := Eval(corners, []float64{0.3, 0.7}, scratch)
+	if a != b {
+		t.Error("scratch reuse changed the result")
+	}
+	if corners[0] != 1 || corners[3] != 4 {
+		t.Error("Eval mutated its input corners")
+	}
+}

@@ -1,0 +1,63 @@
+package parsim
+
+import (
+	"testing"
+
+	"ftnet/internal/grid"
+	"ftnet/internal/rng"
+)
+
+func TestCannonMatchesReference(t *testing.T) {
+	n := 12
+	m := NewIdeal(grid.Shape{n, n})
+	r := rng.New(3)
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := range a {
+		a[i] = r.Float64() - 0.5
+		b[i] = r.Float64() - 0.5
+	}
+	got, steps, err := m.Cannon(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MatMulReference(a, b, n)
+	if d := MaxDiff(got, want); d > 1e-9 {
+		t.Errorf("Cannon deviates from reference by %v", d)
+	}
+	if steps != 2*(n-1)+2*(n-1) {
+		t.Errorf("steps = %d, want %d", steps, 4*(n-1))
+	}
+}
+
+func TestCannonIdentity(t *testing.T) {
+	n := 8
+	m := NewIdeal(grid.Shape{n, n})
+	id := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		id[i*n+i] = 1
+	}
+	b := make([]float64, n*n)
+	for i := range b {
+		b[i] = float64(i)
+	}
+	got, _, err := m.Cannon(id, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxDiff(got, b); d != 0 {
+		t.Errorf("I*B != B (diff %v)", d)
+	}
+}
+
+func TestCannonRejectsBadShapes(t *testing.T) {
+	if _, _, err := NewIdeal(grid.Shape{4, 5}).Cannon(make([]float64, 20), make([]float64, 20)); err == nil {
+		t.Error("non-square machine accepted")
+	}
+	if _, _, err := NewIdeal(grid.Shape{4}).Cannon(make([]float64, 16), make([]float64, 16)); err == nil {
+		t.Error("1-d machine accepted")
+	}
+	if _, _, err := NewIdeal(grid.Shape{4, 4}).Cannon(make([]float64, 3), make([]float64, 16)); err == nil {
+		t.Error("short matrix accepted")
+	}
+}

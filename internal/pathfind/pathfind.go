@@ -1,0 +1,148 @@
+// Package pathfind provides breadth-first search over the implicit host
+// graphs, used to measure distances, eccentricities and fault-avoiding
+// route stretch.
+//
+// The paper's related-work section contrasts two approaches to fault
+// tolerance: routing around faults in a conventional network versus
+// adding redundancy and extracting a pristine subnetwork (the paper's
+// approach). This package implements enough of the former to quantify the
+// comparison: BFS distances on the augmented hosts, with or without a
+// liveness filter.
+package pathfind
+
+import (
+	"fmt"
+
+	"ftnet/internal/rng"
+)
+
+// Graph is any implicit graph with buffer-reusing neighbor enumeration;
+// core.Graph, worstcase.Graph and torus.Graph all satisfy it.
+type Graph interface {
+	NumNodes() int
+	Neighbors(u int, buf []int) []int
+}
+
+// BFS returns the distance from src to every node, or -1 where
+// unreachable. alive filters usable nodes (nil means all alive); a dead
+// src yields all -1.
+func BFS(g Graph, src int, alive func(int) bool) []int32 {
+	n := g.NumNodes()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if alive != nil && !alive(src) {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, 1024)
+	queue = append(queue, int32(src))
+	var buf []int
+	for head := 0; head < len(queue); head++ {
+		u := int(queue[head])
+		du := dist[u]
+		buf = g.Neighbors(u, buf[:0])
+		for _, v := range buf {
+			if dist[v] >= 0 {
+				continue
+			}
+			if alive != nil && !alive(v) {
+				continue
+			}
+			dist[v] = du + 1
+			queue = append(queue, int32(v))
+		}
+	}
+	return dist
+}
+
+// Distance returns the hop distance between src and dst (-1 if
+// unreachable). For repeated queries from one source, use BFS directly.
+func Distance(g Graph, src, dst int, alive func(int) bool) int {
+	return int(BFS(g, src, alive)[dst])
+}
+
+// Profile summarizes the distance distribution from sampled sources.
+type Profile struct {
+	Sources     int
+	Mean        float64
+	Max         int // largest observed distance (eccentricity lower bound)
+	Unreachable int // node-source pairs with no path
+}
+
+// Sample runs BFS from `sources` random sources and aggregates distances
+// to every node.
+func Sample(g Graph, sources int, alive func(int) bool, r *rng.Rand) (Profile, error) {
+	n := g.NumNodes()
+	if sources <= 0 || sources > n {
+		return Profile{}, fmt.Errorf("pathfind: %d sources for %d nodes", sources, n)
+	}
+	p := Profile{Sources: sources}
+	total := 0.0
+	count := 0
+	for s := 0; s < sources; s++ {
+		src := r.Intn(n)
+		if alive != nil {
+			for tries := 0; tries < 64 && !alive(src); tries++ {
+				src = r.Intn(n)
+			}
+			if !alive(src) {
+				return Profile{}, fmt.Errorf("pathfind: could not sample a live source")
+			}
+		}
+		dist := BFS(g, src, alive)
+		for v, d := range dist {
+			if alive != nil && !alive(v) {
+				continue
+			}
+			if d < 0 {
+				p.Unreachable++
+				continue
+			}
+			total += float64(d)
+			count++
+			if int(d) > p.Max {
+				p.Max = int(d)
+			}
+			_ = v
+		}
+	}
+	if count > 0 {
+		p.Mean = total / float64(count)
+	}
+	return p, nil
+}
+
+// Stretch measures fault-avoidance cost: for `pairs` random live pairs,
+// the ratio of the fault-avoiding distance to the fault-free distance.
+// Returns the mean ratio and the number of disconnected pairs.
+func Stretch(g Graph, alive func(int) bool, pairs int, r *rng.Rand) (mean float64, disconnected int, err error) {
+	n := g.NumNodes()
+	total := 0.0
+	counted := 0
+	for i := 0; i < pairs; i++ {
+		src := r.Intn(n)
+		dst := r.Intn(n)
+		if alive != nil && (!alive(src) || !alive(dst)) {
+			i--
+			continue
+		}
+		if src == dst {
+			i--
+			continue
+		}
+		free := Distance(g, src, dst, nil)
+		avoid := Distance(g, src, dst, alive)
+		if avoid < 0 {
+			disconnected++
+			continue
+		}
+		total += float64(avoid) / float64(free)
+		counted++
+	}
+	if counted == 0 {
+		return 0, disconnected, fmt.Errorf("pathfind: no connected pairs sampled")
+	}
+	return total / float64(counted), disconnected, nil
+}

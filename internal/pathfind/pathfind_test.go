@@ -1,0 +1,157 @@
+package pathfind
+
+import (
+	"testing"
+
+	"ftnet/internal/core"
+	"ftnet/internal/fault"
+	"ftnet/internal/grid"
+	"ftnet/internal/rng"
+	"ftnet/internal/torus"
+)
+
+func ring(t *testing.T, n int) *torus.Graph {
+	t.Helper()
+	g, err := torus.NewUniform(torus.TorusKind, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBFSRing(t *testing.T) {
+	g := ring(t, 10)
+	dist := BFS(g, 0, nil)
+	want := []int32{0, 1, 2, 3, 4, 5, 4, 3, 2, 1}
+	for i, d := range dist {
+		if d != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, d, want[i])
+		}
+	}
+}
+
+func TestBFSWithDeadNodes(t *testing.T) {
+	g := ring(t, 10)
+	dead := map[int]bool{5: true}
+	alive := func(v int) bool { return !dead[v] }
+	dist := BFS(g, 0, alive)
+	if dist[5] != -1 {
+		t.Error("dead node reachable")
+	}
+	// Node 6 must now be reached the long way round: distance 4.
+	if dist[6] != 4 {
+		t.Errorf("dist[6] = %d, want 4", dist[6])
+	}
+	// Cutting both 3 and 7 disconnects 4..6.
+	dead[3], dead[7] = true, true
+	dist = BFS(g, 0, alive)
+	if dist[4] != -1 || dist[6] != -1 {
+		t.Error("cut segment still reachable")
+	}
+	if dist[2] != 2 {
+		t.Errorf("dist[2] = %d", dist[2])
+	}
+}
+
+func TestBFSDeadSource(t *testing.T) {
+	g := ring(t, 6)
+	dist := BFS(g, 0, func(v int) bool { return v != 0 })
+	for _, d := range dist {
+		if d != -1 {
+			t.Fatal("dead source produced distances")
+		}
+	}
+}
+
+func TestDistanceTorus2D(t *testing.T) {
+	g, err := torus.NewUniform(torus.TorusKind, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.Shape.Index([]int{0, 0})
+	dst := g.Shape.Index([]int{4, 4})
+	if got := Distance(g, src, dst, nil); got != 8 {
+		t.Errorf("antipodal distance = %d, want 8", got)
+	}
+	dst2 := g.Shape.Index([]int{7, 1})
+	if got := Distance(g, src, dst2, nil); got != 2 {
+		t.Errorf("wrap distance = %d, want 2", got)
+	}
+}
+
+func TestJumpEdgesShrinkDistances(t *testing.T) {
+	// The B host's jump edges must shorten dimension-0 travel roughly by
+	// a factor of b relative to the plain torus.
+	p := core.Params{D: 2, W: 4, Pitch: 16, Scale: 1}
+	g, err := core.NewGraph(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.NodeIndex(0, 0)
+	dst := g.NodeIndex(p.M()/2, 0) // half way around dimension 0 = 128 steps
+	d := Distance(g, src, dst, nil)
+	if d >= p.M()/2 {
+		t.Errorf("host distance %d not shrunk below torus distance %d", d, p.M()/2)
+	}
+	if d > p.M()/(p.W+1)+2*p.W {
+		t.Errorf("host distance %d exceeds jump-edge bound %d", d, p.M()/(p.W+1)+2*p.W)
+	}
+}
+
+func TestSampleProfile(t *testing.T) {
+	g, err := torus.NewUniform(torus.TorusKind, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := Sample(g, 5, nil, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Max != 10 { // torus diameter = 2 * n/2
+		t.Errorf("max distance %d, want 10", prof.Max)
+	}
+	// Mean distance of the 10x10 torus is 2 * (sum of cyclic distances)/n = 5.
+	if prof.Mean < 4.9 || prof.Mean > 5.1 {
+		t.Errorf("mean distance %v, want 5", prof.Mean)
+	}
+	if prof.Unreachable != 0 {
+		t.Errorf("unreachable %d on a connected torus", prof.Unreachable)
+	}
+	if _, err := Sample(g, 0, nil, rng.New(1)); err == nil {
+		t.Error("0 sources accepted")
+	}
+}
+
+func TestStretchAroundFaults(t *testing.T) {
+	g, err := torus.NewUniform(torus.TorusKind, 2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.NewSet(g.N())
+	if err := faults.ExactRandom(rng.New(3), 12); err != nil {
+		t.Fatal(err)
+	}
+	alive := func(v int) bool { return !faults.Has(v) }
+	mean, disc, err := Stretch(g, alive, 30, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean < 1 {
+		t.Errorf("stretch %v < 1", mean)
+	}
+	if mean > 3 {
+		t.Errorf("stretch %v suspiciously large for 12 faults on 256 nodes", mean)
+	}
+	if disc > 5 {
+		t.Errorf("%d disconnected pairs", disc)
+	}
+}
+
+var _ Graph = (*torus.Graph)(nil)
+var _ Graph = gridAdapter{}
+
+// gridAdapter pins the Graph interface shape against grid-based hosts.
+type gridAdapter struct{ s grid.Shape }
+
+func (a gridAdapter) NumNodes() int                    { return a.s.Size() }
+func (a gridAdapter) Neighbors(u int, buf []int) []int { return a.s.TorusNeighbors(u, buf) }

@@ -1,0 +1,234 @@
+// Package stats provides the Monte-Carlo harness and the small amount of
+// statistics the experiment suite needs: parallel trial execution with
+// deterministic per-trial seeds, Wilson score confidence intervals for
+// survival probabilities, and an aligned table writer for the
+// paper-style result tables.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+	"text/tabwriter"
+
+	"ftnet/internal/rng"
+)
+
+// Outcome classifies one Monte-Carlo trial.
+type Outcome int
+
+const (
+	// Success: the construction survived (embedding verified).
+	Success Outcome = iota
+	// Failure: the construction did not survive (an expected event, e.g.
+	// an unhealthy fault pattern).
+	Failure
+)
+
+// TrialFunc runs one trial. seed is derived deterministically from the
+// experiment seed and the trial index, so runs are reproducible and
+// order-independent. A non-nil error aborts the whole experiment: errors
+// mean bugs, not survival failures.
+type TrialFunc func(trial int, seed uint64) (Outcome, error)
+
+// Result summarizes a Monte-Carlo run.
+type Result struct {
+	Trials    int
+	Successes int
+	Rate      float64 // Successes / Trials
+	Lo, Hi    float64 // 95% Wilson interval
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%d/%d = %.3f [%.3f, %.3f]", r.Successes, r.Trials, r.Rate, r.Lo, r.Hi)
+}
+
+// MonteCarlo runs trials in parallel (bounded by GOMAXPROCS, or by
+// parallel if positive) and aggregates outcomes. The first trial error
+// cancels the run and is returned.
+func MonteCarlo(trials int, seed uint64, parallel int, fn TrialFunc) (Result, error) {
+	if trials <= 0 {
+		return Result{}, fmt.Errorf("stats: trials = %d", trials)
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > trials {
+		parallel = trials
+	}
+	var (
+		mu        sync.Mutex
+		successes int
+		firstErr  error
+	)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				out, err := fn(t, rng.Hash64(seed, uint64(t)))
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("trial %d: %w", t, err)
+				}
+				if err == nil && out == Success {
+					successes++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for t := 0; t < trials; t++ {
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			break
+		}
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	res := Result{Trials: trials, Successes: successes, Rate: float64(successes) / float64(trials)}
+	res.Lo, res.Hi = Wilson(successes, trials, 1.96)
+	return res, nil
+}
+
+// Wilson returns the Wilson score interval for a binomial proportion.
+func Wilson(successes, trials int, z float64) (lo, hi float64) {
+	if trials == 0 {
+		return 0, 1
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z2/(4*n*n))
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Table writes aligned experiment tables.
+type Table struct {
+	tw *tabwriter.Writer
+}
+
+// NewTable starts a table with the given header cells.
+func NewTable(w io.Writer, headers ...string) *Table {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	t := &Table{tw: tw}
+	t.Row(toAny(headers)...)
+	return t
+}
+
+// Row appends one row; cells are formatted with %v.
+func (t *Table) Row(cells ...any) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.tw, "\t")
+		}
+		fmt.Fprintf(t.tw, "%v", c)
+	}
+	fmt.Fprintln(t.tw)
+}
+
+// Flush renders the table.
+func (t *Table) Flush() error { return t.tw.Flush() }
+
+func toAny(ss []string) []any {
+	out := make([]any, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}
+
+// BinomTail returns P(X >= k) for X ~ Binomial(n, p), computed in
+// log-space for numerical stability. Used to size supernodes so the
+// expected number of bad supernodes stays below the base construction's
+// tolerance (the explicit finite-scale form of Theorem 1's constant
+// tuning).
+func BinomTail(n int, p float64, k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > n {
+		return 0
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	lp, lq := math.Log(p), math.Log1p(-p)
+	total := 0.0
+	for i := k; i <= n; i++ {
+		total += math.Exp(lchoose(n, i) + float64(i)*lp + float64(n-i)*lq)
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total
+}
+
+func lchoose(n, k int) float64 {
+	return lgamma(float64(n+1)) - lgamma(float64(k+1)) - lgamma(float64(n-k+1))
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of xs by nearest-rank on a
+// sorted copy.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sortFloats(s)
+	i := int(q * float64(len(s)-1))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+func sortFloats(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMonteCarloCounts(t *testing.T) {
+	res, err := MonteCarlo(100, 7, 4, func(trial int, seed uint64) (Outcome, error) {
+		if trial%4 == 0 {
+			return Failure, nil
+		}
+		return Success, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trials != 100 || res.Successes != 75 {
+		t.Errorf("got %+v", res)
+	}
+	if res.Rate != 0.75 {
+		t.Errorf("Rate = %v", res.Rate)
+	}
+	if res.Lo >= res.Rate || res.Hi <= res.Rate {
+		t.Errorf("interval [%v,%v] does not bracket %v", res.Lo, res.Hi, res.Rate)
+	}
+}
+
+func TestMonteCarloDeterministicSeeds(t *testing.T) {
+	collect := func() []uint64 {
+		seeds := make([]uint64, 20)
+		_, err := MonteCarlo(20, 3, 5, func(trial int, seed uint64) (Outcome, error) {
+			seeds[trial] = seed
+			return Success, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seeds
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d seed differs between runs", i)
+		}
+		if a[i] == 0 {
+			t.Fatalf("trial %d got zero seed", i)
+		}
+	}
+}
+
+func TestMonteCarloPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	_, err := MonteCarlo(1000, 1, 4, func(trial int, seed uint64) (Outcome, error) {
+		calls.Add(1)
+		if trial == 3 {
+			return Failure, boom
+		}
+		return Success, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() == 1000 {
+		t.Error("error did not stop the run early")
+	}
+}
+
+func TestMonteCarloRejectsZeroTrials(t *testing.T) {
+	if _, err := MonteCarlo(0, 1, 1, nil); err == nil {
+		t.Error("0 trials accepted")
+	}
+}
+
+func TestWilson(t *testing.T) {
+	lo, hi := Wilson(95, 100, 1.96)
+	if lo < 0.87 || lo > 0.93 || hi < 0.97 || hi > 1.0 {
+		t.Errorf("Wilson(95,100) = [%v, %v]", lo, hi)
+	}
+	lo, hi = Wilson(0, 10, 1.96)
+	if lo != 0 || hi < 0.2 || hi > 0.4 {
+		t.Errorf("Wilson(0,10) = [%v, %v]", lo, hi)
+	}
+	lo, hi = Wilson(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Errorf("Wilson(0,0) = [%v, %v]", lo, hi)
+	}
+}
+
+func TestTable(t *testing.T) {
+	var sb strings.Builder
+	tab := NewTable(&sb, "n", "rate")
+	tab.Row(100, 0.5)
+	tab.Row(2000, 0.125)
+	if err := tab.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "n") || !strings.Contains(out, "2000") {
+		t.Errorf("table output wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Errorf("table has %d lines", len(lines))
+	}
+}
+
+func TestMeanQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 3 {
+		t.Errorf("Quantile extremes wrong")
+	}
+	if Mean(nil) != 0 || Quantile(nil, 0.5) != 0 {
+		t.Error("empty input should return 0")
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestBinomTail(t *testing.T) {
+	// P(X >= 0) = 1; P(X >= n+1) = 0.
+	if BinomTail(10, 0.5, 0) != 1 {
+		t.Error("P(X>=0) != 1")
+	}
+	if BinomTail(10, 0.5, 11) != 0 {
+		t.Error("P(X>=n+1) != 0")
+	}
+	// Degenerate probabilities.
+	if BinomTail(10, 0, 1) != 0 || BinomTail(10, 1, 10) != 1 {
+		t.Error("degenerate p wrong")
+	}
+	// Symmetric binomial: P(X >= 5 | n=10, p=0.5) ~ 0.623.
+	got := BinomTail(10, 0.5, 5)
+	if got < 0.62 || got > 0.63 {
+		t.Errorf("BinomTail(10,0.5,5) = %v, want ~0.623", got)
+	}
+	// Compare against a direct sum for a few cases.
+	direct := func(n int, p float64, k int) float64 {
+		total := 0.0
+		for i := k; i <= n; i++ {
+			c := 1.0
+			for j := 0; j < i; j++ {
+				c = c * float64(n-j) / float64(j+1)
+			}
+			prob := c
+			for j := 0; j < i; j++ {
+				prob *= p
+			}
+			for j := 0; j < n-i; j++ {
+				prob *= 1 - p
+			}
+			total += prob
+		}
+		return total
+	}
+	for _, c := range []struct {
+		n int
+		p float64
+		k int
+	}{{20, 0.1, 4}, {15, 0.9, 12}, {8, 0.3, 1}} {
+		want := direct(c.n, c.p, c.k)
+		got := BinomTail(c.n, c.p, c.k)
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("BinomTail(%d,%v,%d) = %v, want %v", c.n, c.p, c.k, got, want)
+		}
+	}
+}
+
+func TestBinomTailMonotone(t *testing.T) {
+	prev := 1.1
+	for k := 0; k <= 30; k++ {
+		v := BinomTail(30, 0.4, k)
+		if v > prev+1e-12 {
+			t.Fatalf("tail not monotone at k=%d: %v > %v", k, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Trials: 10, Successes: 5, Rate: 0.5, Lo: 0.2, Hi: 0.8}
+	if !strings.Contains(r.String(), "5/10") {
+		t.Errorf("String = %q", r.String())
+	}
+}

@@ -1,0 +1,138 @@
+package torus
+
+import (
+	"testing"
+
+	"ftnet/internal/grid"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(TorusKind, grid.Shape{2, 5}); err == nil {
+		t.Error("torus side 2 should be rejected")
+	}
+	if _, err := New(MeshKind, grid.Shape{2, 5}); err != nil {
+		t.Errorf("mesh side 2 should be fine: %v", err)
+	}
+	if _, err := New(TorusKind, grid.Shape{}); err == nil {
+		t.Error("empty shape should be rejected")
+	}
+}
+
+func TestTorusDegreeUniform(t *testing.T) {
+	g, err := NewUniform(TorusKind, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		if nbrs := g.Neighbors(u, nil); len(nbrs) != 4 {
+			t.Fatalf("node %d has %d neighbors", u, len(nbrs))
+		}
+	}
+}
+
+func TestNumEdges(t *testing.T) {
+	torus5, _ := NewUniform(TorusKind, 2, 5)
+	if got, want := torus5.NumEdges(), 50; got != want { // 2 * 5 * 5
+		t.Errorf("torus 5x5 edges = %d, want %d", got, want)
+	}
+	mesh5, _ := NewUniform(MeshKind, 2, 5)
+	if got, want := mesh5.NumEdges(), 40; got != want { // 2 * 4 * 5
+		t.Errorf("mesh 5x5 edges = %d, want %d", got, want)
+	}
+}
+
+func TestEachEdgeCountsMatch(t *testing.T) {
+	for _, kind := range []Kind{TorusKind, MeshKind} {
+		g, _ := New(kind, grid.Shape{4, 5, 3})
+		count := 0
+		g.EachEdge(func(u, v int) {
+			count++
+			if !g.Adjacent(u, v) {
+				t.Fatalf("%v: EachEdge emitted non-adjacent pair (%d,%d)", kind, u, v)
+			}
+		})
+		if count != g.NumEdges() {
+			t.Errorf("%v: EachEdge emitted %d, NumEdges says %d", kind, count, g.NumEdges())
+		}
+	}
+}
+
+func TestAdjacentMatchesNeighbors(t *testing.T) {
+	for _, kind := range []Kind{TorusKind, MeshKind} {
+		g, _ := New(kind, grid.Shape{4, 6})
+		for u := 0; u < g.N(); u++ {
+			nbrs := map[int]bool{}
+			for _, v := range g.Neighbors(u, nil) {
+				nbrs[v] = true
+			}
+			for v := 0; v < g.N(); v++ {
+				if got := g.Adjacent(u, v); got != nbrs[v] {
+					t.Fatalf("%v: Adjacent(%d,%d) = %v, neighbors say %v", kind, u, v, got, nbrs[v])
+				}
+			}
+		}
+	}
+}
+
+func TestMeshWrapNotAdjacent(t *testing.T) {
+	g, _ := NewUniform(MeshKind, 1, 6)
+	if g.Adjacent(0, 5) {
+		t.Error("mesh endpoints should not wrap")
+	}
+	tg, _ := NewUniform(TorusKind, 1, 6)
+	if !tg.Adjacent(0, 5) {
+		t.Error("torus endpoints should wrap")
+	}
+}
+
+func TestRowsAndColumns(t *testing.T) {
+	g, _ := NewUniform(TorusKind, 2, 4)
+	col := g.Column(2)
+	if len(col) != 4 {
+		t.Fatalf("column length %d", len(col))
+	}
+	for i, idx := range col {
+		c := g.Shape.Coord(idx, nil)
+		if c[0] != i || c[1] != 2 {
+			t.Errorf("Column(2)[%d] = %v", i, c)
+		}
+	}
+	row := g.Row(3)
+	if len(row) != 4 {
+		t.Fatalf("row length %d", len(row))
+	}
+	for z, idx := range row {
+		c := g.Shape.Coord(idx, nil)
+		if c[0] != 3 || c[1] != z {
+			t.Errorf("Row(3)[%d] = %v", z, c)
+		}
+	}
+	if g.NumColumns() != 4 {
+		t.Errorf("NumColumns = %d", g.NumColumns())
+	}
+}
+
+func TestColumnsIn3D(t *testing.T) {
+	g, _ := New(TorusKind, grid.Shape{3, 4, 5})
+	if g.NumColumns() != 20 {
+		t.Fatalf("NumColumns = %d, want 20", g.NumColumns())
+	}
+	col := g.Column(7)
+	if len(col) != 3 {
+		t.Fatalf("column length %d, want 3", len(col))
+	}
+	// Consecutive column entries differ only in coordinate 0.
+	for i := 1; i < len(col); i++ {
+		a := g.Shape.Coord(col[i-1], nil)
+		b := g.Shape.Coord(col[i], nil)
+		if a[1] != b[1] || a[2] != b[2] || b[0] != a[0]+1 {
+			t.Errorf("column not aligned: %v -> %v", a, b)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if TorusKind.String() != "torus" || MeshKind.String() != "mesh" {
+		t.Error("Kind strings wrong")
+	}
+}

@@ -1,0 +1,122 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"ftnet/internal/core"
+	"ftnet/internal/fault"
+)
+
+func setup(t *testing.T) (*core.Graph, *fault.Set, *core.Result) {
+	t.Helper()
+	p := core.Params{D: 2, W: 4, Pitch: 16, Scale: 1}
+	g, err := core.NewGraph(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.NewSet(g.NumNodes())
+	faults.Add(g.NodeIndex(40, 40))
+	faults.Add(g.NodeIndex(41, 41))
+	res, err := g.ContainTorus(faults, core.ExtractOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, faults, res
+}
+
+func TestBandsRendering(t *testing.T) {
+	g, faults, res := setup(t)
+	rowLo, colLo := FaultWindow(g, faults, 24, 60)
+	out, err := Bands(g, res.Bands, faults, rowLo, colLo, 24, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "X") {
+		t.Errorf("fault glyph missing:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Errorf("band glyph missing:\n%s", out)
+	}
+	if strings.Contains(out, "!") {
+		t.Errorf("unmasked fault rendered (placement bug):\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 25 { // header + 24 rows
+		t.Errorf("expected 25 lines, got %d", len(lines))
+	}
+}
+
+func TestRowTraceRendering(t *testing.T) {
+	g, faults, res := setup(t)
+	_, colLo := FaultWindow(g, faults, 24, 60)
+	out, err := RowTrace(g, res.Bands, faults, res.Embedding, 40, colLo, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "*") != 60 {
+		t.Errorf("expected 60 path glyphs, got %d:\n%s", strings.Count(out, "*"), out)
+	}
+}
+
+func TestRowTraceShowsJumps(t *testing.T) {
+	g, faults, res := setup(t)
+	// Find a guest row that crosses a band in some window and check the
+	// render has '*' glyphs on more than one host row.
+	numCols := g.NumCols
+	n := g.P.N()
+	for row := 0; row < n; row++ {
+		first := res.Embedding.Map[row*numCols] / numCols
+		jumps := false
+		for z := 1; z < 60; z++ {
+			if res.Embedding.Map[row*numCols+z]/numCols != first {
+				jumps = true
+				break
+			}
+		}
+		if !jumps {
+			continue
+		}
+		out, err := RowTrace(g, res.Bands, faults, res.Embedding, row, 0, 60, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		starRows := 0
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "*") {
+				starRows++
+			}
+		}
+		if starRows < 2 {
+			t.Errorf("jumping row rendered on %d host rows, want >= 2:\n%s", starRows, out)
+		}
+		return
+	}
+	t.Skip("no jumping row in this instance")
+}
+
+func TestRender3DRejected(t *testing.T) {
+	p := core.Params{D: 3, W: 4, Pitch: 16, Scale: 1}
+	g, err := core.NewGraph(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Bands(g, nil, nil, 0, 0, 5, 5); err == nil {
+		t.Error("3D render should be rejected")
+	}
+	if _, err := RowTrace(g, nil, nil, nil, 0, 0, 5, 1); err == nil {
+		t.Error("3D trace should be rejected")
+	}
+}
+
+func TestFaultWindowNoFaults(t *testing.T) {
+	p := core.Params{D: 2, W: 4, Pitch: 16, Scale: 1}
+	g, err := core.NewGraph(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, c := FaultWindow(g, fault.NewSet(g.NumNodes()), 10, 10)
+	if r != 0 || c != 0 {
+		t.Errorf("FaultWindow = (%d,%d), want origin", r, c)
+	}
+}
