@@ -6,6 +6,8 @@ package ftnet
 // regression suite for the whole reproduction.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"ftnet/internal/baseline"
@@ -13,8 +15,10 @@ import (
 	"ftnet/internal/expander"
 	"ftnet/internal/fault"
 	"ftnet/internal/grid"
+	"ftnet/internal/parallel"
 	"ftnet/internal/parsim"
 	"ftnet/internal/rng"
+	"ftnet/internal/stats"
 	"ftnet/internal/supernode"
 	"ftnet/internal/viz"
 	"ftnet/internal/worstcase"
@@ -91,6 +95,59 @@ func BenchmarkSurvivalTrialB2(b *testing.B) {
 		if _, err := g.ContainTorus(faults, core.ExtractOptions{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSurvivalTrialScratchB2 is BenchmarkSurvivalTrialB2 with the
+// per-worker scratch the parallel engine uses: same pipeline, ~zero
+// steady-state allocation. Inner interpolation parallelism is left at
+// the baseline's GOMAXPROCS (NewScratch(0)) so the delta between the
+// two is the win from buffer reuse alone.
+func BenchmarkSurvivalTrialScratchB2(b *testing.B) {
+	g := benchGraphB2(b)
+	p := g.P.TheoremFailureProb()
+	sc := core.NewScratch(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		faults := sc.Faults(g.NumNodes())
+		faults.Bernoulli(rng.New(uint64(i)), p)
+		if _, err := g.ContainTorus(faults, core.ExtractOptions{Scratch: sc}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSurvivalParallel runs the E2 survival workload on the
+// deterministic parallel engine, scaling the worker pool from 1 to
+// NumCPU. Trials/op throughput should rise near-linearly with workers
+// up to the physical core count; the workers=1 case doubles as the
+// engine-overhead baseline against BenchmarkSurvivalTrialScratchB2.
+func BenchmarkSurvivalParallel(b *testing.B) {
+	g := benchGraphB2(b)
+	p := g.P.TheoremFailureProb()
+	trial := func(t int, stream *rng.PCG, scratch any) (stats.Outcome, error) {
+		sc := scratch.(*core.Scratch)
+		faults := sc.Faults(g.NumNodes())
+		faults.Bernoulli(stream, p)
+		if _, err := g.ContainTorus(faults, core.ExtractOptions{Scratch: sc}); err != nil {
+			return stats.Failure, err
+		}
+		return stats.Success, nil
+	}
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			_, err := parallel.Run(b.N, 12345, parallel.Options{
+				Workers:    workers,
+				NewScratch: func() any { return core.NewScratch(1) },
+			}, trial)
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 

@@ -2,10 +2,14 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-list] [-run E1,E7,...|all]
+//	experiments [-quick] [-seed N] [-workers N] [-ci W] [-list] [-run E1,E7,...|all]
 //
 // Each experiment prints the claim it reproduces followed by the measured
-// table; EXPERIMENTS.md records the expected shapes.
+// table; EXPERIMENTS.md records the expected shapes. Monte-Carlo sweeps
+// run on the deterministic parallel engine (internal/parallel): for a
+// fixed -seed the tables are bit-identical for every -workers value.
+// -ci sets an early-stopping target (95% Wilson interval width) so dense
+// sweeps stop as soon as the estimate is tight enough.
 package main
 
 import (
@@ -19,10 +23,12 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "smaller sweeps and trial counts")
-		seed  = flag.Uint64("seed", 20250611, "master seed for all Monte-Carlo trials")
-		run   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		quick   = flag.Bool("quick", false, "smaller sweeps and trial counts")
+		seed    = flag.Uint64("seed", 20250611, "master seed for all Monte-Carlo trials")
+		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		workers = flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = GOMAXPROCS); results do not depend on it")
+		ci      = flag.Float64("ci", 0, "early-stop once the 95% CI is narrower than this width (0 = run all trials)")
 	)
 	flag.Parse()
 
@@ -33,7 +39,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Out: os.Stdout, Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Out: os.Stdout, Quick: *quick, Seed: *seed, Parallel: *workers, TargetCI: *ci}
 	ids := strings.Split(*run, ",")
 	for i := range ids {
 		ids[i] = strings.TrimSpace(ids[i])

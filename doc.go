@@ -23,6 +23,8 @@
 // and realizes every torus edge over a fault-free host edge.
 //
 // The internal packages contain the full machinery (bands, healthiness,
-// pigeonhole cascades, expander baselines, experiment drivers); this
-// package is the stable surface.
+// pigeonhole cascades, expander baselines, experiment drivers, and the
+// deterministic parallel Monte-Carlo engine); this package is the
+// stable surface. See README.md for a tour and docs/ARCHITECTURE.md for
+// the paper-to-package map and the engine's determinism contract.
 package ftnet

@@ -1,0 +1,3 @@
+module ftnet
+
+go 1.24

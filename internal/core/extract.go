@@ -7,7 +7,6 @@ import (
 	"ftnet/internal/embed"
 	"ftnet/internal/fault"
 	"ftnet/internal/grid"
-	"ftnet/internal/torus"
 )
 
 // ExtractOptions tunes the Lemma 6 extraction.
@@ -17,6 +16,11 @@ type ExtractOptions struct {
 	// Lemma 7 (path independence of P_{i,pi}). Costs one extra pass over
 	// all columns; enabled in tests, off in benchmarks.
 	CheckConsistency bool
+	// Scratch, if non-nil, supplies reusable buffers for placement,
+	// extraction and verification, and bounds the pipeline's inner
+	// parallelism (see Scratch). The returned Result then aliases the
+	// scratch and is only valid until its next use.
+	Scratch *Scratch
 }
 
 // Extract realizes Lemma 6: given a valid family of (m-n)/b untouching
@@ -40,8 +44,10 @@ func (g *Graph) Extract(bs *bands.Set, opts ExtractOptions) (*embed.Embedding, e
 	}
 
 	// Unmasked rows per column, in cyclic order anchored above band 0.
-	rowmap := make([][]int32, numCols)
-	rowmap[0] = bs.UnmaskedRows(0, make([]int32, 0, n))
+	// With a scratch, the per-column row slices live in one flat backing
+	// array reused across trials.
+	rowmap, rowflat := opts.Scratch.rowBuffers(numCols, n)
+	rowmap[0] = bs.UnmaskedRows(0, rowflat[:0:n])
 	if len(rowmap[0]) != n {
 		return nil, fmt.Errorf("core: column 0 has %d unmasked rows, want %d", len(rowmap[0]), n)
 	}
@@ -74,17 +80,17 @@ func (g *Graph) Extract(bs *bands.Set, opts ExtractOptions) (*embed.Embedding, e
 	}
 
 	// BFS over the column torus.
-	queue := make([]int, 0, numCols)
-	queue = append(queue, 0)
+	queue := append(opts.Scratch.queueBuf(numCols), 0)
 	nbuf := make([]int, 0, 2*(p.D-1))
+	ncoord := make([]int, p.D-1)
 	for head := 0; head < len(queue); head++ {
 		z := queue[head]
-		nbuf = g.columnNeighbors(z, nbuf[:0])
+		nbuf = g.columnNeighbors(z, nbuf[:0], ncoord)
 		for _, zn := range nbuf {
 			if rowmap[zn] != nil || zn == 0 {
 				continue
 			}
-			dst := make([]int32, n)
+			dst := rowflat[zn*n : (zn+1)*n]
 			if err := transfer(z, zn, rowmap[z], dst); err != nil {
 				return nil, err
 			}
@@ -119,11 +125,11 @@ func (g *Graph) Extract(bs *bands.Set, opts ExtractOptions) (*embed.Embedding, e
 		}
 	}
 
-	guest, err := torus.NewUniform(torus.TorusKind, p.D, n)
+	guest, err := opts.Scratch.guestTorus(p.D, n)
 	if err != nil {
 		return nil, err
 	}
-	e := embed.New(guest)
+	e := opts.Scratch.embedding(guest)
 	for z := 0; z < numCols; z++ {
 		rows := rowmap[z]
 		for i := 0; i < n; i++ {
@@ -133,9 +139,11 @@ func (g *Graph) Extract(bs *bands.Set, opts ExtractOptions) (*embed.Embedding, e
 	return e, nil
 }
 
-// columnNeighbors appends the 2(d-1) columns adjacent to z.
-func (g *Graph) columnNeighbors(z int, buf []int) []int {
-	coord := g.ColShape.Coord(z, make([]int, g.P.D-1))
+// columnNeighbors appends the 2(d-1) columns adjacent to z. coord is a
+// caller-owned length d-1 work buffer, hoisted out of the BFS loop so
+// the per-column visit allocates nothing.
+func (g *Graph) columnNeighbors(z int, buf, coord []int) []int {
+	coord = g.ColShape.Coord(z, coord)
 	for dim := range g.ColShape {
 		orig := coord[dim]
 		coord[dim] = grid.Add(orig, 1, g.ColShape[dim])
@@ -178,8 +186,10 @@ type Result struct {
 // place bands, extract the torus, and verify the embedding independently.
 // An *UnhealthyError means the fault pattern exceeded what the
 // construction tolerates (a survival failure); any other error is a bug.
+// With opts.Scratch set, the heavy buffers of all three stages are
+// reused and the Result aliases the scratch (see Scratch).
 func (g *Graph) ContainTorus(faults *fault.Set, opts ExtractOptions) (*Result, error) {
-	bs, rep, err := g.PlaceBands(faults)
+	bs, rep, err := g.PlaceBandsScratch(faults, opts.Scratch)
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +197,8 @@ func (g *Graph) ContainTorus(faults *fault.Set, opts ExtractOptions) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	if err := emb.Verify(HostView{G: g, Faults: faults}); err != nil {
+	host := HostView{G: g, Faults: faults}
+	if err := emb.VerifyBuf(host, opts.Scratch.seenBuf(g.NumNodes())); err != nil {
 		return nil, err
 	}
 	return &Result{Bands: bs, Embedding: emb, Report: rep}, nil

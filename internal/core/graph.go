@@ -121,22 +121,27 @@ func (g *Graph) Adjacent(u, v int) bool {
 	return false
 }
 
+// columnsAdjacent reports whether columns za and zb differ by one cyclic
+// step in exactly one dimension. It peels coordinate digits in place
+// instead of materializing the tuples: the verifier asks this for every
+// cross-column guest edge, so the two slice allocations it used to make
+// dominated the whole Monte-Carlo trial's allocation count.
 func (g *Graph) columnsAdjacent(za, zb int) bool {
-	ca := g.ColShape.Coord(za, nil)
-	cb := g.ColShape.Coord(zb, nil)
-	diffDim := -1
-	for i := range g.ColShape {
-		if ca[i] != cb[i] {
-			if diffDim >= 0 {
-				return false
-			}
-			diffDim = i
+	adjacentDims := 0
+	for i := len(g.ColShape) - 1; i >= 0; i-- {
+		n := g.ColShape[i]
+		da, db := za%n, zb%n
+		za /= n
+		zb /= n
+		if da == db {
+			continue
 		}
+		if adjacentDims > 0 || grid.Dist(da, db, n) != 1 {
+			return false
+		}
+		adjacentDims++
 	}
-	if diffDim < 0 {
-		return false
-	}
-	return grid.Dist(ca[diffDim], cb[diffDim], g.ColShape[diffDim]) == 1
+	return adjacentDims == 1
 }
 
 // EdgeKind classifies a host edge for statistics and ablation reports.

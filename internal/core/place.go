@@ -62,6 +62,14 @@ type faultBox struct {
 // passes bands.Set.Validate and masks every fault; if the fault pattern is
 // too dense or too clustered it returns an *UnhealthyError instead.
 func (g *Graph) PlaceBands(faults *fault.Set) (*bands.Set, *PlaceReport, error) {
+	return g.PlaceBandsScratch(faults, nil)
+}
+
+// PlaceBandsScratch is PlaceBands with a scratch: sc bounds the
+// interpolation stage's worker fan-out (sc.Workers), which Monte-Carlo
+// trial workers pin to 1 so the trial-level pool owns all parallelism.
+// A nil sc behaves exactly like PlaceBands.
+func (g *Graph) PlaceBandsScratch(faults *fault.Set, sc *Scratch) (*bands.Set, *PlaceReport, error) {
 	rep := &PlaceReport{Faults: faults.Count()}
 	tileShape := g.TileShape()
 
@@ -121,7 +129,7 @@ func (g *Graph) PlaceBands(faults *fault.Set) (*bands.Set, *PlaceReport, error) 
 		rep.Padded += padded
 	}
 
-	bs, err := g.interpolate(boxes)
+	bs, err := g.interpolate(boxes, sc)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -504,8 +512,9 @@ func (g *Graph) padBox(b *faultBox) (int, error) {
 
 // interpolate builds the full band family: pinned constants over box
 // footprints, defaults elsewhere, multilinear blending in between
-// (Lemmas 9-11), rounded with the monotone half-up rule.
-func (g *Graph) interpolate(boxes []*faultBox) (*bands.Set, error) {
+// (Lemmas 9-11), rounded with the monotone half-up rule. A non-nil sc
+// with sc.Workers > 0 bounds the column-sharding fan-out.
+func (g *Graph) interpolate(boxes []*faultBox, sc *Scratch) (*bands.Set, error) {
 	p := g.P
 	t := p.Tile()
 	w := p.W
@@ -565,6 +574,9 @@ func (g *Graph) interpolate(boxes []*faultBox) (*bands.Set, error) {
 	// Each column writes disjoint band entries; results are deterministic
 	// because every value is a pure function of (band, column).
 	workers := runtime.GOMAXPROCS(0)
+	if sc != nil && sc.Workers > 0 {
+		workers = sc.Workers
+	}
 	if workers > g.NumCols {
 		workers = g.NumCols
 	}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"ftnet/internal/embed"
+	"ftnet/internal/fault"
+	"ftnet/internal/torus"
+)
+
+// Scratch holds the per-trial working memory of the Theorem 2 pipeline —
+// the fault bitset, the extraction's row maps and BFS queue, the guest
+// torus, the embedding, and the verifier's injectivity bitmap — so a
+// Monte-Carlo worker can run trials back to back without re-allocating
+// the ~N-sized buffers each time. The parallel trial engine creates one
+// Scratch per worker (Options.NewScratch) and hands it to every trial.
+//
+// Ownership: a Result produced with a Scratch aliases its buffers and
+// is valid only until the next call that uses the same Scratch; clone
+// anything that must outlive the trial. A Scratch must never be shared
+// by concurrently running calls.
+//
+// All methods accept a nil receiver and then allocate fresh buffers, so
+// pipeline code calls them unconditionally whether or not the caller
+// supplied a scratch.
+type Scratch struct {
+	// Workers bounds the *inner* parallelism of band interpolation.
+	// Trials dispatched by the parallel engine should set it to 1: the
+	// pool already saturates the CPUs, and per-trial goroutine fan-out
+	// would only add oversubscription. 0 means GOMAXPROCS (the default
+	// serial-caller behavior).
+	Workers int
+
+	faults  *fault.Set
+	rowflat []int32
+	rowmap  [][]int32
+	queue   []int
+	seen    []bool
+	guest   *torus.Graph
+	emb     *embed.Embedding
+}
+
+// NewScratch returns a Scratch whose interpolation stage uses at most
+// workers goroutines (0 = GOMAXPROCS).
+func NewScratch(workers int) *Scratch { return &Scratch{Workers: workers} }
+
+// Faults returns an empty fault set over n nodes, reusing the previous
+// allocation when the universe size matches.
+func (sc *Scratch) Faults(n int) *fault.Set {
+	if sc == nil {
+		return fault.NewSet(n)
+	}
+	if sc.faults == nil || sc.faults.Len() != n {
+		sc.faults = fault.NewSet(n)
+	} else {
+		sc.faults.Clear()
+	}
+	return sc.faults
+}
+
+// rowBuffers returns numCols nil'd row-map headers plus their flat
+// backing array of numCols*n int32s.
+func (sc *Scratch) rowBuffers(numCols, n int) ([][]int32, []int32) {
+	if sc == nil {
+		return make([][]int32, numCols), make([]int32, numCols*n)
+	}
+	if cap(sc.rowmap) < numCols {
+		sc.rowmap = make([][]int32, numCols)
+	}
+	sc.rowmap = sc.rowmap[:numCols]
+	for i := range sc.rowmap {
+		sc.rowmap[i] = nil
+	}
+	if cap(sc.rowflat) < numCols*n {
+		sc.rowflat = make([]int32, numCols*n)
+	}
+	return sc.rowmap, sc.rowflat[:numCols*n]
+}
+
+// queueBuf returns an empty int slice with at least the given capacity.
+func (sc *Scratch) queueBuf(capacity int) []int {
+	if sc == nil {
+		return make([]int, 0, capacity)
+	}
+	if cap(sc.queue) < capacity {
+		sc.queue = make([]int, 0, capacity)
+	}
+	return sc.queue[:0]
+}
+
+// seenBuf returns a false-filled bool slice of length n for the
+// verifier's injectivity check.
+// A nil receiver returns nil: VerifyBuf allocates its own bitmap then.
+func (sc *Scratch) seenBuf(n int) []bool {
+	if sc == nil {
+		return nil
+	}
+	if cap(sc.seen) < n {
+		sc.seen = make([]bool, n)
+		return sc.seen
+	}
+	sc.seen = sc.seen[:n]
+	for i := range sc.seen {
+		sc.seen[i] = false
+	}
+	return sc.seen
+}
+
+// guestTorus returns the cached d-dimensional side-n guest torus,
+// building it on first use or when the shape changed.
+func (sc *Scratch) guestTorus(d, n int) (*torus.Graph, error) {
+	if sc == nil {
+		return torus.NewUniform(torus.TorusKind, d, n)
+	}
+	g := sc.guest
+	if g != nil && g.Kind == torus.TorusKind && len(g.Shape) == d {
+		ok := true
+		for _, s := range g.Shape {
+			if s != n {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g, nil
+		}
+	}
+	g, err := torus.NewUniform(torus.TorusKind, d, n)
+	if err != nil {
+		return nil, err
+	}
+	sc.guest = g
+	return g, nil
+}
+
+// embedding returns a reusable embedding onto guest.
+func (sc *Scratch) embedding(guest *torus.Graph) *embed.Embedding {
+	if sc == nil {
+		return embed.New(guest)
+	}
+	if sc.emb == nil || sc.emb.Guest != guest || len(sc.emb.Map) != guest.N() {
+		sc.emb = embed.New(guest)
+	}
+	return sc.emb
+}

@@ -59,13 +59,21 @@ func (e *Embedding) MeshRestriction() (*Embedding, error) {
 // Verify checks that the embedding realizes a fault-free copy of the guest
 // inside the host. It returns nil on success and a descriptive error
 // naming the first violated condition otherwise.
-func (e *Embedding) Verify(h Host) error {
+func (e *Embedding) Verify(h Host) error { return e.VerifyBuf(h, nil) }
+
+// VerifyBuf is Verify with a caller-provided injectivity bitmap: seen
+// must be all-false with length h.NumNodes() (nil allocates one).
+// Monte-Carlo workers pass a per-worker buffer to avoid an N-sized
+// allocation per trial; the check itself is identical.
+func (e *Embedding) VerifyBuf(h Host, seen []bool) error {
 	n := e.Guest.N()
 	if len(e.Map) != n {
 		return fmt.Errorf("embed: map has %d entries, guest has %d nodes", len(e.Map), n)
 	}
 	hostN := h.NumNodes()
-	seen := make([]bool, hostN)
+	if len(seen) != hostN {
+		seen = make([]bool, hostN)
+	}
 	for g, u := range e.Map {
 		if u < 0 || u >= hostN {
 			return fmt.Errorf("embed: guest node %d maps to out-of-range host node %d", g, u)

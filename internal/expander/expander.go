@@ -106,7 +106,7 @@ func (g *Graph) MaxDegree() int {
 // iteration on the component orthogonal to the all-ones vector. A value
 // bounded away from 1 certifies expansion (Gabber-Galil proves
 // lambda <= 5*sqrt(2)/8 ~ 0.884 for the multigraph normalization).
-func (g *Graph) SecondEigenvalue(iters int, r *rng.Rand) float64 {
+func (g *Graph) SecondEigenvalue(iters int, r rng.Source) float64 {
 	n := g.N
 	v := make([]float64, n)
 	for i := range v {
@@ -156,7 +156,7 @@ func (g *Graph) SecondEigenvalue(iters int, r *rng.Rand) float64 {
 // greedy DFS extension plus Posa rotations. alive(v) filters usable
 // vertices. Returns the best path found (possibly shorter than target if
 // the step budget runs out).
-func (g *Graph) LongestPath(alive func(int) bool, target int, r *rng.Rand, maxSteps int) []int {
+func (g *Graph) LongestPath(alive func(int) bool, target int, r rng.Source, maxSteps int) []int {
 	n := g.N
 	pos := make([]int32, n) // position in path + 1; 0 = not on path
 	var path []int32

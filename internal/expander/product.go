@@ -107,7 +107,7 @@ func (p *Product) meshAdjacent(a, b int) bool {
 // expander (Posa heuristic with the given step budget), and maps mesh row
 // i to the i-th path vertex. Returns an error if no long-enough path was
 // found within the budget.
-func (p *Product) Embed(faults *fault.Set, r *rng.Rand, maxSteps int) (*embed.Embedding, error) {
+func (p *Product) Embed(faults *fault.Set, r rng.Source, maxSteps int) (*embed.Embedding, error) {
 	deadSuper := make([]bool, p.F.N)
 	faults.ForEach(func(v int) { deadSuper[p.Supernode(v)] = true })
 	alive := func(s int) bool { return !deadSuper[s] }

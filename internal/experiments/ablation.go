@@ -23,9 +23,9 @@ func runA3Impl(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		res, err := stats.MonteCarlo(trials, cfg.Seed+uint64(h*977), cfg.Parallel,
-			func(trial int, seed uint64) (stats.Outcome, error) {
-				fs := g.NewFaultState(seed, pNode, rng.New(seed))
+		res, err := cfg.monteCarlo(trials, cfg.Seed+uint64(h*977), nil,
+			func(trial int, stream *rng.PCG, _ any) (stats.Outcome, error) {
+				fs := g.NewFaultState(stream.Uint64(), pNode, stream)
 				_, _, err := g.Embed(fs)
 				return classify(err)
 			})

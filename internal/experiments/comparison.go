@@ -105,13 +105,14 @@ func runE10(cfg Config) error {
 	// Find the largest fault count with >= 95% survival by doubling then
 	// bisecting on the fault count.
 	rate := func(k int) (float64, error) {
-		res, err := stats.MonteCarlo(trials, cfg.Seed+uint64(k), cfg.Parallel,
-			func(trial int, seed uint64) (stats.Outcome, error) {
-				faults := fault.NewSet(g.NumNodes())
-				if err := faults.ExactRandom(rng.New(seed), k); err != nil {
+		res, err := cfg.monteCarlo(trials, cfg.Seed+uint64(k), coreScratch,
+			func(trial int, stream *rng.PCG, scratch any) (stats.Outcome, error) {
+				sc := scratch.(*core.Scratch)
+				faults := sc.Faults(g.NumNodes())
+				if err := faults.ExactRandom(stream, k); err != nil {
 					return stats.Failure, err
 				}
-				_, err := g.ContainTorus(faults, core.ExtractOptions{})
+				_, err := g.ContainTorus(faults, core.ExtractOptions{Scratch: sc})
 				return classify(err)
 			})
 		if err != nil {

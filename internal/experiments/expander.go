@@ -42,15 +42,14 @@ func runE11(cfg Config) error {
 	target := g.N / 3
 	t := stats.NewTable(cfg.Out, "deleted fraction", "target path", "trials", "found", "rate")
 	for _, frac := range []float64{0.1, 0.25, 0.4} {
-		res, err := stats.MonteCarlo(trials, cfg.Seed+uint64(frac*100), cfg.Parallel,
-			func(trial int, seed uint64) (stats.Outcome, error) {
-				r := rng.New(seed)
+		res, err := cfg.monteCarlo(trials, cfg.Seed+uint64(frac*100), nil,
+			func(trial int, stream *rng.PCG, _ any) (stats.Outcome, error) {
 				dead := fault.NewSet(g.N)
-				if err := dead.ExactRandom(r, int(frac*float64(g.N))); err != nil {
+				if err := dead.ExactRandom(stream, int(frac*float64(g.N))); err != nil {
 					return stats.Failure, err
 				}
 				alive := func(v int) bool { return !dead.Has(v) }
-				path := g.LongestPath(alive, target, r, 400_000)
+				path := g.LongestPath(alive, target, stream, 400_000)
 				if len(path) < target {
 					return stats.Failure, nil
 				}

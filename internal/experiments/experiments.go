@@ -11,14 +11,20 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"ftnet/internal/core"
+	"ftnet/internal/parallel"
 )
 
 // Config tunes an experiment run.
 type Config struct {
 	Out      io.Writer
 	Quick    bool   // smaller sweeps and trial counts
-	Seed     uint64 // master seed; per-trial seeds derive deterministically
-	Parallel int    // worker bound for Monte-Carlo loops (0 = GOMAXPROCS)
+	Seed     uint64 // master seed; per-trial PCG streams derive deterministically
+	Parallel int    // worker bound for Monte-Carlo trials (0 = GOMAXPROCS)
+	// TargetCI, when positive, lets every Monte-Carlo sweep stop early
+	// once its 95% Wilson interval is narrower than this width.
+	TargetCI float64
 }
 
 func (c Config) trials(quick, full int) int {
@@ -27,6 +33,22 @@ func (c Config) trials(quick, full int) int {
 	}
 	return full
 }
+
+// monteCarlo runs one Monte-Carlo table cell on the parallel engine with
+// the experiment-level worker bound and early-stopping target. Results
+// are bit-identical for every worker count (see internal/parallel).
+func (c Config) monteCarlo(trials int, seed uint64, newScratch func() any, fn parallel.Trial) (parallel.Report, error) {
+	return parallel.Run(trials, seed, parallel.Options{
+		Workers:    c.Parallel,
+		NewScratch: newScratch,
+		TargetCI:   c.TargetCI,
+	}, fn)
+}
+
+// coreScratch is the standard per-worker scratch factory for trials
+// running the Theorem 2 pipeline: pooled buffers with inner parallelism
+// pinned to 1 so the trial pool owns all concurrency.
+func coreScratch() any { return core.NewScratch(1) }
 
 // Experiment is a runnable reproduction of one paper claim.
 type Experiment struct {

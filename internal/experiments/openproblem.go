@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"ftnet/internal/core"
-	"ftnet/internal/fault"
 	"ftnet/internal/rng"
 	"ftnet/internal/stats"
 )
@@ -38,11 +37,12 @@ func runE13(cfg Config) error {
 			return err
 		}
 		for _, prob := range probs {
-			res, err := stats.MonteCarlo(trials, cfg.Seed+uint64(prob*1e6)+uint64(params.W), cfg.Parallel,
-				func(trial int, seed uint64) (stats.Outcome, error) {
-					faults := fault.NewSet(g.NumNodes())
-					faults.Bernoulli(rng.New(seed), prob)
-					_, err := g.ContainTorus(faults, core.ExtractOptions{})
+			res, err := cfg.monteCarlo(trials, cfg.Seed+uint64(prob*1e6)+uint64(params.W), coreScratch,
+				func(trial int, stream *rng.PCG, scratch any) (stats.Outcome, error) {
+					sc := scratch.(*core.Scratch)
+					faults := sc.Faults(g.NumNodes())
+					faults.Bernoulli(stream, prob)
+					_, err := g.ContainTorus(faults, core.ExtractOptions{Scratch: sc})
 					return classify(err)
 				})
 			if err != nil {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"ftnet/internal/core"
-	"ftnet/internal/fault"
 	"ftnet/internal/rng"
 	"ftnet/internal/stats"
 )
@@ -37,11 +36,12 @@ func runA4(cfg Config) error {
 		}
 		pThm := params.TheoremFailureProb()
 		rate := func(prob float64) (float64, error) {
-			res, err := stats.MonteCarlo(trials, cfg.Seed+uint64(prob*1e9), cfg.Parallel,
-				func(trial int, seed uint64) (stats.Outcome, error) {
-					faults := fault.NewSet(g.NumNodes())
-					faults.Bernoulli(rng.New(seed), prob)
-					_, err := g.ContainTorus(faults, core.ExtractOptions{})
+			res, err := cfg.monteCarlo(trials, cfg.Seed+uint64(prob*1e9), coreScratch,
+				func(trial int, stream *rng.PCG, scratch any) (stats.Outcome, error) {
+					sc := scratch.(*core.Scratch)
+					faults := sc.Faults(g.NumNodes())
+					faults.Bernoulli(stream, prob)
+					_, err := g.ContainTorus(faults, core.ExtractOptions{Scratch: sc})
 					return classify(err)
 				})
 			if err != nil {

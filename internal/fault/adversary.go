@@ -57,7 +57,7 @@ func AllPatterns() []Pattern {
 // Adversarial places k faults on a host with the given node shape following
 // the pattern. classMod is the residue modulus attacked by ClassSpread
 // (pass b+1 from the construction; any value >= 2 is accepted).
-func Adversarial(p Pattern, shape grid.Shape, k int, classMod int, r *rng.Rand) (*Set, error) {
+func Adversarial(p Pattern, shape grid.Shape, k int, classMod int, r rng.Source) (*Set, error) {
 	n := shape.Size()
 	if k > n {
 		return nil, fmt.Errorf("fault: %d faults exceed %d nodes", k, n)

@@ -120,7 +120,7 @@ func (s *Set) CountRange(lo, hi int) int {
 
 // Bernoulli adds each node of the universe independently with probability p,
 // using geometric skip sampling so sparse fault rates cost O(np) not O(n).
-func (s *Set) Bernoulli(r *rng.Rand, p float64) {
+func (s *Set) Bernoulli(r rng.Source, p float64) {
 	if p <= 0 {
 		return
 	}
@@ -139,7 +139,7 @@ func (s *Set) Bernoulli(r *rng.Rand, p float64) {
 
 // ExactRandom adds exactly k distinct uniformly random nodes. It returns an
 // error if k exceeds the number of currently non-faulty nodes.
-func (s *Set) ExactRandom(r *rng.Rand, k int) error {
+func (s *Set) ExactRandom(r rng.Source, k int) error {
 	free := s.n - s.count
 	if k > free {
 		return fmt.Errorf("fault: cannot place %d faults among %d free nodes", k, free)

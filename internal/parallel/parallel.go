@@ -1,0 +1,242 @@
+// Package parallel is the Monte-Carlo trial engine for the experiment
+// suite: it executes trials across a bounded worker pool and aggregates
+// their outcomes into a stats.Result, with three properties the serial
+// driver it replaces did not have.
+//
+// Determinism. The trial space is split into fixed-size shards that are
+// dispatched to workers in index order. Every trial t draws randomness
+// only from its private PCG stream keyed by (root seed, t)
+// (rng.NewPCG), and outcomes are committed shard-by-shard in index
+// order, so the aggregated counts — including the early-stopping
+// decision — are bit-identical for every worker count and GOMAXPROCS
+// setting. TestParallelDeterminism pins this contract.
+//
+// Bounded memory. Each worker owns one scratch value created by
+// Options.NewScratch and hands it to every trial it runs, so per-trial
+// allocations (fault bitsets, band/extraction buffers via core.Scratch)
+// are paid once per worker, not once per trial.
+//
+// Early stopping. When Options.TargetCI is set, the engine commits the
+// shortest shard prefix whose 95% Wilson interval is narrower than the
+// target (once MinTrials trials are in). The stopping point is a pure
+// function of outcomes in shard order, so it too is worker-count
+// independent; shards that finished beyond the committed prefix are
+// discarded.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ftnet/internal/rng"
+	"ftnet/internal/stats"
+)
+
+// Trial runs one Monte-Carlo trial. t is the global trial index and
+// stream is the trial's private random stream, a pure function of the
+// engine's root seed and t — draw all randomness from it. scratch is
+// the executing worker's scratch value (nil unless Options.NewScratch
+// is set); it is never shared between concurrently running trials, so
+// buffers inside it can be reused freely. A non-nil error from a trial
+// in the committed prefix aborts the whole run: errors mean bugs, not
+// survival failures. Errors from trials beyond an early-stop commit
+// point are discarded by design — a serial run would never have
+// executed those trials, and reporting them would make the outcome
+// depend on the worker count.
+type Trial func(t int, stream *rng.PCG, scratch any) (stats.Outcome, error)
+
+// Options tunes an engine run. The zero value runs all trials on
+// GOMAXPROCS workers with no scratch and no early stopping.
+type Options struct {
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// ShardSize is the number of consecutive trials a worker claims at
+	// once; 0 picks DefaultShardSize, doubled as needed so the shard
+	// table stays bounded (maxAutoShards) for huge trial budgets — a
+	// deterministic function of the trial count. Results are independent
+	// of the shard size only in the no-early-stop case: TargetCI commits
+	// whole shards, so changing ShardSize can move the stopping point
+	// (it never affects which stream trial t sees).
+	ShardSize int
+	// NewScratch, if set, is called once per worker to build its
+	// scratch value.
+	NewScratch func() any
+	// TargetCI, if positive, stops the run once the 95% Wilson interval
+	// over the committed prefix is narrower than this width.
+	TargetCI float64
+	// MinTrials is the minimum number of committed trials before early
+	// stopping may trigger; 0 means 4 shards' worth.
+	MinTrials int
+}
+
+// DefaultShardSize is the trials-per-shard granularity when
+// Options.ShardSize is 0: small enough to load-balance trial counts in
+// the tens, large enough that shard bookkeeping is noise.
+const DefaultShardSize = 8
+
+// maxAutoShards caps the shard table when the engine picks the shard
+// size itself, so a huge trial budget (the natural pattern with
+// TargetCI: "ask for millions, stop when tight") costs megabytes of
+// bookkeeping, not gigabytes. Explicit Options.ShardSize is honored
+// as given.
+const maxAutoShards = 1 << 16
+
+// Report is the outcome of a Run: the aggregated statistics plus how
+// the engine got them.
+type Report struct {
+	stats.Result
+	// Requested is the trial count passed to Run; Result.Trials can be
+	// smaller when early stopping triggered.
+	Requested int
+	// Workers is the worker count actually used.
+	Workers int
+	// Shards is the number of committed shards.
+	Shards int
+	// EarlyStopped reports whether TargetCI cut the run short.
+	EarlyStopped bool
+}
+
+// shardState is one shard's outcome, written once by the worker that
+// ran it and read by the commit scan.
+type shardState struct {
+	successes int
+	trials    int
+	err       error
+	done      bool
+}
+
+// Run executes trials 0..trials-1 and aggregates their outcomes. See
+// the package comment for the determinism contract. The returned error
+// is the recorded trial error with the smallest trial index among
+// committed shards, if any.
+func Run(trials int, rootSeed uint64, opts Options, fn Trial) (Report, error) {
+	if trials <= 0 {
+		return Report{}, fmt.Errorf("parallel: trials = %d", trials)
+	}
+	shardSize := opts.ShardSize
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+		for (trials+shardSize-1)/shardSize > maxAutoShards {
+			shardSize *= 2
+		}
+	}
+	numShards := (trials + shardSize - 1) / shardSize
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numShards {
+		workers = numShards
+	}
+	minTrials := opts.MinTrials
+	if minTrials <= 0 {
+		minTrials = 4 * shardSize
+	}
+
+	shards := make([]shardState, numShards)
+	var (
+		mu           sync.Mutex
+		nextShard    int  // next shard index to dispatch
+		frontier     int  // first shard not yet committed
+		prefixSucc   int  // successes over shards[0:frontier]
+		prefixTrials int  // trials over shards[0:frontier]
+		commit       = -1 // committed shard count; -1 = run to the end
+		stopDispatch bool
+	)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch any
+			if opts.NewScratch != nil {
+				scratch = opts.NewScratch()
+			}
+			for {
+				mu.Lock()
+				if stopDispatch || nextShard >= numShards {
+					mu.Unlock()
+					return
+				}
+				s := nextShard
+				nextShard++
+				mu.Unlock()
+
+				lo := s * shardSize
+				hi := lo + shardSize
+				if hi > trials {
+					hi = trials
+				}
+				var st shardState
+				for t := lo; t < hi; t++ {
+					out, err := fn(t, rng.NewPCG(rootSeed, uint64(t)), scratch)
+					if err != nil {
+						st.err = fmt.Errorf("trial %d: %w", t, err)
+						break
+					}
+					st.trials++
+					if out == stats.Success {
+						st.successes++
+					}
+				}
+				st.done = true
+
+				mu.Lock()
+				shards[s] = st
+				if st.err != nil {
+					stopDispatch = true
+				}
+				// Advance the commit frontier over the contiguous done
+				// prefix, checking the stopping rule after every shard so
+				// the committed prefix is the shortest qualifying one.
+				for frontier < numShards && shards[frontier].done && commit < 0 {
+					if shards[frontier].err != nil {
+						// The erroring shard is committed (so the error is
+						// reported) and nothing after it is.
+						frontier++
+						commit = frontier
+						stopDispatch = true
+						break
+					}
+					prefixSucc += shards[frontier].successes
+					prefixTrials += shards[frontier].trials
+					frontier++
+					if opts.TargetCI > 0 && prefixTrials >= minTrials &&
+						stats.NewResult(prefixSucc, prefixTrials).Width() <= opts.TargetCI {
+						commit = frontier
+						stopDispatch = true
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	committed := commit
+	if committed < 0 {
+		committed = numShards
+	}
+	var successes, ran int
+	for s := 0; s < committed; s++ {
+		if err := shards[s].err; err != nil {
+			return Report{}, err
+		}
+		if !shards[s].done {
+			// Only reachable if dispatch stopped early without a commit
+			// decision, which the accounting above rules out.
+			return Report{}, fmt.Errorf("parallel: internal: shard %d not run", s)
+		}
+		successes += shards[s].successes
+		ran += shards[s].trials
+	}
+	return Report{
+		Result:       stats.NewResult(successes, ran),
+		Requested:    trials,
+		Workers:      workers,
+		Shards:       committed,
+		EarlyStopped: commit >= 0 && committed < numShards,
+	}, nil
+}

@@ -73,7 +73,7 @@ type Profile struct {
 
 // Sample runs BFS from `sources` random sources and aggregates distances
 // to every node.
-func Sample(g Graph, sources int, alive func(int) bool, r *rng.Rand) (Profile, error) {
+func Sample(g Graph, sources int, alive func(int) bool, r rng.Source) (Profile, error) {
 	n := g.NumNodes()
 	if sources <= 0 || sources > n {
 		return Profile{}, fmt.Errorf("pathfind: %d sources for %d nodes", sources, n)
@@ -117,7 +117,7 @@ func Sample(g Graph, sources int, alive func(int) bool, r *rng.Rand) (Profile, e
 // Stretch measures fault-avoidance cost: for `pairs` random live pairs,
 // the ratio of the fault-avoiding distance to the fault-free distance.
 // Returns the mean ratio and the number of disconnected pairs.
-func Stretch(g Graph, alive func(int) bool, pairs int, r *rng.Rand) (mean float64, disconnected int, err error) {
+func Stretch(g Graph, alive func(int) bool, pairs int, r rng.Source) (mean float64, disconnected int, err error) {
 	n := g.NumNodes()
 	total := 0.0
 	counted := 0

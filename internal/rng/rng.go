@@ -1,11 +1,14 @@
-// Package rng implements a small, fast, deterministic random number
-// generator (xoshiro256**) plus a stateless splitmix64-based hash used for
-// lazily evaluated per-edge fault decisions.
+// Package rng implements small, fast, deterministic random number
+// generators — xoshiro256** (Rand) for sequential use and pcg64 (PCG)
+// for splittable per-trial streams — plus a stateless splitmix64-based
+// hash used for lazily evaluated per-edge fault decisions.
 //
 // The standard library's math/rand would work, but experiments need
 // reproducible streams that are cheap to split by (trial, purpose) keys, and
 // fault injection on implicit edge sets needs a pure function of the edge
-// identity. Both are provided here with no external dependencies.
+// identity. Both are provided here with no external dependencies. The
+// Source interface abstracts over the two generators so fault injection
+// and search code can consume either.
 package rng
 
 import (
@@ -37,6 +40,27 @@ func Hash64(parts ...uint64) uint64 {
 func HashFloat(parts ...uint64) float64 {
 	return float64(Hash64(parts...)>>11) / (1 << 53)
 }
+
+// Source is the generator interface shared by Rand (xoshiro256**) and
+// PCG (pcg64). Consumers that only draw random values — fault
+// generators, path searches, trial bodies — should accept a Source so
+// they work with both the sequential generators and the per-trial PCG
+// streams handed out by the parallel engine. It carries only the
+// methods those consumers actually call; both concrete types offer
+// more (Perm, Binomial).
+type Source interface {
+	Uint64() uint64
+	Intn(n int) int
+	Float64() float64
+	Bernoulli(p float64) bool
+	Geometric(p float64) int
+	Shuffle(n int, swap func(i, j int))
+}
+
+var (
+	_ Source = (*Rand)(nil)
+	_ Source = (*PCG)(nil)
+)
 
 // Rand is a xoshiro256** generator. The zero value is not valid; use New.
 type Rand struct {
@@ -82,7 +106,35 @@ func (r *Rand) Uint64() uint64 {
 }
 
 // Intn returns a uniform integer in [0, n). n must be positive.
-func (r *Rand) Intn(n int) int {
+func (r *Rand) Intn(n int) int { return intn(r, n) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 { return float64v(r) }
+
+// Bernoulli returns true with probability p.
+func (r *Rand) Bernoulli(p float64) bool { return bernoulli(r, p) }
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *Rand) Perm(n int) []int { return perm(r, n) }
+
+// Shuffle permutes the first n elements using swap, Fisher–Yates style.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) { shuffle(r, n, swap) }
+
+// Binomial returns a sample from Binomial(n, p). It uses explicit trials
+// for small n·p and a normal approximation fallback is intentionally
+// avoided to keep determinism exact across platforms.
+func (r *Rand) Binomial(n int, p float64) int { return binomial(r, n, p) }
+
+// Geometric returns a sample of the number of failures before the first
+// success with success probability p in (0,1]. Used for fast sparse
+// Bernoulli sampling via skip distances.
+func (r *Rand) Geometric(p float64) int { return geometric(r, p) }
+
+// bitSource is the raw-bits view the shared distribution helpers draw
+// from; both Rand and PCG provide it.
+type bitSource interface{ Uint64() uint64 }
+
+func intn(r bitSource, n int) int {
 	if n <= 0 {
 		panic("rng: Intn with non-positive n")
 	}
@@ -97,67 +149,57 @@ func (r *Rand) Intn(n int) int {
 	}
 }
 
-// Float64 returns a uniform float64 in [0, 1).
-func (r *Rand) Float64() float64 {
+func float64v(r bitSource) float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
-// Bernoulli returns true with probability p.
-func (r *Rand) Bernoulli(p float64) bool {
+func bernoulli(r bitSource, p float64) bool {
 	if p <= 0 {
 		return false
 	}
 	if p >= 1 {
 		return true
 	}
-	return r.Float64() < p
+	return float64v(r) < p
 }
 
-// Perm returns a random permutation of [0, n) (Fisher–Yates).
-func (r *Rand) Perm(n int) []int {
+func perm(r bitSource, n int) []int {
 	p := make([]int, n)
 	for i := range p {
 		p[i] = i
 	}
 	for i := n - 1; i > 0; i-- {
-		j := r.Intn(i + 1)
+		j := intn(r, i+1)
 		p[i], p[j] = p[j], p[i]
 	}
 	return p
 }
 
-// Shuffle permutes the first n elements using swap, Fisher–Yates style.
-func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+func shuffle(r bitSource, n int, swap func(i, j int)) {
 	for i := n - 1; i > 0; i-- {
-		j := r.Intn(i + 1)
+		j := intn(r, i+1)
 		swap(i, j)
 	}
 }
 
-// Binomial returns a sample from Binomial(n, p). It uses explicit trials
-// for small n·p and a normal approximation fallback is intentionally
-// avoided to keep determinism exact across platforms.
-func (r *Rand) Binomial(n int, p float64) int {
+func binomial(r bitSource, n int, p float64) int {
 	k := 0
 	for i := 0; i < n; i++ {
-		if r.Bernoulli(p) {
+		if bernoulli(r, p) {
 			k++
 		}
 	}
 	return k
 }
 
-// Geometric returns a sample of the number of failures before the first
-// success with success probability p in (0,1]. Used for fast sparse
-// Bernoulli sampling via skip distances.
-func (r *Rand) Geometric(p float64) int {
+func geometric(r bitSource, p float64) int {
 	if p >= 1 {
 		return 0
 	}
 	if p <= 0 {
 		panic("rng: Geometric with non-positive p")
 	}
-	u := r.Float64()
+	u := float64v(r)
 	// Avoid log(0).
 	if u == 0 {
 		u = math.SmallestNonzeroFloat64

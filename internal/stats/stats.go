@@ -1,19 +1,18 @@
-// Package stats provides the Monte-Carlo harness and the small amount of
-// statistics the experiment suite needs: parallel trial execution with
-// deterministic per-trial seeds, Wilson score confidence intervals for
-// survival probabilities, and an aligned table writer for the
-// paper-style result tables.
+// Package stats provides the statistics the experiment suite needs:
+// Wilson score confidence intervals for survival probabilities, binomial
+// tail bounds for supernode sizing, summary helpers, and an aligned
+// table writer for the paper-style result tables.
+//
+// Trial execution lives in internal/parallel: its engine runs trials
+// across a worker pool with deterministic per-trial PCG streams and
+// aggregates outcomes into the Result type defined here.
 package stats
 
 import (
 	"fmt"
 	"io"
 	"math"
-	"runtime"
-	"sync"
 	"text/tabwriter"
-
-	"ftnet/internal/rng"
 )
 
 // Outcome classifies one Monte-Carlo trial.
@@ -27,12 +26,6 @@ const (
 	Failure
 )
 
-// TrialFunc runs one trial. seed is derived deterministically from the
-// experiment seed and the trial index, so runs are reproducible and
-// order-independent. A non-nil error aborts the whole experiment: errors
-// mean bugs, not survival failures.
-type TrialFunc func(trial int, seed uint64) (Outcome, error)
-
 // Result summarizes a Monte-Carlo run.
 type Result struct {
 	Trials    int
@@ -45,61 +38,20 @@ func (r Result) String() string {
 	return fmt.Sprintf("%d/%d = %.3f [%.3f, %.3f]", r.Successes, r.Trials, r.Rate, r.Lo, r.Hi)
 }
 
-// MonteCarlo runs trials in parallel (bounded by GOMAXPROCS, or by
-// parallel if positive) and aggregates outcomes. The first trial error
-// cancels the run and is returned.
-func MonteCarlo(trials int, seed uint64, parallel int, fn TrialFunc) (Result, error) {
-	if trials <= 0 {
-		return Result{}, fmt.Errorf("stats: trials = %d", trials)
+// NewResult builds a Result from raw counts, filling in the rate and the
+// 95% Wilson interval.
+func NewResult(successes, trials int) Result {
+	res := Result{Trials: trials, Successes: successes}
+	if trials > 0 {
+		res.Rate = float64(successes) / float64(trials)
 	}
-	if parallel <= 0 {
-		parallel = runtime.GOMAXPROCS(0)
-	}
-	if parallel > trials {
-		parallel = trials
-	}
-	var (
-		mu        sync.Mutex
-		successes int
-		firstErr  error
-	)
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < parallel; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range next {
-				out, err := fn(t, rng.Hash64(seed, uint64(t)))
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("trial %d: %w", t, err)
-				}
-				if err == nil && out == Success {
-					successes++
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	for t := 0; t < trials; t++ {
-		mu.Lock()
-		stop := firstErr != nil
-		mu.Unlock()
-		if stop {
-			break
-		}
-		next <- t
-	}
-	close(next)
-	wg.Wait()
-	if firstErr != nil {
-		return Result{}, firstErr
-	}
-	res := Result{Trials: trials, Successes: successes, Rate: float64(successes) / float64(trials)}
 	res.Lo, res.Hi = Wilson(successes, trials, 1.96)
-	return res, nil
+	return res
 }
+
+// Width returns the width of the confidence interval; the parallel
+// engine's early-stopping rule compares it against a target.
+func (r Result) Width() float64 { return r.Hi - r.Lo }
 
 // Wilson returns the Wilson score interval for a binomial proportion.
 func Wilson(successes, trials int, z float64) (lo, hi float64) {

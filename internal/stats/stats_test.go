@@ -1,22 +1,12 @@
 package stats
 
 import (
-	"errors"
 	"strings"
-	"sync/atomic"
 	"testing"
 )
 
-func TestMonteCarloCounts(t *testing.T) {
-	res, err := MonteCarlo(100, 7, 4, func(trial int, seed uint64) (Outcome, error) {
-		if trial%4 == 0 {
-			return Failure, nil
-		}
-		return Success, nil
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+func TestNewResult(t *testing.T) {
+	res := NewResult(75, 100)
 	if res.Trials != 100 || res.Successes != 75 {
 		t.Errorf("got %+v", res)
 	}
@@ -26,52 +16,11 @@ func TestMonteCarloCounts(t *testing.T) {
 	if res.Lo >= res.Rate || res.Hi <= res.Rate {
 		t.Errorf("interval [%v,%v] does not bracket %v", res.Lo, res.Hi, res.Rate)
 	}
-}
-
-func TestMonteCarloDeterministicSeeds(t *testing.T) {
-	collect := func() []uint64 {
-		seeds := make([]uint64, 20)
-		_, err := MonteCarlo(20, 3, 5, func(trial int, seed uint64) (Outcome, error) {
-			seeds[trial] = seed
-			return Success, nil
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return seeds
+	if w := res.Width(); w != res.Hi-res.Lo || w <= 0 {
+		t.Errorf("Width = %v", w)
 	}
-	a, b := collect(), collect()
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("trial %d seed differs between runs", i)
-		}
-		if a[i] == 0 {
-			t.Fatalf("trial %d got zero seed", i)
-		}
-	}
-}
-
-func TestMonteCarloPropagatesError(t *testing.T) {
-	boom := errors.New("boom")
-	var calls atomic.Int64
-	_, err := MonteCarlo(1000, 1, 4, func(trial int, seed uint64) (Outcome, error) {
-		calls.Add(1)
-		if trial == 3 {
-			return Failure, boom
-		}
-		return Success, nil
-	})
-	if !errors.Is(err, boom) {
-		t.Fatalf("err = %v", err)
-	}
-	if calls.Load() == 1000 {
-		t.Error("error did not stop the run early")
-	}
-}
-
-func TestMonteCarloRejectsZeroTrials(t *testing.T) {
-	if _, err := MonteCarlo(0, 1, 1, nil); err == nil {
-		t.Error("0 trials accepted")
+	if zero := NewResult(0, 0); zero.Rate != 0 || zero.Lo != 0 || zero.Hi != 1 {
+		t.Errorf("NewResult(0,0) = %+v", zero)
 	}
 }
 

@@ -208,7 +208,7 @@ type FaultState struct {
 
 // NewFaultState draws node faults with probability pNode (using r) and
 // configures the edge oracle with the graph's q and the given seed.
-func (g *Graph) NewFaultState(seed uint64, pNode float64, r *rng.Rand) *FaultState {
+func (g *Graph) NewFaultState(seed uint64, pNode float64, r rng.Source) *FaultState {
 	nodes := fault.NewSet(g.NumNodes())
 	nodes.Bernoulli(r, pNode)
 	return &FaultState{Nodes: nodes, Edges: fault.NewOracle(seed, g.P.Q)}
