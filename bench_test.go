@@ -99,10 +99,12 @@ func BenchmarkSurvivalTrialB2(b *testing.B) {
 }
 
 // BenchmarkSurvivalTrialScratchB2 is BenchmarkSurvivalTrialB2 with the
-// per-worker scratch the parallel engine uses: same pipeline, ~zero
-// steady-state allocation. Inner interpolation parallelism is left at
-// the baseline's GOMAXPROCS (NewScratch(0)) so the delta between the
-// two is the win from buffer reuse alone.
+// per-worker scratch the parallel engine uses. With a scratch the
+// pipeline runs the locality-aware fast path (copy-on-write bands,
+// dirty-column extraction, footprint verification), so per-trial cost
+// tracks the fault footprint instead of the host size; compare against
+// BenchmarkSurvivalTrialScratchDenseB2 for the same buffers on the
+// legacy whole-host path.
 func BenchmarkSurvivalTrialScratchB2(b *testing.B) {
 	g := benchGraphB2(b)
 	p := g.P.TheoremFailureProb()
@@ -112,6 +114,23 @@ func BenchmarkSurvivalTrialScratchB2(b *testing.B) {
 		faults := sc.Faults(g.NumNodes())
 		faults.Bernoulli(rng.New(uint64(i)), p)
 		if _, err := g.ContainTorus(faults, core.ExtractOptions{Scratch: sc}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSurvivalTrialScratchDenseB2 pins the legacy dense pipeline
+// (ExtractOptions.Dense) under the same scratch: the gap to
+// BenchmarkSurvivalTrialScratchB2 is the locality win alone.
+func BenchmarkSurvivalTrialScratchDenseB2(b *testing.B) {
+	g := benchGraphB2(b)
+	p := g.P.TheoremFailureProb()
+	sc := core.NewScratch(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		faults := sc.Faults(g.NumNodes())
+		faults.Bernoulli(rng.New(uint64(i)), p)
+		if _, err := g.ContainTorus(faults, core.ExtractOptions{Dense: true, Scratch: sc}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -29,6 +29,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		workers = flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = GOMAXPROCS); results do not depend on it")
 		ci      = flag.Float64("ci", 0, "early-stop once the 95% CI is narrower than this width (0 = run all trials)")
+		dense   = flag.Bool("dense", false, "force the legacy whole-host Theorem 2 pipeline (disable the locality fast path)")
 	)
 	flag.Parse()
 
@@ -39,7 +40,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Out: os.Stdout, Quick: *quick, Seed: *seed, Parallel: *workers, TargetCI: *ci}
+	cfg := experiments.Config{Out: os.Stdout, Quick: *quick, Seed: *seed, Parallel: *workers, TargetCI: *ci, Dense: *dense}
 	ids := strings.Split(*run, ",")
 	for i := range ids {
 		ids[i] = strings.TrimSpace(ids[i])

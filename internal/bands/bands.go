@@ -26,11 +26,23 @@ import (
 // increasing cyclic order around [m]. The placement algorithm in
 // internal/core produces families in this order by construction; Validate
 // re-checks it.
+//
+// A Set optionally runs in copy-on-write mode (see SeedFrom): it is seeded
+// from a template family and records, in a dirty-column bitset, every
+// column whose values may differ from the template. The locality-aware
+// Theorem 2 pipeline uses the dirty set to touch only the fault footprint
+// per Monte-Carlo trial. A tracked Set must be written from one goroutine
+// at a time; untracked Sets keep the old free-for-all contract (the dense
+// interpolation shards columns across workers).
 type Set struct {
 	M        int        // host cycle length (dimension 0)
 	Width    int        // band width b
 	ColShape grid.Shape // shape of the column space, sides n each
 	vals     [][]int32  // vals[g][z] = bottom row of band g at column z
+
+	// Copy-on-write state. dirtyBits is nil when tracking is off.
+	dirtyBits []uint64
+	dirtyList []int32
 }
 
 // NewSet allocates a family of k bands with all values zero; callers fill
@@ -54,10 +66,88 @@ func (s *Set) NumColumns() int { return s.ColShape.Size() }
 // Value returns the bottom row of band g at column z.
 func (s *Set) Value(g, z int) int { return int(s.vals[g][z]) }
 
-// SetValue sets the bottom row of band g at column z.
+// SetValue sets the bottom row of band g at column z. On a tracked set
+// (SeedFrom) the column is marked dirty.
 func (s *Set) SetValue(g, z, bottom int) {
 	s.vals[g][z] = int32(grid.Add(bottom, 0, s.M))
+	if s.dirtyBits != nil {
+		s.MarkDirty(z)
+	}
 }
+
+// sameGeometry reports whether the two families share (M, Width, K, column
+// space), i.e. whether values can be copied between them verbatim.
+func (s *Set) sameGeometry(t *Set) bool {
+	if s.M != t.M || s.Width != t.Width || len(s.vals) != len(t.vals) || len(s.ColShape) != len(t.ColShape) {
+		return false
+	}
+	for i := range s.ColShape {
+		if s.ColShape[i] != t.ColShape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SeedFrom switches the set into copy-on-write mode seeded from the
+// template family tpl: after the call the set is value-identical to tpl
+// and its dirty set is empty. The first call (or a geometry change) pays a
+// full copy; subsequent calls restore only the columns dirtied since the
+// previous SeedFrom, so re-seeding costs O(previous fault footprint), not
+// O(columns). tpl must not change between calls that reuse the receiver.
+func (s *Set) SeedFrom(tpl *Set) error {
+	if !s.sameGeometry(tpl) {
+		return fmt.Errorf("bands: SeedFrom geometry mismatch (m=%d/%d k=%d/%d)", s.M, tpl.M, len(s.vals), len(tpl.vals))
+	}
+	if s.dirtyBits == nil {
+		for g := range s.vals {
+			copy(s.vals[g], tpl.vals[g])
+		}
+		s.dirtyBits = make([]uint64, (s.NumColumns()+63)/64)
+		s.dirtyList = s.dirtyList[:0]
+		return nil
+	}
+	for _, z := range s.dirtyList {
+		for g := range s.vals {
+			s.vals[g][z] = tpl.vals[g][z]
+		}
+		s.dirtyBits[z>>6] &^= 1 << (uint(z) & 63)
+	}
+	s.dirtyList = s.dirtyList[:0]
+	return nil
+}
+
+// Tracking reports whether the set is in copy-on-write mode.
+func (s *Set) Tracking() bool { return s.dirtyBits != nil }
+
+// MarkDirty records that column z may differ from the seed template.
+// No-op when tracking is off or the column is already dirty.
+func (s *Set) MarkDirty(z int) {
+	if s.dirtyBits == nil {
+		return
+	}
+	w, b := z>>6, uint(z)&63
+	if s.dirtyBits[w]&(1<<b) == 0 {
+		s.dirtyBits[w] |= 1 << b
+		s.dirtyList = append(s.dirtyList, int32(z))
+	}
+}
+
+// IsDirty reports whether column z is marked dirty. Always false when
+// tracking is off.
+func (s *Set) IsDirty(z int) bool {
+	return s.dirtyBits != nil && s.dirtyBits[z>>6]&(1<<(uint(z)&63)) != 0
+}
+
+// DirtyColumns returns the dirty columns in mark order (deterministic: it
+// follows the placement algorithm's enumeration). The slice aliases
+// internal state — callers must not mutate it, and it is valid only until
+// the next SeedFrom. Nil when tracking is off or nothing is dirty; use
+// Tracking to distinguish the two.
+func (s *Set) DirtyColumns() []int32 { return s.dirtyList }
+
+// DirtyCount returns the number of dirty columns.
+func (s *Set) DirtyCount() int { return len(s.dirtyList) }
 
 // Masks reports whether band g masks node (row, z).
 func (s *Set) Masks(g, z, row int) bool {
@@ -145,24 +235,13 @@ func (s *Set) Validate() error {
 		return nil
 	}
 	cols := s.NumColumns()
-	need := s.Width + 1
-	if k*need > s.M {
+	if k*(s.Width+1) > s.M {
 		return fmt.Errorf("bands: %d bands of width %d cannot fit untouching in cycle of length %d", k, s.Width, s.M)
 	}
 	// Untouching + closure.
 	for z := 0; z < cols; z++ {
-		total := 0
-		for g := 0; g < k; g++ {
-			next := (g + 1) % k
-			gap := grid.FwdGap(int(s.vals[g][z]), int(s.vals[next][z]), s.M)
-			if k > 1 && gap < need {
-				return fmt.Errorf("bands: bands %d and %d touch at column %d (bottoms %d, %d; gap %d < %d)",
-					g, next, z, s.vals[g][z], s.vals[next][z], gap, need)
-			}
-			total += gap
-		}
-		if total != s.M {
-			return fmt.Errorf("bands: band order inconsistent at column %d (gap sum %d != M %d)", z, total, s.M)
+		if err := s.validateColumn(z); err != nil {
+			return err
 		}
 	}
 	// Slope condition across every adjacent column pair, every dimension.
@@ -174,12 +253,81 @@ func (s *Set) Validate() error {
 			coord[dim] = grid.Add(orig, 1, s.ColShape[dim])
 			zn := s.ColShape.Index(coord)
 			coord[dim] = orig
-			for g := 0; g < k; g++ {
-				if grid.Dist(int(s.vals[g][z]), int(s.vals[g][zn]), s.M) > 1 {
-					return fmt.Errorf("bands: band %d slope violation between columns %d and %d (values %d, %d)",
-						g, z, zn, s.vals[g][z], s.vals[g][zn])
+			if err := s.validateSlope(z, zn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// validateColumn checks the untouching and closure conditions at one
+// column.
+func (s *Set) validateColumn(z int) error {
+	k := len(s.vals)
+	need := s.Width + 1
+	total := 0
+	for g := 0; g < k; g++ {
+		next := (g + 1) % k
+		gap := grid.FwdGap(int(s.vals[g][z]), int(s.vals[next][z]), s.M)
+		if k > 1 && gap < need {
+			return fmt.Errorf("bands: bands %d and %d touch at column %d (bottoms %d, %d; gap %d < %d)",
+				g, next, z, s.vals[g][z], s.vals[next][z], gap, need)
+		}
+		total += gap
+	}
+	if total != s.M {
+		return fmt.Errorf("bands: band order inconsistent at column %d (gap sum %d != M %d)", z, total, s.M)
+	}
+	return nil
+}
+
+// validateSlope checks the slope condition between adjacent columns.
+func (s *Set) validateSlope(z, zn int) error {
+	for g := range s.vals {
+		if grid.Dist(int(s.vals[g][z]), int(s.vals[g][zn]), s.M) > 1 {
+			return fmt.Errorf("bands: band %d slope violation between columns %d and %d (values %d, %d)",
+				g, z, zn, s.vals[g][z], s.vals[g][zn])
+		}
+	}
+	return nil
+}
+
+// ValidateDirty is Validate restricted to the fault footprint of a
+// tracked set: it checks untouching and closure on every dirty column,
+// and the slope condition on every column adjacency incident to a dirty
+// column (both directions, so dirty-clean frontiers are fully covered).
+// Clean columns are value-identical to the seed template by the SeedFrom
+// contract, so validating the template once extends the guarantee to the
+// whole family. Calling it on an untracked set is an error.
+func (s *Set) ValidateDirty() error {
+	if s.dirtyBits == nil {
+		return fmt.Errorf("bands: ValidateDirty on an untracked set")
+	}
+	k := len(s.vals)
+	if k == 0 {
+		return nil
+	}
+	if k*(s.Width+1) > s.M {
+		return fmt.Errorf("bands: %d bands of width %d cannot fit untouching in cycle of length %d", k, s.Width, s.M)
+	}
+	coord := make([]int, len(s.ColShape))
+	for _, z32 := range s.dirtyList {
+		z := int(z32)
+		if err := s.validateColumn(z); err != nil {
+			return err
+		}
+		s.ColShape.Coord(z, coord)
+		for dim := range s.ColShape {
+			orig := coord[dim]
+			for _, delta := range [2]int{1, -1} {
+				coord[dim] = grid.Add(orig, delta, s.ColShape[dim])
+				zn := s.ColShape.Index(coord)
+				if err := s.validateSlope(z, zn); err != nil {
+					return err
 				}
 			}
+			coord[dim] = orig
 		}
 	}
 	return nil

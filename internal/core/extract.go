@@ -16,6 +16,13 @@ type ExtractOptions struct {
 	// Lemma 7 (path independence of P_{i,pi}). Costs one extra pass over
 	// all columns; enabled in tests, off in benchmarks.
 	CheckConsistency bool
+	// Dense forces the legacy whole-host pipeline: dense interpolation,
+	// full-BFS extraction and whole-graph verification, each O(N) per
+	// trial. The default (false) uses the locality-aware copy-on-write
+	// fast path whenever a Scratch is supplied and the fault footprint
+	// allows it (see locality.go); the golden equivalence tests assert
+	// the two modes produce bit-identical results.
+	Dense bool
 	// Scratch, if non-nil, supplies reusable buffers for placement,
 	// extraction and verification, and bounds the pipeline's inner
 	// parallelism (see Scratch). The returned Result then aliases the
@@ -33,14 +40,21 @@ type ExtractOptions struct {
 // The returned embedding maps guest node (i, z) of the n-torus to host
 // node (psi_z(i), z). Callers should verify it with embed.Verify against
 // the faulty host.
+//
+// With a tracked band family (PlaceBandsScratch) and a Scratch, the
+// extraction consumes the family's dirty-column set and runs in
+// O(fault footprint) — see extractFast in locality.go; the BFS below is
+// the legacy dense path, kept behind ExtractOptions.Dense and as the
+// fallback when the fast path does not apply.
 func (g *Graph) Extract(bs *bands.Set, opts ExtractOptions) (*embed.Embedding, error) {
 	p := g.P
 	n := p.N()
-	m := p.M()
-	w := p.W
 	numCols := g.NumCols
 	if bs.K() != p.K() {
 		return nil, fmt.Errorf("core: band family has %d bands, want %d", bs.K(), p.K())
+	}
+	if tpl := g.fastPath(bs, opts); tpl != nil {
+		return g.extractFast(bs, tpl, opts)
 	}
 
 	// Unmasked rows per column, in cyclic order anchored above band 0.
@@ -52,37 +66,10 @@ func (g *Graph) Extract(bs *bands.Set, opts ExtractOptions) (*embed.Embedding, e
 		return nil, fmt.Errorf("core: column 0 has %d unmasked rows, want %d", len(rowmap[0]), n)
 	}
 
-	transfer := func(zFrom, zTo int, src []int32, dst []int32) error {
-		for i, r32 := range src {
-			r := int(r32)
-			band := bs.MaskedBy(zTo, r)
-			if band < 0 {
-				dst[i] = r32
-				continue
-			}
-			bTo := bs.Value(band, zTo)
-			bFrom := bs.Value(band, zFrom)
-			switch {
-			case bTo == grid.Sub(bFrom, 1, m):
-				// The band slid down by one: the row just fell onto the
-				// band's bottom; jump upward over it (paper case (a)).
-				dst[i] = int32(grid.Add(r, w, m))
-			case bTo == grid.Add(bFrom, 1, m):
-				// The band slid up by one: the row fell onto the band's
-				// top; jump downward (paper case (b)).
-				dst[i] = int32(grid.Sub(r, w, m))
-			default:
-				return fmt.Errorf("core: band %d masks row %d at column %d yet did not move from column %d (bottoms %d -> %d)",
-					band, r, zTo, zFrom, bFrom, bTo)
-			}
-		}
-		return nil
-	}
-
 	// BFS over the column torus.
 	queue := append(opts.Scratch.queueBuf(numCols), 0)
-	nbuf := make([]int, 0, 2*(p.D-1))
-	ncoord := make([]int, p.D-1)
+	nbuf := opts.Scratch.nbufBuf()
+	ncoord := opts.Scratch.ncoordBuf(p.D - 1)
 	for head := 0; head < len(queue); head++ {
 		z := queue[head]
 		nbuf = g.columnNeighbors(z, nbuf[:0], ncoord)
@@ -91,19 +78,22 @@ func (g *Graph) Extract(bs *bands.Set, opts ExtractOptions) (*embed.Embedding, e
 				continue
 			}
 			dst := rowflat[zn*n : (zn+1)*n]
-			if err := transfer(z, zn, rowmap[z], dst); err != nil {
+			if err := g.transferRows(bs, z, zn, rowmap[z], dst); err != nil {
 				return nil, err
 			}
 			rowmap[zn] = dst
 			queue = append(queue, zn)
 		}
 	}
+	if opts.Scratch != nil {
+		opts.Scratch.nbuf = nbuf
+	}
 	if len(queue) != numCols {
 		return nil, fmt.Errorf("core: column BFS reached %d of %d columns", len(queue), numCols)
 	}
 
 	if opts.CheckConsistency {
-		dst := make([]int32, n)
+		dst := opts.Scratch.dstBuf(n)
 		coord := make([]int, p.D-1)
 		for z := 0; z < numCols; z++ {
 			g.ColShape.Coord(z, coord)
@@ -112,7 +102,7 @@ func (g *Graph) Extract(bs *bands.Set, opts ExtractOptions) (*embed.Embedding, e
 				coord[dim] = grid.Add(orig, 1, g.ColShape[dim])
 				zn := g.ColShape.Index(coord)
 				coord[dim] = orig
-				if err := transfer(z, zn, rowmap[z], dst); err != nil {
+				if err := g.transferRows(bs, z, zn, rowmap[z], dst); err != nil {
 					return nil, err
 				}
 				for i := range dst {
@@ -137,6 +127,38 @@ func (g *Graph) Extract(bs *bands.Set, opts ExtractOptions) (*embed.Embedding, e
 		}
 	}
 	return e, nil
+}
+
+// transferRows grows the Lemma 6 row mapping from column zFrom to the
+// adjacent column zTo: rows that fall onto a band that slid by one step
+// jump ±W over it (paper cases (a)/(b)); everything else carries over.
+func (g *Graph) transferRows(bs *bands.Set, zFrom, zTo int, src, dst []int32) error {
+	m := g.P.M()
+	w := g.P.W
+	for i, r32 := range src {
+		r := int(r32)
+		band := bs.MaskedBy(zTo, r)
+		if band < 0 {
+			dst[i] = r32
+			continue
+		}
+		bTo := bs.Value(band, zTo)
+		bFrom := bs.Value(band, zFrom)
+		switch {
+		case bTo == grid.Sub(bFrom, 1, m):
+			// The band slid down by one: the row just fell onto the
+			// band's bottom; jump upward over it (paper case (a)).
+			dst[i] = int32(grid.Add(r, w, m))
+		case bTo == grid.Add(bFrom, 1, m):
+			// The band slid up by one: the row fell onto the band's
+			// top; jump downward (paper case (b)).
+			dst[i] = int32(grid.Sub(r, w, m))
+		default:
+			return fmt.Errorf("core: band %d masks row %d at column %d yet did not move from column %d (bottoms %d -> %d)",
+				band, r, zTo, zFrom, bFrom, bTo)
+		}
+	}
+	return nil
 }
 
 // columnNeighbors appends the 2(d-1) columns adjacent to z. coord is a
@@ -187,9 +209,13 @@ type Result struct {
 // An *UnhealthyError means the fault pattern exceeded what the
 // construction tolerates (a survival failure); any other error is a bug.
 // With opts.Scratch set, the heavy buffers of all three stages are
-// reused and the Result aliases the scratch (see Scratch).
+// reused, the Result aliases the scratch (see Scratch), and the whole
+// trial runs the locality-aware fast path — cost proportional to the
+// fault footprint, not the host size — unless opts.Dense forces the
+// legacy whole-host pipeline or the footprint disqualifies itself (see
+// fastPath in locality.go).
 func (g *Graph) ContainTorus(faults *fault.Set, opts ExtractOptions) (*Result, error) {
-	bs, rep, err := g.PlaceBandsScratch(faults, opts.Scratch)
+	bs, rep, err := g.placeBands(faults, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -197,9 +223,15 @@ func (g *Graph) ContainTorus(faults *fault.Set, opts ExtractOptions) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	host := HostView{G: g, Faults: faults}
-	if err := emb.VerifyBuf(host, opts.Scratch.seenBuf(g.NumNodes())); err != nil {
-		return nil, err
+	if tpl := g.fastPath(bs, opts); tpl != nil {
+		if err := g.verifyFast(emb, bs, faults, tpl, opts.Scratch); err != nil {
+			return nil, err
+		}
+	} else {
+		host := HostView{G: g, Faults: faults}
+		if err := emb.VerifyBuf(host, opts.Scratch.seenBuf(g.NumNodes())); err != nil {
+			return nil, err
+		}
 	}
 	return &Result{Bands: bs, Embedding: emb, Report: rep}, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"ftnet/internal/grid"
 )
 
@@ -18,7 +20,9 @@ import (
 //
 // DisableVJump / DisableDJump remove an edge class for ablation studies
 // (experiments A1-A2); with either disabled the extraction of Lemma 6 must
-// fail, which the tests assert.
+// fail, which the tests assert. Set them before the first pipeline call:
+// the lazily built locality template (see template.go) bakes the edge
+// classes in at first use.
 type Graph struct {
 	P        Params
 	ColShape grid.Shape // (d-1)-dimensional column space, sides n
@@ -26,6 +30,13 @@ type Graph struct {
 
 	DisableVJump bool
 	DisableDJump bool
+
+	// Lazily built, immutable-after-build caches shared by concurrent
+	// Monte-Carlo workers.
+	chebOnce sync.Once
+	cheb     [][]int // the 3^d-1 Chebyshev neighbor deltas of a tile
+	tplOnce  sync.Once
+	tpl      *template // all-defaults template for the locality fast path
 }
 
 // NewGraph builds the host description (adjacency is computed on the fly;
@@ -92,13 +103,20 @@ func (g *Graph) Neighbors(idx int, buf []int) []int {
 
 // Adjacent reports whether flat indices u and v are connected in B^d_n.
 func (g *Graph) Adjacent(u, v int) bool {
-	if u == v {
+	iu, zu := g.NodeOf(u)
+	iv, zv := g.NodeOf(v)
+	return g.adjacentRC(iu, zu, iv, zv)
+}
+
+// adjacentRC is Adjacent on pre-split (row, column) pairs: the
+// locality-aware verifier walks columns directly and skips the NodeOf
+// divisions that would otherwise dominate its edge checks.
+func (g *Graph) adjacentRC(iu, zu, iv, zv int) bool {
+	if iu == iv && zu == zv {
 		return false
 	}
 	m := g.P.M()
 	w := g.P.W
-	iu, zu := g.NodeOf(u)
-	iv, zv := g.NodeOf(v)
 	di := grid.Dist(iu, iv, m)
 	if zu == zv {
 		if di == 1 {
@@ -200,6 +218,15 @@ func (g *Graph) TileOf(idx int, buf []int) []int {
 		buf[j+1] = c / t
 	}
 	return buf
+}
+
+// chebyshevDeltas returns the 3^d-1 nonzero {-1,0,1}^d tile deltas, built
+// once per graph: box clustering walks them for every faulty tile of every
+// Monte-Carlo trial, and regenerating the slice family per trial was one
+// of the last steady-state allocations in placement.
+func (g *Graph) chebyshevDeltas() [][]int {
+	g.chebOnce.Do(func() { g.cheb = genChebyshevDeltas(g.P.D) })
+	return g.cheb
 }
 
 // TileShape returns the shape of the tile grid: [numSlabs, colTiles, ...].

@@ -1,0 +1,628 @@
+// Locality-aware fast path for the Theorem 2 pipeline.
+//
+// The paper's construction is local by design: bands deviate from their
+// default positions only near the black boxes that isolate faults
+// (Lemma 5), and the row mapping of Lemma 6 is path-independent
+// (Lemma 7), so everything outside a box footprint is provably at its
+// default. This file exploits that: each Graph lazily builds, once, a
+// *template* — the all-defaults band family, its unmasked-row vector,
+// and a pre-verified default embedding — and per-trial work is then
+// proportional to the fault footprint, not the host size:
+//
+//   - interpolateFast seeds a copy-on-write bands.Set from the template
+//     and recomputes only the columns whose tile cell has a corner
+//     pinned by a fault box (the box footprint ±1 tile), at the slabs
+//     the box spans; the Set's dirty-column bitset records exactly the
+//     columns that may differ from default.
+//   - extractFast runs the Lemma 6 BFS transfer only over the dirty
+//     region, seeded from its clean frontier: Lemma 7 guarantees every
+//     clean column carries the default row vector, so frontier columns
+//     are valid BFS sources and the result is bit-identical to the
+//     dense whole-torus BFS (the golden equivalence test pins this).
+//   - verifyFast checks injectivity, fault avoidance and edge realization
+//     only on columns whose row map actually deviates from the default
+//     (plus their cross-column edges and all faulty nodes), relying on
+//     the once-verified default embedding for the untouched remainder.
+//
+// The legacy dense path remains available behind ExtractOptions.Dense
+// and is used automatically whenever the fast path does not apply (no
+// Scratch, ablated edge classes, column 0 inside a footprint, or a
+// footprint covering every column).
+package core
+
+import (
+	"fmt"
+
+	"ftnet/internal/bands"
+	"ftnet/internal/embed"
+	"ftnet/internal/fault"
+	"ftnet/internal/grid"
+	"ftnet/internal/torus"
+)
+
+// template is the lazily built all-defaults state of a Graph, shared
+// read-only by every Monte-Carlo worker after construction.
+type template struct {
+	bs *bands.Set // all-default band family (untracked), validated once
+	// defaults[j] is the default local bottom offset of band j within a
+	// slab, as used by the multilinear interpolation.
+	defaults []float64
+	// defaultRows lists the n unmasked rows under the default family in
+	// the Lemma 6 anchor order; identical for every column.
+	defaultRows []int32
+	// maskedRow[i] reports whether host row i is masked under defaults.
+	maskedRow []bool
+	// err is the terminal build failure, if any (e.g. the default
+	// embedding does not verify because an edge class is ablated).
+	err error
+}
+
+// template returns the graph's all-defaults template, building and
+// verifying it on first use. The build bakes in the ablation switches,
+// so set DisableVJump/DisableDJump before the first pipeline call.
+func (g *Graph) template() (*template, error) {
+	g.tplOnce.Do(func() { g.tpl = g.buildTemplate() })
+	if g.tpl.err != nil {
+		return nil, g.tpl.err
+	}
+	return g.tpl, nil
+}
+
+// defaultOffsets returns the default local band bottoms within a slab:
+// band j sits at W + j*spread, matching the dense interpolation.
+func (p Params) defaultOffsets() []float64 {
+	per := p.PerSlab()
+	spread := p.W + 1
+	if per > 1 {
+		spread = (p.Tile() - 2*p.W - 1) / (per - 1)
+	}
+	out := make([]float64, per)
+	for j := range out {
+		out[j] = float64(p.W + j*spread)
+	}
+	return out
+}
+
+func (g *Graph) buildTemplate() *template {
+	p := g.P
+	t := p.Tile()
+	per := p.PerSlab()
+	numSlabs := p.NumSlabs()
+	n := p.N()
+	tpl := &template{defaults: p.defaultOffsets()}
+
+	tpl.bs = bands.NewSet(p.M(), p.W, g.ColShape, p.K())
+	for slab := 0; slab < numSlabs; slab++ {
+		for j := 0; j < per; j++ {
+			gIdx := slab*per + j
+			v := slab*t + int(tpl.defaults[j])
+			for z := 0; z < g.NumCols; z++ {
+				tpl.bs.SetValue(gIdx, z, v)
+			}
+		}
+	}
+	if err := tpl.bs.Validate(); err != nil {
+		tpl.err = fmt.Errorf("core: default band family invalid: %w", err)
+		return tpl
+	}
+
+	tpl.defaultRows = tpl.bs.UnmaskedRows(0, make([]int32, 0, n))
+	if len(tpl.defaultRows) != n {
+		tpl.err = fmt.Errorf("core: default family leaves %d unmasked rows, want %d", len(tpl.defaultRows), n)
+		return tpl
+	}
+	tpl.maskedRow = make([]bool, p.M())
+	for i := range tpl.maskedRow {
+		tpl.maskedRow[i] = true
+	}
+	for _, r := range tpl.defaultRows {
+		tpl.maskedRow[r] = false
+	}
+
+	// Verify the default embedding once, from first principles, against
+	// the fault-free host. Every fast-path trial reuses this certificate
+	// for the columns its faults do not touch.
+	guest, err := torus.NewUniform(torus.TorusKind, p.D, n)
+	if err != nil {
+		tpl.err = err
+		return tpl
+	}
+	e := embed.New(guest)
+	for i := 0; i < n; i++ {
+		base := i * g.NumCols
+		host := int(tpl.defaultRows[i]) * g.NumCols
+		for z := 0; z < g.NumCols; z++ {
+			e.Map[base+z] = host + z
+		}
+	}
+	if err := e.Verify(HostView{G: g, Faults: fault.NewSet(g.NumNodes())}); err != nil {
+		tpl.err = fmt.Errorf("core: default embedding failed verification: %w", err)
+	}
+	return tpl
+}
+
+// fastPath decides whether the locality-aware pipeline applies to this
+// (band family, options) pair and returns the template if so. Extract,
+// ContainTorus and the verifier all key off the same predicate, so the
+// three stages can never disagree on the mode. The fast path needs a
+// Scratch (its buffers persist default state across trials), a tracked
+// family, a healthy template, and at least one clean column (the BFS
+// frontier). A dirty column 0 is handled inside extractFast (the anchor
+// component is walked first), so it does not force the dense path.
+func (g *Graph) fastPath(bs *bands.Set, opts ExtractOptions) *template {
+	if opts.Dense || opts.Scratch == nil || !bs.Tracking() {
+		return nil
+	}
+	tpl, err := g.template()
+	if err != nil {
+		return nil
+	}
+	if bs.DirtyCount() == g.NumCols {
+		return nil
+	}
+	return tpl
+}
+
+// interpolateFast is the O(fault-footprint) version of interpolate: it
+// memcpy-restores the template into the scratch's copy-on-write band set
+// and recomputes only the columns inside pinned box footprints ±1 tile,
+// at the slabs each box spans. Every other (slab, column) value is the
+// default by Lemmas 9-11 (no pinned corner in range), so the result is
+// bit-identical to the dense evaluation.
+func (g *Graph) interpolateFast(boxes []*faultBox, sc *Scratch, tpl *template) (*bands.Set, error) {
+	p := g.P
+	t := p.Tile()
+	d1 := p.D - 1
+	colTiles := p.ColTiles()
+	numSlabs := p.NumSlabs()
+	cornerShape := grid.Uniform(d1, colTiles)
+
+	bs := sc.bandsBuf(p.M(), p.W, g.ColShape, p.K())
+	if err := bs.SeedFrom(tpl.bs); err != nil {
+		return nil, err
+	}
+	pinned, err := g.buildPinned(boxes, sc, cornerShape)
+	if err != nil {
+		return nil, err
+	}
+	ev := sc.colEvalBuf(g, tpl.defaults, pinned, cornerShape)
+
+	starts, counts, coord := sc.footprintBufs(d1)
+	for _, b := range boxes {
+		total := 1
+		for dim := 0; dim < d1; dim++ {
+			ext := b.ext[dim+1] + 2 // footprint ±1 tile
+			if ext > colTiles {
+				ext = colTiles
+			}
+			starts[dim] = grid.Sub(b.lo[dim+1], 1, colTiles) * t
+			counts[dim] = ext * t
+			total *= counts[dim]
+		}
+		for it := 0; it < total; it++ {
+			rem := it
+			for dim := d1 - 1; dim >= 0; dim-- {
+				coord[dim] = grid.Add(starts[dim], rem%counts[dim], g.ColShape[dim])
+				rem /= counts[dim]
+			}
+			z := g.ColShape.Index(coord)
+			ev.setColumn(z)
+			for rs := 0; rs < b.ext[0]; rs++ {
+				ev.evalSlab(bs, grid.Add(b.lo[0], rs, numSlabs), z)
+			}
+		}
+	}
+	return bs, nil
+}
+
+// movedBand records a band that slid by one step between two adjacent
+// columns, for the footprint-only row transfer.
+type movedBand struct {
+	bottom int32 // band bottom at the destination column
+	up     bool  // band slid up: masked rows jump downward (paper case b)
+}
+
+// transferFast grows the Lemma 6 row mapping from column zFrom to zTo
+// touching only the bands that actually moved: it first diffs the K band
+// bottoms (detecting slope violations outright), memcpys the row vector
+// when nothing moved, and otherwise applies the ±W jump rule to the rows
+// masked by a moved band. It also records, in dev, whether the resulting
+// vector deviates from base (the vector shared by every clean column) —
+// the verifier later skips columns that do not.
+func (g *Graph) transferFast(bs *bands.Set, base []int32, sc *Scratch, zFrom, zTo int, src, dst []int32, dev []bool) error {
+	m := g.P.M()
+	w := g.P.W
+	k := bs.K()
+	moved := sc.movedBuf[:0]
+	for gi := 0; gi < k; gi++ {
+		bf := bs.Value(gi, zFrom)
+		bt := bs.Value(gi, zTo)
+		switch {
+		case bt == bf:
+		case bt == grid.Sub(bf, 1, m):
+			moved = append(moved, movedBand{bottom: int32(bt), up: false})
+		case bt == grid.Add(bf, 1, m):
+			moved = append(moved, movedBand{bottom: int32(bt), up: true})
+		default:
+			return fmt.Errorf("core: band %d moved more than one step between columns %d and %d (bottoms %d -> %d)",
+				gi, zFrom, zTo, bf, bt)
+		}
+	}
+	sc.movedBuf = moved
+	if len(moved) == 0 {
+		copy(dst, src)
+		dev[zTo] = dev[zFrom]
+		return nil
+	}
+	for i, r32 := range src {
+		r := int(r32)
+		v := r32
+		for _, mb := range moved {
+			if grid.InCyclicInterval(r, int(mb.bottom), w, m) {
+				if mb.up {
+					v = int32(grid.Sub(r, w, m))
+				} else {
+					v = int32(grid.Add(r, w, m))
+				}
+				break
+			}
+		}
+		dst[i] = v
+	}
+	dev[zTo] = !int32Equal(dst, base)
+	return nil
+}
+
+func int32Equal(a, b []int32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// extractFast realizes Lemma 6 in O(fault footprint): clean columns keep
+// (alias) one shared row vector, and the BFS transfer runs only over the
+// dirty region, seeded from its clean frontier. Lemma 7 (path
+// independence) makes the seeds interchangeable with the dense BFS's
+// walk from column 0, so the embedding is bit-identical.
+//
+// The dense BFS anchors guest row 0 at column 0's band positions. When
+// column 0 is dirty, extractFast therefore walks column 0's dirty
+// component first, starting from bs.UnmaskedRows(0) exactly like the
+// dense path, and learns the clean-region vector when that walk first
+// exits to a clean column. Consistency (Lemma 7 on torus cycles) makes
+// that vector the same for every clean column. Almost always it equals
+// the template's default rows (the anchor bands did not actually move)
+// and the trial stays O(footprint); when it is genuinely rotated, the
+// trial degrades gracefully to one O(N) map fill — still far cheaper
+// than the dense pipeline — and invalidates the scratch's default state.
+func (g *Graph) extractFast(bs *bands.Set, tpl *template, opts ExtractOptions) (*embed.Embedding, error) {
+	sc := opts.Scratch
+	p := g.P
+	n := p.N()
+	numCols := g.NumCols
+
+	rowmap, rowflat, dev, e, err := sc.ensureFast(g, tpl)
+	if err != nil {
+		return nil, err
+	}
+	dirty := bs.DirtyColumns()
+	for _, z32 := range dirty {
+		rowmap[z32] = nil
+		dev[z32] = false
+	}
+
+	queue := sc.queueBuf(numCols)
+	nbuf := sc.nbufBuf()
+	ncoord := sc.ncoordBuf(p.D - 1)
+	base := tpl.defaultRows
+	rotated := false
+	if bs.IsDirty(0) {
+		// Anchor component first: reproduce the dense anchor at column 0,
+		// BFS its dirty component, and capture the clean-region vector on
+		// first contact with a clean column.
+		anchor := bs.UnmaskedRows(0, rowflat[:0:n])
+		if len(anchor) != n {
+			return nil, fmt.Errorf("core: column 0 has %d unmasked rows, want %d", len(anchor), n)
+		}
+		rowmap[0] = anchor
+		queue = append(queue, 0)
+		var clean []int32
+		scribbled := -1
+		for head := 0; head < len(queue); head++ {
+			z := queue[head]
+			nbuf = g.columnNeighbors(z, nbuf[:0], ncoord)
+			for _, zn := range nbuf {
+				if !bs.IsDirty(zn) {
+					if clean == nil {
+						cleanDst := sc.cleanVecBuf(n)
+						if err := g.transferFast(bs, base, sc, z, zn, rowmap[z], cleanDst, dev); err != nil {
+							return nil, err
+						}
+						clean = cleanDst
+						scribbled = zn // dev[zn] belongs to a clean column
+					}
+					continue
+				}
+				if rowmap[zn] != nil {
+					continue
+				}
+				dst := rowflat[zn*n : (zn+1)*n]
+				if err := g.transferFast(bs, base, sc, z, zn, rowmap[z], dst, dev); err != nil {
+					return nil, err
+				}
+				rowmap[zn] = dst
+				queue = append(queue, zn)
+			}
+		}
+		if clean == nil {
+			return nil, fmt.Errorf("core: internal: anchor component has no clean frontier")
+		}
+		dev[scribbled] = false // clean columns never deviate from base
+		if !int32Equal(clean, tpl.defaultRows) {
+			// The anchor genuinely rotated: every clean column carries the
+			// rotated vector this trial. The certificate argument of
+			// verifyFast needs clean to be a cyclic rotation of the
+			// default vector (then the host edge pairs of clean columns
+			// are exactly the verified default ones); extraction preserves
+			// cyclic order, so anything else is an internal error.
+			if !isRotation(clean, tpl.defaultRows) {
+				return nil, fmt.Errorf("core: internal: clean-region vector is not a rotation of the default rows")
+			}
+			base = clean
+			rotated = true
+			for z := 0; z < numCols; z++ {
+				if !bs.IsDirty(z) {
+					rowmap[z] = clean
+				}
+			}
+		}
+		// Settle the anchor component's deviation flags against the final
+		// base vector (they were computed before it was known).
+		for _, z := range queue {
+			dev[z] = !int32Equal(rowmap[z], base)
+		}
+	}
+	// Seed every remaining dirty column that touches an assigned column
+	// (clean, or dirty and already transferred).
+	for _, z32 := range dirty {
+		z := int(z32)
+		if rowmap[z] != nil {
+			continue
+		}
+		nbuf = g.columnNeighbors(z, nbuf[:0], ncoord)
+		for _, zn := range nbuf {
+			if rowmap[zn] == nil {
+				continue
+			}
+			dst := rowflat[z*n : (z+1)*n]
+			if err := g.transferFast(bs, base, sc, zn, z, rowmap[zn], dst, dev); err != nil {
+				return nil, err
+			}
+			rowmap[z] = dst
+			queue = append(queue, z)
+			break
+		}
+	}
+	// BFS the interior of the dirty region.
+	for head := 0; head < len(queue); head++ {
+		z := queue[head]
+		nbuf = g.columnNeighbors(z, nbuf[:0], ncoord)
+		for _, zn := range nbuf {
+			if rowmap[zn] != nil || !bs.IsDirty(zn) {
+				continue
+			}
+			dst := rowflat[zn*n : (zn+1)*n]
+			if err := g.transferFast(bs, base, sc, z, zn, rowmap[z], dst, dev); err != nil {
+				return nil, err
+			}
+			rowmap[zn] = dst
+			queue = append(queue, zn)
+		}
+	}
+	sc.nbuf = nbuf
+	if len(queue) != len(dirty) {
+		// Unreachable while DirtyCount < NumCols: any strict subregion of
+		// the column torus has a clean frontier. Kept as a guard.
+		return nil, fmt.Errorf("core: internal: dirty-column BFS reached %d of %d columns", len(queue), len(dirty))
+	}
+
+	if opts.CheckConsistency {
+		dst := sc.dstBuf(n)
+		coord := make([]int, p.D-1)
+		for z := 0; z < numCols; z++ {
+			g.ColShape.Coord(z, coord)
+			for dim := range g.ColShape {
+				orig := coord[dim]
+				coord[dim] = grid.Add(orig, 1, g.ColShape[dim])
+				zn := g.ColShape.Index(coord)
+				coord[dim] = orig
+				if err := g.transferRows(bs, z, zn, rowmap[z], dst); err != nil {
+					return nil, err
+				}
+				for i := range dst {
+					if dst[i] != rowmap[zn][i] {
+						return nil, fmt.Errorf("core: Lemma 7 violation: row %d disagrees across columns %d -> %d (%d vs %d)",
+							i, z, zn, dst[i], rowmap[zn][i])
+					}
+				}
+			}
+		}
+	}
+
+	if rotated {
+		// Every column's map changed relative to the default template:
+		// write them all and drop the scratch's default state (the next
+		// trial re-seeds it).
+		for z := 0; z < numCols; z++ {
+			rows := rowmap[z]
+			for i := 0; i < n; i++ {
+				e.Map[i*numCols+z] = int(rows[i])*numCols + z
+			}
+		}
+		sc.fastInit = false
+		return e, nil
+	}
+	// Fill the embedding for deviating columns only; every other column
+	// already holds the default map from ensureFast's restore.
+	for _, z32 := range dirty {
+		z := int(z32)
+		if !dev[z] {
+			continue
+		}
+		rows := rowmap[z]
+		for i := 0; i < n; i++ {
+			e.Map[i*numCols+z] = int(rows[i])*numCols + z
+		}
+	}
+	sc.notePrevDirty(dirty)
+	return e, nil
+}
+
+// isRotation reports whether a is a cyclic rotation of b (both length n).
+func isRotation(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	n := len(a)
+	if n == 0 {
+		return true
+	}
+	off := -1
+	for i, v := range b {
+		if v == a[0] {
+			off = i
+			break
+		}
+	}
+	if off < 0 {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[(off+i)%n] {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyFast is the locality-aware counterpart of embed.Verify: it
+// re-checks, from the embedding itself, injectivity, fault avoidance and
+// edge realization for every column whose row vector deviates from the
+// clean-region base (plus all cross-column edges incident to them), and
+// checks every faulty node against the image. Non-deviating columns are
+// covered by the template's one-time full verification: their per-column
+// image is exactly the default unmasked-row set (the base vector is the
+// default vector or a cyclic rotation of it — extractFast enforces that),
+// so their host nodes and the host edge pairs between them are precisely
+// the ones the certificate already checked. The verifier trusts the
+// dirty-set invariant of the placement stage; the golden equivalence test
+// cross-checks that trust against the dense verifier.
+func (g *Graph) verifyFast(e *embed.Embedding, bs *bands.Set, faults *fault.Set, tpl *template, sc *Scratch) error {
+	p := g.P
+	n := p.N()
+	numCols := g.NumCols
+	hostN := g.NumNodes()
+	if len(e.Map) != e.Guest.N() {
+		return fmt.Errorf("embed: map has %d entries, guest has %d nodes", len(e.Map), e.Guest.N())
+	}
+	m := p.M()
+	w := p.W
+	dev := sc.devCols
+	colSeen := sc.colSeenBuf(m)
+	ncoord := sc.ncoordBuf(p.D - 1)
+	rows := sc.dstBuf(n) // this column's host rows, split from e.Map once
+	for _, z32 := range bs.DirtyColumns() {
+		z := int(z32)
+		if !dev[z] {
+			continue
+		}
+		sc.colGen++
+		gen := sc.colGen
+		for i := 0; i < n; i++ {
+			u := e.Map[i*numCols+z]
+			if u < 0 || u >= hostN {
+				return fmt.Errorf("embed: guest node %d maps to out-of-range host node %d", i*numCols+z, u)
+			}
+			if u%numCols != z {
+				return fmt.Errorf("embed: guest node (%d,%d) maps outside its column (host %d)", i, z, u)
+			}
+			r := u / numCols
+			rows[i] = int32(r)
+			if colSeen[r] == gen {
+				return fmt.Errorf("embed: host node %d hosts two guest nodes (not injective)", u)
+			}
+			colSeen[r] = gen
+			if faults.Has(u) {
+				return fmt.Errorf("embed: guest node %d maps to faulty host node %d", i*numCols+z, u)
+			}
+		}
+		// Dimension-0 guest edges: consecutive rows (cyclically) must be a
+		// torus step or a vertical jump — the same-column conditions of
+		// Graph.Adjacent, with m and w hoisted out of the loop.
+		for i := 0; i < n; i++ {
+			i2 := i + 1
+			if i2 == n {
+				i2 = 0
+			}
+			di := grid.Dist(int(rows[i]), int(rows[i2]), m)
+			if di == 1 || (di == w+1 && !g.DisableVJump) {
+				continue
+			}
+			return fmt.Errorf("embed: guest edge (%d,%d)-(%d,%d) maps to non-adjacent host rows %d,%d",
+				i, z, i2, z, rows[i], rows[i2])
+		}
+		// Cross-column edges. Edges between two deviating columns are
+		// checked once (from the smaller column index); edges into
+		// non-deviating columns are checked from this side. Column
+		// adjacency is checked once per pair; the per-row condition is
+		// then Adjacent's cross-column branch (torus step or diagonal
+		// jump).
+		g.ColShape.Coord(z, ncoord)
+		for dim := range g.ColShape {
+			orig := ncoord[dim]
+			for _, delta := range [2]int{1, -1} {
+				if delta == 1 {
+					ncoord[dim] = grid.Add(orig, 1, g.ColShape[dim])
+				} else {
+					ncoord[dim] = grid.Sub(orig, 1, g.ColShape[dim])
+				}
+				zn := g.ColShape.Index(ncoord)
+				if dev[zn] && zn < z {
+					continue
+				}
+				if !g.columnsAdjacent(z, zn) {
+					return fmt.Errorf("core: internal: columns %d and %d are not adjacent", z, zn)
+				}
+				for i := 0; i < n; i++ {
+					r2 := e.Map[i*numCols+zn] / numCols
+					di := grid.Dist(int(rows[i]), r2, m)
+					if di == 0 || (di == w && !g.DisableDJump) {
+						continue
+					}
+					return fmt.Errorf("embed: guest edge (%d,%d)-(%d,%d) maps to non-adjacent host pair (rows %d,%d)",
+						i, z, i, zn, rows[i], r2)
+				}
+			}
+			ncoord[dim] = orig
+		}
+	}
+	// Faults in non-deviating columns: their column images are exactly
+	// the default rows, so the fault must be masked under the default
+	// family. (Faults in deviating columns were checked row by row.)
+	var outErr error
+	faults.ForEach(func(idx int) {
+		if outErr != nil {
+			return
+		}
+		if dev[idx%numCols] {
+			return
+		}
+		if !tpl.maskedRow[idx/numCols] {
+			outErr = fmt.Errorf("embed: faulty host node %d lies in the default image of clean column %d", idx, idx%numCols)
+		}
+	})
+	return outErr
+}

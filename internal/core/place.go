@@ -62,21 +62,28 @@ type faultBox struct {
 // passes bands.Set.Validate and masks every fault; if the fault pattern is
 // too dense or too clustered it returns an *UnhealthyError instead.
 func (g *Graph) PlaceBands(faults *fault.Set) (*bands.Set, *PlaceReport, error) {
-	return g.PlaceBandsScratch(faults, nil)
+	return g.placeBands(faults, ExtractOptions{})
 }
 
-// PlaceBandsScratch is PlaceBands with a scratch: sc bounds the
-// interpolation stage's worker fan-out (sc.Workers), which Monte-Carlo
-// trial workers pin to 1 so the trial-level pool owns all parallelism.
-// A nil sc behaves exactly like PlaceBands.
+// PlaceBandsScratch is PlaceBands with a scratch: sc supplies reusable
+// buffers for every placement stage and bounds the dense interpolation's
+// worker fan-out (sc.Workers). With a scratch the interpolation runs the
+// locality-aware copy-on-write path (see locality.go): the returned
+// family is tracked, aliases the scratch, and is valid only until the
+// scratch's next use. A nil sc behaves exactly like PlaceBands.
 func (g *Graph) PlaceBandsScratch(faults *fault.Set, sc *Scratch) (*bands.Set, *PlaceReport, error) {
+	return g.placeBands(faults, ExtractOptions{Scratch: sc})
+}
+
+func (g *Graph) placeBands(faults *fault.Set, opts ExtractOptions) (*bands.Set, *PlaceReport, error) {
+	sc := opts.Scratch
 	rep := &PlaceReport{Faults: faults.Count()}
 	tileShape := g.TileShape()
 
-	faultyTiles := g.faultyTiles(faults)
+	faultyTiles := g.faultyTiles(faults, sc)
 	rep.FaultyTiles = len(faultyTiles)
 
-	boxes := initialBoxes(faultyTiles, tileShape)
+	boxes := initialBoxes(faultyTiles, tileShape, g.chebyshevDeltas())
 	var err error
 	for pass := 0; ; pass++ {
 		rep.MergePasses = pass + 1
@@ -95,7 +102,7 @@ func (g *Graph) PlaceBandsScratch(faults *fault.Set, sc *Scratch) (*bands.Set, *
 		}
 		extended := false
 		for _, b := range boxes {
-			if err := g.pigeonholeSegments(b); err != nil {
+			if err := g.pigeonholeSegments(b, sc); err != nil {
 				return nil, rep, err
 			}
 			if len(b.segs) > 0 && b.segs[0] < 0 {
@@ -122,18 +129,33 @@ func (g *Graph) PlaceBandsScratch(faults *fault.Set, sc *Scratch) (*bands.Set, *
 	}
 
 	for _, b := range boxes {
-		padded, err := g.padBox(b)
+		padded, err := g.padBox(b, sc)
 		if err != nil {
 			return nil, rep, err
 		}
 		rep.Padded += padded
 	}
 
-	bs, err := g.interpolate(boxes, sc)
+	var bs *bands.Set
+	var tpl *template
+	if sc != nil && !opts.Dense {
+		// Template build failures (e.g. ablated edge classes) silently
+		// fall back to the dense path, which reports them on its own
+		// terms.
+		tpl, _ = g.template()
+	}
+	var validate func() error
+	if tpl != nil {
+		bs, err = g.interpolateFast(boxes, sc, tpl)
+		validate = func() error { return bs.ValidateDirty() }
+	} else {
+		bs, err = g.interpolate(boxes, sc)
+		validate = func() error { return bs.Validate() }
+	}
 	if err != nil {
 		return nil, rep, err
 	}
-	if err := bs.Validate(); err != nil {
+	if err := validate(); err != nil {
 		return nil, rep, fmt.Errorf("core: placed bands invalid: %w", err)
 	}
 	if err := g.checkAllMasked(bs, faults); err != nil {
@@ -143,12 +165,12 @@ func (g *Graph) PlaceBandsScratch(faults *fault.Set, sc *Scratch) (*bands.Set, *
 }
 
 // faultyTiles returns the flat tile indices containing at least one fault.
-func (g *Graph) faultyTiles(faults *fault.Set) []int {
+func (g *Graph) faultyTiles(faults *fault.Set, sc *Scratch) []int {
 	t := g.P.Tile()
 	tileShape := g.TileShape()
 	colTileShape := grid.Shape(tileShape[1:])
-	seen := make(map[int]struct{})
-	var out []int
+	seen := sc.tileSeenBuf(tileShape.Size())
+	out := sc.tileListBuf()
 	coord := make([]int, g.P.D-1)
 	tcoord := make([]int, g.P.D-1)
 	faults.ForEach(func(idx int) {
@@ -158,18 +180,26 @@ func (g *Graph) faultyTiles(faults *fault.Set) []int {
 			tcoord[j] = c / t
 		}
 		flat := (i/t)*colTileShape.Size() + colTileShape.Index(tcoord)
-		if _, ok := seen[flat]; !ok {
-			seen[flat] = struct{}{}
+		if !seen[flat] {
+			seen[flat] = true
 			out = append(out, flat)
 		}
 	})
+	// Restore the bitmap's all-false invariant in O(faulty tiles).
+	for _, flat := range out {
+		seen[flat] = false
+	}
+	if sc != nil {
+		sc.tileList = out
+	}
 	sort.Ints(out)
 	return out
 }
 
 // initialBoxes groups faulty tiles into Chebyshev-connected components and
-// returns each component's minimal cyclic bounding box.
-func initialBoxes(faultyTiles []int, tileShape grid.Shape) []*faultBox {
+// returns each component's minimal cyclic bounding box. deltas is the
+// 3^d-1 neighbor-offset table (Graph.chebyshevDeltas).
+func initialBoxes(faultyTiles []int, tileShape grid.Shape, deltas [][]int) []*faultBox {
 	if len(faultyTiles) == 0 {
 		return nil
 	}
@@ -199,7 +229,6 @@ func initialBoxes(faultyTiles []int, tileShape grid.Shape) []*faultBox {
 	coord := make([]int, d)
 	ncoord := make([]int, d)
 	// Enumerate the 3^d-1 Chebyshev neighbors of each faulty tile.
-	deltas := chebyshevDeltas(d)
 	for i, t := range faultyTiles {
 		tileShape.Coord(t, coord)
 		for _, delta := range deltas {
@@ -240,7 +269,7 @@ func initialBoxes(faultyTiles []int, tileShape grid.Shape) []*faultBox {
 	return boxes
 }
 
-func chebyshevDeltas(d int) [][]int {
+func genChebyshevDeltas(d int) [][]int {
 	var out [][]int
 	delta := make([]int, d)
 	var rec func(int)
@@ -395,7 +424,7 @@ func dedupe(a []int) []int {
 // straight width-b segments in the slots between class rows so that every
 // fault is masked and consecutive segments keep one unmasked row between
 // them.
-func (g *Graph) pigeonholeSegments(b *faultBox) error {
+func (g *Graph) pigeonholeSegments(b *faultBox, sc *Scratch) error {
 	w := g.P.W
 	rows := b.faultRows
 	b.segs = b.segs[:0]
@@ -406,7 +435,7 @@ func (g *Graph) pigeonholeSegments(b *faultBox) error {
 		}
 		blockStart := rows[start]
 		// Find a fault-free residue class mod (w+1) within the block.
-		used := make([]bool, w+1)
+		used := sc.usedBuf(w + 1)
 		for i := start; i <= end; i++ {
 			used[(rows[i]-blockStart)%(w+1)] = true
 		}
@@ -451,7 +480,13 @@ func (g *Graph) pigeonholeSegments(b *faultBox) error {
 // padBox tops every slab the box spans up to exactly PerSlab segments,
 // keeping the whole segment family untouching. Returns the number of
 // filler segments added.
-func (g *Graph) padBox(b *faultBox) (int, error) {
+//
+// The working list `all` stays sorted throughout: each filler candidate
+// is advanced past its conflicts with one binary search plus a forward
+// walk over the (few) conflicting neighbors, then spliced in at its
+// insertion point — replacing the previous quadratic rescan-and-resort
+// per filler (see BenchmarkPadBox).
+func (g *Graph) padBox(b *faultBox, sc *Scratch) (int, error) {
 	t := g.P.Tile()
 	w := g.P.W
 	per := g.P.PerSlab()
@@ -468,37 +503,42 @@ func (g *Graph) padBox(b *faultBox) (int, error) {
 		}
 	}
 	added := 0
-	all := append([]int(nil), b.segs...)
+	var all []int
+	if sc != nil {
+		all = sc.segMerge[:0]
+	}
+	all = append(all, b.segs...) // b.segs is sorted (pigeonholeSegments)
 	for rs := 0; rs < slabs; rs++ {
 		need := per - counts[rs]
 		pos := rs * t
 		for need > 0 {
-			// Advance pos past any conflict with an existing segment.
-			for {
-				moved := false
-				for _, s := range all {
-					if pos > s-(w+1) && pos < s+(w+1) {
-						pos = s + w + 1
-						moved = true
-					}
-				}
-				if !moved {
-					break
-				}
+			// Advance pos past every segment s with |pos-s| <= w. The
+			// list is sorted, so conflicts form a contiguous run starting
+			// at the first segment >= pos-w; each hop lands pos just
+			// clear of one conflict and the run can only move forward.
+			idx := sort.SearchInts(all, pos-w)
+			for idx < len(all) && all[idx] <= pos+w {
+				pos = all[idx] + w + 1
+				idx++
 			}
 			if pos >= (rs+1)*t {
 				return added, unhealthy("cannot pad slab to %d segments", per)
 			}
-			all = append(all, pos)
-			sort.Ints(all)
+			// Splice pos in at idx, keeping the list sorted.
+			all = append(all, 0)
+			copy(all[idx+1:], all[idx:])
+			all[idx] = pos
 			added++
 			need--
 			pos += w + 1
 		}
 	}
-	b.segs = all
+	b.segs = append(b.segs[:0], all...)
+	if sc != nil {
+		sc.segMerge = all
+	}
 	b.perSlab = make([][]int, slabs)
-	for _, s := range all {
+	for _, s := range b.segs {
 		rs := s / t
 		b.perSlab[rs] = append(b.perSlab[rs], s)
 	}
@@ -510,39 +550,26 @@ func (g *Graph) padBox(b *faultBox) (int, error) {
 	return added, nil
 }
 
-// interpolate builds the full band family: pinned constants over box
-// footprints, defaults elsewhere, multilinear blending in between
-// (Lemmas 9-11), rounded with the monotone half-up rule. A non-nil sc
-// with sc.Workers > 0 bounds the column-sharding fan-out.
-func (g *Graph) interpolate(boxes []*faultBox, sc *Scratch) (*bands.Set, error) {
+// buildPinned fills the dense pinned-corner table: entry
+// slab*numCorners+corner holds the per local segment positions a box pins
+// at that (slab, tile-corner), nil everywhere else. The table and its
+// occupied-key list live in the scratch so steady-state trials allocate
+// nothing.
+func (g *Graph) buildPinned(boxes []*faultBox, sc *Scratch, cornerShape grid.Shape) ([][]float64, error) {
 	p := g.P
 	t := p.Tile()
-	w := p.W
 	per := p.PerSlab()
 	numSlabs := p.NumSlabs()
-	m := p.M()
 	colTiles := p.ColTiles()
-	d1 := p.D - 1 // column-space dimensionality
-	cornerShape := grid.Uniform(d1, colTiles)
+	d1 := p.D - 1
 	numCorners := cornerShape.Size()
 
-	// Default local band positions within a slab.
-	defaults := make([]float64, per)
-	spread := w + 1
-	if per > 1 {
-		spread = (t - 2*w - 1) / (per - 1)
-	}
-	for j := range defaults {
-		defaults[j] = float64(w + j*spread)
-	}
-
-	// pinned[slab*numCorners+corner] = per local segment positions.
-	pinned := make(map[int][]float64)
+	pinned, keys := sc.pinnedBuf(numSlabs * numCorners)
 	cornerCoord := make([]int, d1)
 	for _, b := range boxes {
 		for rs := 0; rs < b.ext[0]; rs++ {
 			slab := grid.Add(b.lo[0], rs, numSlabs)
-			locals := make([]float64, per)
+			locals := sc.localsSlice(per)
 			for j, s := range b.perSlab[rs] {
 				locals[j] = float64(s - rs*t)
 			}
@@ -560,16 +587,126 @@ func (g *Graph) interpolate(boxes []*faultBox, sc *Scratch) (*bands.Set, error) 
 					rem /= span
 				}
 				key := slab*numCorners + cornerShape.Index(cornerCoord)
-				if _, dup := pinned[key]; dup {
+				if pinned[key] != nil {
+					sc.setPinnedKeys(keys)
 					return nil, unhealthy("two fault boxes pin the same tile corner (separation failed)")
 				}
 				pinned[key] = locals
+				keys = append(keys, key)
 			}
 		}
 	}
+	sc.setPinnedKeys(keys)
+	return pinned, nil
+}
 
-	bs := bands.NewSet(m, w, g.ColShape, p.K())
+// colEval evaluates the band bottoms of one (slab, column) pair at a
+// time: corner lookups in the pinned table, multilinear blending between
+// pinned and default corners (Lemmas 9-11), monotone half-up rounding.
+// Both the dense sharded loop and the locality fast path drive the same
+// evaluator, so the two paths share every rounding-sensitive instruction
+// and stay bit-identical.
+type colEval struct {
+	t, d1, nc, per, numCorners, colTiles int
+	colShape                             grid.Shape
+	cornerShape                          grid.Shape
+	defaults                             []float64
+	pinned                               [][]float64
+	colCoord, tileCoord, cornerCoord     []int
+	x                                    []float64
+	cornerKeys                           []int
+	cornerVals, scratch                  []float64
+	pins                                 [][]float64
+}
+
+func newColEval(g *Graph, defaults []float64, pinned [][]float64, cornerShape grid.Shape) *colEval {
+	d1 := g.P.D - 1
 	nc := 1 << uint(d1)
+	return &colEval{
+		t: g.P.Tile(), d1: d1, nc: nc, per: g.P.PerSlab(),
+		numCorners: cornerShape.Size(), colTiles: g.P.ColTiles(),
+		colShape: g.ColShape, cornerShape: cornerShape,
+		defaults: defaults, pinned: pinned,
+		colCoord: make([]int, d1), tileCoord: make([]int, d1), cornerCoord: make([]int, d1),
+		x:          make([]float64, d1),
+		cornerKeys: make([]int, nc), cornerVals: make([]float64, nc),
+		scratch: make([]float64, nc), pins: make([][]float64, nc),
+	}
+}
+
+// setColumn computes the column's tile cell, interpolation point and
+// corner keys; evalSlab can then be called for any slab.
+func (e *colEval) setColumn(z int) {
+	e.colShape.Coord(z, e.colCoord)
+	for dim := 0; dim < e.d1; dim++ {
+		e.tileCoord[dim] = e.colCoord[dim] / e.t
+		e.x[dim] = (float64(e.colCoord[dim]%e.t) + 0.5) / float64(e.t)
+	}
+	for s := 0; s < e.nc; s++ {
+		for dim := 0; dim < e.d1; dim++ {
+			if s&(1<<uint(dim)) != 0 {
+				e.cornerCoord[dim] = grid.Add(e.tileCoord[dim], 1, e.colTiles)
+			} else {
+				e.cornerCoord[dim] = e.tileCoord[dim]
+			}
+		}
+		e.cornerKeys[s] = e.cornerShape.Index(e.cornerCoord)
+	}
+}
+
+// evalSlab writes the per band bottoms of (slab, current column).
+func (e *colEval) evalSlab(bs *bands.Set, slab, z int) {
+	base := slab * e.t
+	anyPinned := false
+	for s := 0; s < e.nc; s++ {
+		e.pins[s] = nil
+		if arr := e.pinned[slab*e.numCorners+e.cornerKeys[s]]; arr != nil {
+			e.pins[s] = arr
+			anyPinned = true
+		}
+	}
+	for j := 0; j < e.per; j++ {
+		gIdx := slab*e.per + j
+		if !anyPinned {
+			bs.SetValue(gIdx, z, base+int(e.defaults[j]))
+			continue
+		}
+		for s := 0; s < e.nc; s++ {
+			if e.pins[s] != nil {
+				e.cornerVals[s] = e.pins[s][j]
+			} else {
+				e.cornerVals[s] = e.defaults[j]
+			}
+		}
+		var v float64
+		if multilinear.Constant(e.cornerVals) {
+			v = e.cornerVals[0]
+		} else {
+			v = multilinear.Eval(e.cornerVals, e.x, e.scratch)
+		}
+		bs.SetValue(gIdx, z, base+multilinear.RoundHalfUp(v))
+	}
+}
+
+// interpolate builds the full band family densely: pinned constants over
+// box footprints, defaults elsewhere, multilinear blending in between
+// (Lemmas 9-11), rounded with the monotone half-up rule, evaluated for
+// every (slab, column) of the host. A non-nil sc with sc.Workers > 0
+// bounds the column-sharding fan-out. The locality-aware alternative is
+// interpolateFast (locality.go).
+func (g *Graph) interpolate(boxes []*faultBox, sc *Scratch) (*bands.Set, error) {
+	p := g.P
+	numSlabs := p.NumSlabs()
+	d1 := p.D - 1 // column-space dimensionality
+	cornerShape := grid.Uniform(d1, p.ColTiles())
+
+	defaults := p.defaultOffsets()
+	pinned, err := g.buildPinned(boxes, sc, cornerShape)
+	if err != nil {
+		return nil, err
+	}
+
+	bs := bands.NewSet(p.M(), p.W, g.ColShape, p.K())
 	// Columns are independent, so shard the evaluation across workers.
 	// Each column writes disjoint band entries; results are deterministic
 	// because every value is a pure function of (band, column).
@@ -580,7 +717,7 @@ func (g *Graph) interpolate(boxes []*faultBox, sc *Scratch) (*bands.Set, error) 
 	if workers > g.NumCols {
 		workers = g.NumCols
 	}
-	if len(pinned) == 0 || workers < 2 {
+	if len(boxes) == 0 || workers < 2 {
 		workers = 1
 	}
 	var wg sync.WaitGroup
@@ -590,61 +727,11 @@ func (g *Graph) interpolate(boxes []*faultBox, sc *Scratch) (*bands.Set, error) 
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			colCoord := make([]int, d1)
-			tileCoord := make([]int, d1)
-			cornerCoord := make([]int, d1)
-			x := make([]float64, d1)
-			cornerKeys := make([]int, nc)
-			cornerVals := make([]float64, nc)
-			scratch := make([]float64, nc)
-			pins := make([][]float64, nc)
+			ev := newColEval(g, defaults, pinned, cornerShape)
 			for z := lo; z < hi; z++ {
-				g.ColShape.Coord(z, colCoord)
-				for dim := 0; dim < d1; dim++ {
-					tileCoord[dim] = colCoord[dim] / t
-					x[dim] = (float64(colCoord[dim]%t) + 0.5) / float64(t)
-				}
-				for s := 0; s < nc; s++ {
-					for dim := 0; dim < d1; dim++ {
-						if s&(1<<uint(dim)) != 0 {
-							cornerCoord[dim] = grid.Add(tileCoord[dim], 1, colTiles)
-						} else {
-							cornerCoord[dim] = tileCoord[dim]
-						}
-					}
-					cornerKeys[s] = cornerShape.Index(cornerCoord)
-				}
+				ev.setColumn(z)
 				for slab := 0; slab < numSlabs; slab++ {
-					base := slab * t
-					anyPinned := false
-					for s := 0; s < nc; s++ {
-						pins[s] = nil
-						if arr, ok := pinned[slab*numCorners+cornerKeys[s]]; ok {
-							pins[s] = arr
-							anyPinned = true
-						}
-					}
-					for j := 0; j < per; j++ {
-						gIdx := slab*per + j
-						if !anyPinned {
-							bs.SetValue(gIdx, z, base+int(defaults[j]))
-							continue
-						}
-						for s := 0; s < nc; s++ {
-							if pins[s] != nil {
-								cornerVals[s] = pins[s][j]
-							} else {
-								cornerVals[s] = defaults[j]
-							}
-						}
-						var v float64
-						if multilinear.Constant(cornerVals) {
-							v = cornerVals[0]
-						} else {
-							v = multilinear.Eval(cornerVals, x, scratch)
-						}
-						bs.SetValue(gIdx, z, base+multilinear.RoundHalfUp(v))
-					}
+					ev.evalSlab(bs, slab, z)
 				}
 			}
 		}(lo, hi)

@@ -15,7 +15,7 @@ import (
 
 func TestChebyshevDeltas(t *testing.T) {
 	for d := 1; d <= 3; d++ {
-		deltas := chebyshevDeltas(d)
+		deltas := genChebyshevDeltas(d)
 		want := 1
 		for i := 0; i < d; i++ {
 			want *= 3
@@ -47,7 +47,7 @@ func TestChebyshevDeltas(t *testing.T) {
 
 func TestInitialBoxesSingleton(t *testing.T) {
 	shape := grid.Shape{10, 8}
-	boxes := initialBoxes([]int{3*8 + 5}, shape)
+	boxes := initialBoxes([]int{3*8 + 5}, shape, genChebyshevDeltas(2))
 	if len(boxes) != 1 {
 		t.Fatalf("%d boxes", len(boxes))
 	}
@@ -61,7 +61,7 @@ func TestInitialBoxesMergesComponents(t *testing.T) {
 	shape := grid.Shape{10, 8}
 	// Tiles (2,2) and (3,3) are diagonal: one component. Tile (7,7) is far.
 	tiles := []int{2*8 + 2, 3*8 + 3, 7*8 + 7}
-	boxes := initialBoxes(tiles, shape)
+	boxes := initialBoxes(tiles, shape, genChebyshevDeltas(2))
 	if len(boxes) != 2 {
 		t.Fatalf("%d boxes, want 2", len(boxes))
 	}
@@ -70,7 +70,7 @@ func TestInitialBoxesMergesComponents(t *testing.T) {
 func TestInitialBoxesWrap(t *testing.T) {
 	shape := grid.Shape{10, 8}
 	// Tiles (9,7) and (0,0) touch across both wraps.
-	boxes := initialBoxes([]int{9*8 + 7, 0}, shape)
+	boxes := initialBoxes([]int{9*8 + 7, 0}, shape, genChebyshevDeltas(2))
 	if len(boxes) != 1 {
 		t.Fatalf("%d boxes, want 1 (wrap adjacency)", len(boxes))
 	}
@@ -136,7 +136,7 @@ func TestPigeonholeSegmentsCoverAndSpacing(t *testing.T) {
 			box.faultRows = append(box.faultRows, r)
 		}
 		sortInts(box.faultRows)
-		if err := g.pigeonholeSegments(box); err != nil {
+		if err := g.pigeonholeSegments(box, nil); err != nil {
 			// The pigeonhole can legitimately fail for adversarial dense
 			// rows; the property below only applies to successes.
 			return strings.Contains(err.Error(), "unhealthy")
@@ -180,10 +180,10 @@ func TestPadBoxFillsEverySlab(t *testing.T) {
 	w := g.P.W
 	box := &faultBox{lo: []int{0, 0}, ext: []int{3, 1}}
 	box.faultRows = []int{5, 40, 90} // a few sparse faults
-	if err := g.pigeonholeSegments(box); err != nil {
+	if err := g.pigeonholeSegments(box, nil); err != nil {
 		t.Fatal(err)
 	}
-	added, err := g.padBox(box)
+	added, err := g.padBox(box, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestPadBoxOverfullSlabUnhealthy(t *testing.T) {
 	for i := 0; i <= per; i++ {
 		box.segs = append(box.segs, i*(w+1))
 	}
-	if _, err := g.padBox(box); err == nil {
+	if _, err := g.padBox(box, nil); err == nil {
 		t.Error("overfull slab not rejected")
 	}
 }
@@ -291,3 +291,29 @@ func TestExtractionOrderPreserved(t *testing.T) {
 }
 
 func core_extract_opts() ExtractOptions { return ExtractOptions{CheckConsistency: true} }
+
+// BenchmarkPadBox measures the sorted-merge filler insertion on a
+// realistically sparse box (the hot shape: a few pigeonhole segments,
+// many fillers). The previous implementation re-sorted the whole list
+// and rescanned every segment per candidate position.
+func BenchmarkPadBox(b *testing.B) {
+	g, err := NewGraph(testParams2D())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := NewScratch(1)
+	base := &faultBox{lo: []int{0, 0}, ext: []int{3, 1}}
+	base.faultRows = []int{5, 40, 75, 100}
+	if err := g.pigeonholeSegments(base, sc); err != nil {
+		b.Fatal(err)
+	}
+	segs := append([]int(nil), base.segs...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		box := *base
+		box.segs = append(box.segs[:0], segs...)
+		if _, err := g.padBox(&box, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

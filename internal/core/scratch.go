@@ -1,32 +1,43 @@
 package core
 
 import (
+	"ftnet/internal/bands"
 	"ftnet/internal/embed"
 	"ftnet/internal/fault"
+	"ftnet/internal/grid"
 	"ftnet/internal/torus"
 )
 
 // Scratch holds the per-trial working memory of the Theorem 2 pipeline —
-// the fault bitset, the extraction's row maps and BFS queue, the guest
-// torus, the embedding, and the verifier's injectivity bitmap — so a
-// Monte-Carlo worker can run trials back to back without re-allocating
-// the ~N-sized buffers each time. The parallel trial engine creates one
-// Scratch per worker (Options.NewScratch) and hands it to every trial.
+// the fault bitset, the copy-on-write band family, the extraction's row
+// maps and BFS queue, the guest torus, the embedding, and the verifiers'
+// bitmaps — so a Monte-Carlo worker can run trials back to back without
+// re-allocating the ~N-sized buffers each time. The parallel trial engine
+// creates one Scratch per worker (Options.NewScratch) and hands it to
+// every trial.
 //
-// Ownership: a Result produced with a Scratch aliases its buffers and
-// is valid only until the next call that uses the same Scratch; clone
-// anything that must outlive the trial. A Scratch must never be shared
-// by concurrently running calls.
+// Beyond buffer reuse, a Scratch is what makes the locality-aware fast
+// path (see locality.go) O(fault footprint): it keeps the row-map headers
+// and the embedding seeded with the graph's default template between
+// trials, and each trial restores only the columns the previous trial
+// dirtied before writing its own.
+//
+// Ownership: a Result produced with a Scratch aliases its buffers —
+// including Result.Bands and Result.Embedding — and is valid only until
+// the next call that uses the same Scratch; clone anything that must
+// outlive the trial. A Scratch must never be shared by concurrently
+// running calls.
 //
 // All methods accept a nil receiver and then allocate fresh buffers, so
 // pipeline code calls them unconditionally whether or not the caller
 // supplied a scratch.
 type Scratch struct {
-	// Workers bounds the *inner* parallelism of band interpolation.
-	// Trials dispatched by the parallel engine should set it to 1: the
-	// pool already saturates the CPUs, and per-trial goroutine fan-out
-	// would only add oversubscription. 0 means GOMAXPROCS (the default
-	// serial-caller behavior).
+	// Workers bounds the *inner* parallelism of the dense band
+	// interpolation. Trials dispatched by the parallel engine should set
+	// it to 1: the pool already saturates the CPUs, and per-trial
+	// goroutine fan-out would only add oversubscription. 0 means
+	// GOMAXPROCS (the default serial-caller behavior). The locality fast
+	// path is always serial (its work is footprint-sized).
 	Workers int
 
 	faults  *fault.Set
@@ -36,10 +47,43 @@ type Scratch struct {
 	seen    []bool
 	guest   *torus.Graph
 	emb     *embed.Embedding
+
+	// Placement buffers.
+	ws          *bands.Set // copy-on-write band family, seeded per trial
+	tileSeen    []bool     // faultyTiles dedupe bitmap (kept all-false)
+	tileList    []int
+	pinnedVals  [][]float64 // dense pinned-corner table (kept all-nil)
+	pinnedKeys  []int
+	localsArena []float64 // backing for the per-(box,slab) pinned locals
+	usedRes     []bool    // pigeonhole residue classes
+	segMerge    []int     // padBox sorted-merge buffer
+	eval        *colEval
+	fpStarts    []int
+	fpCounts    []int
+	fpCoord     []int
+
+	// Extraction buffers.
+	nbuf     []int
+	ncoord   []int
+	consDst  []int32
+	movedBuf []movedBand
+
+	// Locality fast-path state. Valid only while fastGraph matches the
+	// current graph and no dense extraction has clobbered the buffers:
+	// rowmap points every column at the template's default rows except
+	// the prevDirty ones, emb holds the default map except the previously
+	// deviating columns, and devCols is all-false outside prevDirty.
+	fastGraph *Graph
+	fastInit  bool
+	prevDirty []int32
+	devCols   []bool
+	cleanVec  []int32
+	colSeen   []int32 // per-column verify bitmap, generation-counted
+	colGen    int32
 }
 
-// NewScratch returns a Scratch whose interpolation stage uses at most
-// workers goroutines (0 = GOMAXPROCS).
+// NewScratch returns a Scratch whose dense interpolation stage uses at
+// most workers goroutines (0 = GOMAXPROCS).
 func NewScratch(workers int) *Scratch { return &Scratch{Workers: workers} }
 
 // Faults returns an empty fault set over n nodes, reusing the previous
@@ -57,11 +101,13 @@ func (sc *Scratch) Faults(n int) *fault.Set {
 }
 
 // rowBuffers returns numCols nil'd row-map headers plus their flat
-// backing array of numCols*n int32s.
+// backing array of numCols*n int32s. Used by the dense extraction, which
+// overwrites every header — so any fast-path state is invalidated.
 func (sc *Scratch) rowBuffers(numCols, n int) ([][]int32, []int32) {
 	if sc == nil {
 		return make([][]int32, numCols), make([]int32, numCols*n)
 	}
+	sc.fastInit = false
 	if cap(sc.rowmap) < numCols {
 		sc.rowmap = make([][]int32, numCols)
 	}
@@ -86,7 +132,7 @@ func (sc *Scratch) queueBuf(capacity int) []int {
 	return sc.queue[:0]
 }
 
-// seenBuf returns a false-filled bool slice of length n for the
+// seenBuf returns a false-filled bool slice of length n for the dense
 // verifier's injectivity check.
 // A nil receiver returns nil: VerifyBuf allocates its own bitmap then.
 func (sc *Scratch) seenBuf(n int) []bool {
@@ -140,4 +186,261 @@ func (sc *Scratch) embedding(guest *torus.Graph) *embed.Embedding {
 		sc.emb = embed.New(guest)
 	}
 	return sc.emb
+}
+
+// bandsBuf returns the reusable copy-on-write band family, reallocating
+// when the geometry changed. SeedFrom pays the full template copy on a
+// fresh set and an O(previous footprint) restore afterwards.
+func (sc *Scratch) bandsBuf(m, w int, colShape grid.Shape, k int) *bands.Set {
+	if sc == nil {
+		return bands.NewSet(m, w, colShape, k)
+	}
+	ws := sc.ws
+	if ws == nil || ws.M != m || ws.Width != w || ws.K() != k || ws.NumColumns() != colShape.Size() {
+		sc.ws = bands.NewSet(m, w, colShape, k)
+	}
+	return sc.ws
+}
+
+// tileSeenBuf returns an all-false bitmap over the tile grid. Callers
+// must clear the bits they set before returning (faultyTiles does), so
+// the all-false invariant costs O(faulty tiles), not O(tiles).
+func (sc *Scratch) tileSeenBuf(numTiles int) []bool {
+	if sc == nil {
+		return make([]bool, numTiles)
+	}
+	if cap(sc.tileSeen) < numTiles {
+		sc.tileSeen = make([]bool, numTiles)
+	}
+	return sc.tileSeen[:numTiles]
+}
+
+// tileListBuf returns an empty reusable slice for the faulty-tile list.
+func (sc *Scratch) tileListBuf() []int {
+	if sc == nil {
+		return nil
+	}
+	return sc.tileList[:0]
+}
+
+// usedBuf returns a false-filled bool slice of length n for the
+// pigeonhole residue-class scan.
+func (sc *Scratch) usedBuf(n int) []bool {
+	if sc == nil {
+		return make([]bool, n)
+	}
+	if cap(sc.usedRes) < n {
+		sc.usedRes = make([]bool, n)
+		return sc.usedRes[:n]
+	}
+	buf := sc.usedRes[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
+}
+
+// pinnedBuf returns the all-nil pinned-corner table of the given size
+// plus the empty key list used to re-clear it next trial. The caller
+// stores the grown key list back via setPinnedKeys. The previous trial's
+// keys are cleared against the table's full capacity, not the requested
+// size: a Scratch may move to a smaller graph, whose table reuses the
+// same backing while stale keys still point above it.
+func (sc *Scratch) pinnedBuf(size int) ([][]float64, []int) {
+	if sc == nil {
+		return make([][]float64, size), nil
+	}
+	if cap(sc.pinnedVals) < size {
+		sc.pinnedVals = make([][]float64, size)
+		sc.pinnedKeys = sc.pinnedKeys[:0]
+	}
+	sc.pinnedVals = sc.pinnedVals[:cap(sc.pinnedVals)]
+	for _, k := range sc.pinnedKeys {
+		sc.pinnedVals[k] = nil
+	}
+	sc.pinnedKeys = sc.pinnedKeys[:0]
+	sc.localsArena = sc.localsArena[:0]
+	return sc.pinnedVals[:size], sc.pinnedKeys
+}
+
+func (sc *Scratch) setPinnedKeys(keys []int) {
+	if sc != nil {
+		sc.pinnedKeys = keys
+	}
+}
+
+// localsSlice returns a zeroed float64 slice of length per from the
+// trial-lifetime arena. Slices stay valid after arena growth (old
+// backing arrays are simply retired).
+func (sc *Scratch) localsSlice(per int) []float64 {
+	if sc == nil {
+		return make([]float64, per)
+	}
+	n := len(sc.localsArena)
+	if n+per > cap(sc.localsArena) {
+		grown := make([]float64, n, 2*(n+per))
+		copy(grown, sc.localsArena)
+		sc.localsArena = grown
+	}
+	sc.localsArena = sc.localsArena[:n+per]
+	out := sc.localsArena[n : n+per : n+per]
+	for i := range out {
+		out[i] = 0
+	}
+	return out
+}
+
+// colEvalBuf returns a reusable column evaluator rebound to this trial's
+// pinned table and defaults.
+func (sc *Scratch) colEvalBuf(g *Graph, defaults []float64, pinned [][]float64, cornerShape grid.Shape) *colEval {
+	if sc == nil {
+		return newColEval(g, defaults, pinned, cornerShape)
+	}
+	ev := sc.eval
+	if ev == nil || ev.d1 != g.P.D-1 || ev.per != g.P.PerSlab() || ev.t != g.P.Tile() || ev.numCorners != cornerShape.Size() {
+		sc.eval = newColEval(g, defaults, pinned, cornerShape)
+		return sc.eval
+	}
+	ev.defaults = defaults
+	ev.pinned = pinned
+	ev.colShape = g.ColShape
+	ev.cornerShape = cornerShape
+	ev.colTiles = g.P.ColTiles()
+	return ev
+}
+
+// footprintBufs returns three d1-sized work slices for the footprint
+// odometer.
+func (sc *Scratch) footprintBufs(d1 int) (starts, counts, coord []int) {
+	if sc == nil {
+		return make([]int, d1), make([]int, d1), make([]int, d1)
+	}
+	if cap(sc.fpStarts) < d1 {
+		sc.fpStarts = make([]int, d1)
+		sc.fpCounts = make([]int, d1)
+		sc.fpCoord = make([]int, d1)
+	}
+	return sc.fpStarts[:d1], sc.fpCounts[:d1], sc.fpCoord[:d1]
+}
+
+// nbufBuf returns the reusable column-neighbor buffer (emptied).
+func (sc *Scratch) nbufBuf() []int {
+	if sc == nil {
+		return nil
+	}
+	return sc.nbuf[:0]
+}
+
+// ncoordBuf returns the reusable coordinate buffer for columnNeighbors,
+// sized on first use by the column-space dimensionality.
+func (sc *Scratch) ncoordBuf(d1 int) []int {
+	if sc == nil {
+		return make([]int, d1)
+	}
+	if cap(sc.ncoord) < d1 {
+		sc.ncoord = make([]int, d1)
+	}
+	return sc.ncoord[:d1]
+}
+
+// dstBuf returns a length-n int32 buffer for the consistency check.
+func (sc *Scratch) dstBuf(n int) []int32 {
+	if sc == nil {
+		return make([]int32, n)
+	}
+	if cap(sc.consDst) < n {
+		sc.consDst = make([]int32, n)
+	}
+	return sc.consDst[:n]
+}
+
+// cleanVecBuf returns the length-n buffer holding the clean-region row
+// vector when the anchor column is dirty (see extractFast).
+func (sc *Scratch) cleanVecBuf(n int) []int32 {
+	if cap(sc.cleanVec) < n {
+		sc.cleanVec = make([]int32, n)
+	}
+	return sc.cleanVec[:n]
+}
+
+// colSeenBuf returns the generation-counted per-column bitmap over host
+// rows; the verifier bumps colGen instead of clearing it.
+func (sc *Scratch) colSeenBuf(m int) []int32 {
+	if sc == nil {
+		return make([]int32, m)
+	}
+	if cap(sc.colSeen) < m {
+		sc.colSeen = make([]int32, m)
+		sc.colGen = 0
+	}
+	return sc.colSeen[:m]
+}
+
+// ensureFast prepares the persistent fast-path state for one trial on
+// graph g: on first use (or after a graph switch or a dense extraction)
+// it points every row-map header at the template's default rows and fills
+// the embedding with the default map (O(N), paid once); afterwards it
+// restores only the columns the previous trial dirtied, in O(previous
+// footprint).
+func (sc *Scratch) ensureFast(g *Graph, tpl *template) (rowmap [][]int32, rowflat []int32, dev []bool, e *embed.Embedding, err error) {
+	p := g.P
+	n := p.N()
+	numCols := g.NumCols
+	guest, err := sc.guestTorus(p.D, n)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	e = sc.embedding(guest)
+	if cap(sc.rowmap) < numCols {
+		sc.rowmap = make([][]int32, numCols)
+		sc.fastInit = false
+	}
+	sc.rowmap = sc.rowmap[:numCols]
+	if cap(sc.rowflat) < numCols*n {
+		sc.rowflat = make([]int32, numCols*n)
+		sc.fastInit = false
+	}
+	if cap(sc.devCols) < numCols {
+		sc.devCols = make([]bool, numCols)
+		sc.fastInit = false
+	}
+	sc.devCols = sc.devCols[:numCols]
+	if sc.fastGraph != g {
+		sc.fastGraph = g
+		sc.fastInit = false
+	}
+	if !sc.fastInit {
+		for z := 0; z < numCols; z++ {
+			sc.rowmap[z] = tpl.defaultRows
+			sc.devCols[z] = false
+		}
+		for i := 0; i < n; i++ {
+			base := i * numCols
+			host := int(tpl.defaultRows[i]) * numCols
+			for z := 0; z < numCols; z++ {
+				e.Map[base+z] = host + z
+			}
+		}
+		sc.prevDirty = sc.prevDirty[:0]
+		sc.fastInit = true
+	} else {
+		for _, z32 := range sc.prevDirty {
+			z := int(z32)
+			sc.rowmap[z] = tpl.defaultRows
+			if sc.devCols[z] {
+				sc.devCols[z] = false
+				for i := 0; i < n; i++ {
+					e.Map[i*numCols+z] = int(tpl.defaultRows[i])*numCols + z
+				}
+			}
+		}
+		sc.prevDirty = sc.prevDirty[:0]
+	}
+	return sc.rowmap, sc.rowflat[:numCols*n], sc.devCols, e, nil
+}
+
+// notePrevDirty records the columns this trial overwrote, for the next
+// trial's restore.
+func (sc *Scratch) notePrevDirty(dirty []int32) {
+	sc.prevDirty = append(sc.prevDirty[:0], dirty...)
 }

@@ -112,7 +112,7 @@ func runE10(cfg Config) error {
 				if err := faults.ExactRandom(stream, k); err != nil {
 					return stats.Failure, err
 				}
-				_, err := g.ContainTorus(faults, core.ExtractOptions{Scratch: sc})
+				_, err := g.ContainTorus(faults, cfg.extractOpts(sc))
 				return classify(err)
 			})
 		if err != nil {

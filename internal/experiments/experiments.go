@@ -25,6 +25,11 @@ type Config struct {
 	// TargetCI, when positive, lets every Monte-Carlo sweep stop early
 	// once its 95% Wilson interval is narrower than this width.
 	TargetCI float64
+	// Dense forces the legacy whole-host Theorem 2 pipeline in every
+	// trial (ExtractOptions.Dense), disabling the locality-aware fast
+	// path. Results are bit-identical either way (the golden equivalence
+	// tests pin that); the flag exists for perf ablations.
+	Dense bool
 }
 
 func (c Config) trials(quick, full int) int {
@@ -47,8 +52,15 @@ func (c Config) monteCarlo(trials int, seed uint64, newScratch func() any, fn pa
 
 // coreScratch is the standard per-worker scratch factory for trials
 // running the Theorem 2 pipeline: pooled buffers with inner parallelism
-// pinned to 1 so the trial pool owns all concurrency.
+// pinned to 1 so the trial pool owns all concurrency. The scratch also
+// enables the locality-aware fast path (unless Config.Dense disables it).
 func coreScratch() any { return core.NewScratch(1) }
+
+// extractOpts is the standard per-trial pipeline options for a worker's
+// scratch, honoring the experiment-level Dense override.
+func (c Config) extractOpts(sc *core.Scratch) core.ExtractOptions {
+	return core.ExtractOptions{Scratch: sc, Dense: c.Dense}
+}
 
 // Experiment is a runnable reproduction of one paper claim.
 type Experiment struct {

@@ -62,7 +62,7 @@ func runE2(cfg Config) error {
 				sc := scratch.(*core.Scratch)
 				faults := sc.Faults(g.NumNodes())
 				faults.Bernoulli(stream, prob)
-				_, err := g.ContainTorus(faults, core.ExtractOptions{Scratch: sc})
+				_, err := g.ContainTorus(faults, cfg.extractOpts(sc))
 				return classify(err)
 			})
 		if err != nil {

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Quick benchmark harness for the performance-tracked hot paths.
+#
+# Runs the core benchmark set with fixed -benchtime/-count (so numbers
+# are comparable across runs and machines of the same class), writes the
+# averaged results as JSON, and — when a committed baseline exists —
+# prints a benchstat-style comparison. The comparison is report-only: it
+# never fails the build (perf deltas are reviewed by humans; see the CI
+# "bench" job).
+#
+# Usage:
+#   scripts/bench.sh                 # compare against BENCH_pr2.json, then refresh it
+#   BENCH_OUT=/tmp/new.json scripts/bench.sh   # write elsewhere (CI does this)
+#   BENCH_COUNT=5 scripts/bench.sh             # more repetitions
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_pr2.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_pr2.json}"
+COUNT="${BENCH_COUNT:-3}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "== quick benchmarks (count=$COUNT) =="
+go test -run '^$' -count "$COUNT" -benchtime 50x -benchmem \
+  -bench 'BenchmarkPlaceBandsB2$|BenchmarkExtractB2$|BenchmarkSurvivalTrialScratchB2$|BenchmarkSurvivalTrialScratchDenseB2$' . | tee "$TMP"
+go test -run '^$' -count "$COUNT" -benchtime 5000x -benchmem \
+  -bench 'BenchmarkPadBox$' ./internal/core/ | tee -a "$TMP"
+
+python3 - "$TMP" "$OUT" "$BASELINE" <<'EOF'
+import json, re, sys, datetime
+
+raw, out, baseline_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+runs = {}
+cpu = go = ""
+for line in open(raw):
+    if line.startswith("cpu:"):
+        cpu = line.split(":", 1)[1].strip()
+    m = re.match(r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?", line)
+    if m:
+        name = m.group(1)
+        runs.setdefault(name, []).append(
+            (float(m.group(3)), int(m.group(4) or 0), int(m.group(5) or 0)))
+
+bench = {}
+for name, rs in runs.items():
+    bench[name] = {
+        "ns_per_op": round(sum(r[0] for r in rs) / len(rs), 1),
+        "bytes_per_op": round(sum(r[1] for r in rs) / len(rs)),
+        "allocs_per_op": round(sum(r[2] for r in rs) / len(rs)),
+        "runs": len(rs),
+    }
+
+# Keep the hand-recorded pre-PR baseline block, if the existing file has one.
+doc = {"cpu": cpu, "benchmarks": bench,
+       "config": {"benchtime": "50x (PadBox: 5000x)"},
+       "generated_by": "scripts/bench.sh"}
+old = None
+try:
+    old = json.load(open(baseline_path))
+    if "baseline_pr1" in old:
+        doc["baseline_pr1"] = old["baseline_pr1"]
+except (FileNotFoundError, json.JSONDecodeError):
+    pass
+
+if old and old.get("benchmarks"):
+    print("\n== comparison vs %s (report-only) ==" % baseline_path)
+    print("%-40s %14s %14s %8s" % ("benchmark", "old ns/op", "new ns/op", "delta"))
+    for name in sorted(set(old["benchmarks"]) | set(bench)):
+        o = old["benchmarks"].get(name, {}).get("ns_per_op")
+        n = bench.get(name, {}).get("ns_per_op")
+        if o and n:
+            print("%-40s %14.0f %14.0f %+7.1f%%" % (name, o, n, 100.0 * (n - o) / o))
+        else:
+            print("%-40s %14s %14s %8s" % (name, o or "-", n or "-", "n/a"))
+
+json.dump(doc, open(out, "w"), indent=2, sort_keys=True)
+open(out, "a").write("\n")
+print("\nwrote %s" % out)
+EOF
