@@ -20,6 +20,7 @@ import (
 	"ftnet/internal/rng"
 	"ftnet/internal/stats"
 	"ftnet/internal/supernode"
+	"ftnet/internal/sweep"
 	"ftnet/internal/viz"
 	"ftnet/internal/worstcase"
 )
@@ -167,6 +168,45 @@ func BenchmarkSurvivalParallel(b *testing.B) {
 				b.Fatal(err)
 			}
 		})
+	}
+}
+
+// e2Ladder is the 9-rung E2 rate ladder on the n=432 host.
+func e2Ladder(g *core.Graph) []float64 {
+	pThm := g.P.TheoremFailureProb()
+	mults := []float64{0.5, 1, 2, 5, 10, 25, 50, 100, 250}
+	rates := make([]float64, len(mults))
+	for i, m := range mults {
+		rates[i] = pThm * m
+	}
+	return rates
+}
+
+// BenchmarkSurvivalSweepB2 covers the coupled curve engine on the full
+// E2 workload: one op is one trial walking the entire 9-rung ladder
+// under nested coupling, with rung-to-rung reuse of placement,
+// extraction and verification state (core.SweepTrial). Compare against
+// BenchmarkSurvivalSweepIndependentB2 — the same 9 rungs evaluated on
+// independent per-rung samples, today's one-cell-per-rate behavior — for
+// the coupling win alone.
+func BenchmarkSurvivalSweepB2(b *testing.B) {
+	g := benchGraphB2(b)
+	rates := e2Ladder(g)
+	b.ResetTimer()
+	if _, err := sweep.SurvivalCurve(g, rates, b.N, 12345, sweep.Config{Workers: 1}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSurvivalSweepIndependentB2 is the ablation baseline: the same
+// ladder, trial count and streams, but every rung re-samples and runs the
+// pipeline cold.
+func BenchmarkSurvivalSweepIndependentB2(b *testing.B) {
+	g := benchGraphB2(b)
+	rates := e2Ladder(g)
+	b.ResetTimer()
+	if _, err := sweep.SurvivalCurve(g, rates, b.N, 12345, sweep.Config{Workers: 1, Independent: true}); err != nil {
+		b.Fatal(err)
 	}
 }
 

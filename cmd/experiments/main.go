@@ -2,14 +2,17 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-workers N] [-ci W] [-list] [-run E1,E7,...|all]
+//	experiments [-quick] [-seed N] [-workers N] [-ci W] [-independent] [-list] [-run E1,E7,...|all]
 //
 // Each experiment prints the claim it reproduces followed by the measured
 // table; EXPERIMENTS.md records the expected shapes. Monte-Carlo sweeps
 // run on the deterministic parallel engine (internal/parallel): for a
 // fixed -seed the tables are bit-identical for every -workers value.
-// -ci sets an early-stopping target (95% Wilson interval width) so dense
-// sweeps stop as soon as the estimate is tight enough.
+// -ci sets an early-stopping target (95% Wilson interval width); with the
+// coupled curve engine (internal/sweep) each rung of a rate ladder stops
+// on its own. -independent disables the nested coupling for ablation:
+// every rung and threshold probe then draws fresh samples, as the suite
+// did before the sweep engine.
 package main
 
 import (
@@ -30,6 +33,7 @@ func main() {
 		workers = flag.Int("workers", 0, "Monte-Carlo worker pool size (0 = GOMAXPROCS); results do not depend on it")
 		ci      = flag.Float64("ci", 0, "early-stop once the 95% CI is narrower than this width (0 = run all trials)")
 		dense   = flag.Bool("dense", false, "force the legacy whole-host Theorem 2 pipeline (disable the locality fast path)")
+		indep   = flag.Bool("independent", false, "disable rate-ladder coupling: every sweep rung and threshold probe draws fresh independent samples (ablation)")
 	)
 	flag.Parse()
 
@@ -40,7 +44,8 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Out: os.Stdout, Quick: *quick, Seed: *seed, Parallel: *workers, TargetCI: *ci, Dense: *dense}
+	cfg := experiments.Config{Out: os.Stdout, Quick: *quick, Seed: *seed, Parallel: *workers,
+		TargetCI: *ci, Dense: *dense, Independent: *indep}
 	ids := strings.Split(*run, ",")
 	for i := range ids {
 		ids[i] = strings.TrimSpace(ids[i])

@@ -149,6 +149,19 @@ func (s *Set) DirtyColumns() []int32 { return s.dirtyList }
 // DirtyCount returns the number of dirty columns.
 func (s *Set) DirtyCount() int { return len(s.dirtyList) }
 
+// ColumnEqual reports whether the receiver and other hold identical band
+// values at column z. The two families must share geometry (the caller's
+// responsibility); the coupled rate-ladder pipeline uses this to detect
+// the columns whose values actually changed between two nested rungs.
+func (s *Set) ColumnEqual(other *Set, z int) bool {
+	for g := range s.vals {
+		if s.vals[g][z] != other.vals[g][z] {
+			return false
+		}
+	}
+	return true
+}
+
 // Masks reports whether band g masks node (row, z).
 func (s *Set) Masks(g, z, row int) bool {
 	return grid.InCyclicInterval(row, int(s.vals[g][z]), s.Width, s.M)
@@ -304,6 +317,16 @@ func (s *Set) ValidateDirty() error {
 	if s.dirtyBits == nil {
 		return fmt.Errorf("bands: ValidateDirty on an untracked set")
 	}
+	return s.ValidateColumns(s.dirtyList)
+}
+
+// ValidateColumns is Validate restricted to the given columns: untouching
+// and closure on each, and the slope condition on every adjacency incident
+// to one (both directions). It extends a validity guarantee that already
+// covers every other column — the template's for clean columns, or a
+// previous rung's for columns whose values did not change — to the whole
+// family.
+func (s *Set) ValidateColumns(cols []int32) error {
 	k := len(s.vals)
 	if k == 0 {
 		return nil
@@ -312,7 +335,7 @@ func (s *Set) ValidateDirty() error {
 		return fmt.Errorf("bands: %d bands of width %d cannot fit untouching in cycle of length %d", k, s.Width, s.M)
 	}
 	coord := make([]int, len(s.ColShape))
-	for _, z32 := range s.dirtyList {
+	for _, z32 := range cols {
 		z := int(z32)
 		if err := s.validateColumn(z); err != nil {
 			return err

@@ -32,6 +32,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"ftnet/internal/bands"
 	"ftnet/internal/embed"
@@ -146,9 +147,11 @@ func (g *Graph) buildTemplate() *template {
 // ContainTorus and the verifier all key off the same predicate, so the
 // three stages can never disagree on the mode. The fast path needs a
 // Scratch (its buffers persist default state across trials), a tracked
-// family, a healthy template, and at least one clean column (the BFS
-// frontier). A dirty column 0 is handled inside extractFast (the anchor
-// component is walked first), so it does not force the dense path.
+// family, and a healthy template. A dirty column 0 is handled inside
+// extractFast (the anchor component is walked first), and a fully dirty
+// torus degenerates to one anchored BFS over every column — both stay on
+// the fast path, so only an explicit Dense request, a missing scratch or
+// a failed template build fall back to the dense pipeline.
 func (g *Graph) fastPath(bs *bands.Set, opts ExtractOptions) *template {
 	if opts.Dense || opts.Scratch == nil || !bs.Tracking() {
 		return nil
@@ -157,19 +160,17 @@ func (g *Graph) fastPath(bs *bands.Set, opts ExtractOptions) *template {
 	if err != nil {
 		return nil
 	}
-	if bs.DirtyCount() == g.NumCols {
-		return nil
-	}
 	return tpl
 }
 
 // interpolateFast is the O(fault-footprint) version of interpolate: it
 // memcpy-restores the template into the scratch's copy-on-write band set
-// and recomputes only the columns inside pinned box footprints ±1 tile,
-// at the slabs each box spans. Every other (slab, column) value is the
-// default by Lemmas 9-11 (no pinned corner in range), so the result is
-// bit-identical to the dense evaluation.
-func (g *Graph) interpolateFast(boxes []*faultBox, sc *Scratch, tpl *template) (*bands.Set, error) {
+// (or the caller-supplied dst, if non-nil) and recomputes only the
+// columns inside pinned box footprints ±1 tile, at the slabs each box
+// spans. Every other (slab, column) value is the default by Lemmas 9-11
+// (no pinned corner in range), so the result is bit-identical to the
+// dense evaluation.
+func (g *Graph) interpolateFast(boxes []*faultBox, sc *Scratch, tpl *template, dst *bands.Set) (*bands.Set, error) {
 	p := g.P
 	t := p.Tile()
 	d1 := p.D - 1
@@ -177,7 +178,10 @@ func (g *Graph) interpolateFast(boxes []*faultBox, sc *Scratch, tpl *template) (
 	numSlabs := p.NumSlabs()
 	cornerShape := grid.Uniform(d1, colTiles)
 
-	bs := sc.bandsBuf(p.M(), p.W, g.ColShape, p.K())
+	bs := dst
+	if bs == nil {
+		bs = sc.bandsBuf(p.M(), p.W, g.ColShape, p.K())
+	}
 	if err := bs.SeedFrom(tpl.bs); err != nil {
 		return nil, err
 	}
@@ -224,11 +228,18 @@ type movedBand struct {
 
 // transferFast grows the Lemma 6 row mapping from column zFrom to zTo
 // touching only the bands that actually moved: it first diffs the K band
-// bottoms (detecting slope violations outright), memcpys the row vector
-// when nothing moved, and otherwise applies the ±W jump rule to the rows
-// masked by a moved band. It also records, in dev, whether the resulting
+// bottoms (detecting slope violations outright), memcpys the row vector,
+// and applies the ±W jump rule to the rows masked by moved bands. A band
+// that slid one step masks exactly one previously unmasked row (the
+// untouching gap guarantees the row just beyond the old extent was free),
+// and the row vector is cyclically increasing from its first entry, so
+// each moved band costs one binary search plus one write instead of a
+// whole-vector scan. It also records, in dev, whether the resulting
 // vector deviates from base (the vector shared by every clean column) —
-// the verifier later skips columns that do not.
+// the verifier later skips columns that do not. The dev shortcut in the
+// moved case relies on dev[zFrom] being accurate relative to base;
+// extractFast's anchor walk, whose flags are settled only afterwards,
+// re-derives its flags before they are ever used as sources elsewhere.
 func (g *Graph) transferFast(bs *bands.Set, base []int32, sc *Scratch, zFrom, zTo int, src, dst []int32, dev []bool) error {
 	m := g.P.M()
 	w := g.P.W
@@ -249,27 +260,39 @@ func (g *Graph) transferFast(bs *bands.Set, base []int32, sc *Scratch, zFrom, zT
 		}
 	}
 	sc.movedBuf = moved
+	copy(dst, src)
 	if len(moved) == 0 {
-		copy(dst, src)
 		dev[zTo] = dev[zFrom]
 		return nil
 	}
-	for i, r32 := range src {
-		r := int(r32)
-		v := r32
-		for _, mb := range moved {
-			if grid.InCyclicInterval(r, int(mb.bottom), w, m) {
-				if mb.up {
-					v = int32(grid.Sub(r, w, m))
-				} else {
-					v = int32(grid.Add(r, w, m))
-				}
-				break
-			}
+	n := len(src)
+	anchor := int(src[0])
+	for _, mb := range moved {
+		// The single src row the moved band now masks: its new bottom for a
+		// downward slide, its new top for an upward one.
+		v := int(mb.bottom)
+		if mb.up {
+			v = grid.Add(v, w-1, m)
 		}
-		dst[i] = v
+		key := grid.FwdGap(anchor, v, m)
+		i := sort.Search(n, func(j int) bool { return grid.FwdGap(anchor, int(src[j]), m) >= key })
+		if i >= n || int(src[i]) != v {
+			return fmt.Errorf("core: internal: moved band at column %d masks no unmasked row of column %d (row %d)",
+				zTo, zFrom, v)
+		}
+		if mb.up {
+			dst[i] = int32(grid.Sub(v, w, m))
+		} else {
+			dst[i] = int32(grid.Add(v, w, m))
+		}
 	}
-	dev[zTo] = !int32Equal(dst, base)
+	if dev[zFrom] {
+		dev[zTo] = !int32Equal(dst, base)
+	} else {
+		// src == base and at least one row jumped to a different value, so
+		// dst deviates without needing the O(n) comparison.
+		dev[zTo] = true
+	}
 	return nil
 }
 
@@ -358,24 +381,33 @@ func (g *Graph) extractFast(bs *bands.Set, tpl *template, opts ExtractOptions) (
 			}
 		}
 		if clean == nil {
-			return nil, fmt.Errorf("core: internal: anchor component has no clean frontier")
-		}
-		dev[scribbled] = false // clean columns never deviate from base
-		if !int32Equal(clean, tpl.defaultRows) {
-			// The anchor genuinely rotated: every clean column carries the
-			// rotated vector this trial. The certificate argument of
-			// verifyFast needs clean to be a cyclic rotation of the
-			// default vector (then the host edge pairs of clean columns
-			// are exactly the verified default ones); extraction preserves
-			// cyclic order, so anything else is an internal error.
-			if !isRotation(clean, tpl.defaultRows) {
-				return nil, fmt.Errorf("core: internal: clean-region vector is not a rotation of the default rows")
+			// Only legitimate when the whole column torus is dirty: the
+			// anchored BFS then covered every column, there is no clean
+			// region to reconcile with, and base stays the default vector —
+			// exactly the dense anchor semantics. Deviation flags against
+			// the default base make the verifier re-check every column that
+			// actually moved.
+			if len(queue) != numCols {
+				return nil, fmt.Errorf("core: internal: anchor component has no clean frontier")
 			}
-			base = clean
-			rotated = true
-			for z := 0; z < numCols; z++ {
-				if !bs.IsDirty(z) {
-					rowmap[z] = clean
+		} else {
+			dev[scribbled] = false // clean columns never deviate from base
+			if !int32Equal(clean, tpl.defaultRows) {
+				// The anchor genuinely rotated: every clean column carries the
+				// rotated vector this trial. The certificate argument of
+				// verifyFast needs clean to be a cyclic rotation of the
+				// default vector (then the host edge pairs of clean columns
+				// are exactly the verified default ones); extraction preserves
+				// cyclic order, so anything else is an internal error.
+				if !isRotation(clean, tpl.defaultRows) {
+					return nil, fmt.Errorf("core: internal: clean-region vector is not a rotation of the default rows")
+				}
+				base = clean
+				rotated = true
+				for z := 0; z < numCols; z++ {
+					if !bs.IsDirty(z) {
+						rowmap[z] = clean
+					}
 				}
 			}
 		}
@@ -521,108 +553,153 @@ func isRotation(a, b []int32) bool {
 // dirty-set invariant of the placement stage; the golden equivalence test
 // cross-checks that trust against the dense verifier.
 func (g *Graph) verifyFast(e *embed.Embedding, bs *bands.Set, faults *fault.Set, tpl *template, sc *Scratch) error {
-	p := g.P
-	n := p.N()
-	numCols := g.NumCols
-	hostN := g.NumNodes()
-	if len(e.Map) != e.Guest.N() {
-		return fmt.Errorf("embed: map has %d entries, guest has %d nodes", len(e.Map), e.Guest.N())
-	}
-	m := p.M()
-	w := p.W
 	dev := sc.devCols
-	colSeen := sc.colSeenBuf(m)
-	ncoord := sc.ncoordBuf(p.D - 1)
-	rows := sc.dstBuf(n) // this column's host rows, split from e.Map once
+	faultCol, gen, err := g.verifyFaultPass(faults, tpl, sc, dev)
+	if err != nil {
+		return err
+	}
 	for _, z32 := range bs.DirtyColumns() {
 		z := int(z32)
 		if !dev[z] {
 			continue
 		}
-		sc.colGen++
-		gen := sc.colGen
-		for i := 0; i < n; i++ {
-			u := e.Map[i*numCols+z]
-			if u < 0 || u >= hostN {
-				return fmt.Errorf("embed: guest node %d maps to out-of-range host node %d", i*numCols+z, u)
-			}
-			if u%numCols != z {
-				return fmt.Errorf("embed: guest node (%d,%d) maps outside its column (host %d)", i, z, u)
-			}
-			r := u / numCols
-			rows[i] = int32(r)
-			if colSeen[r] == gen {
-				return fmt.Errorf("embed: host node %d hosts two guest nodes (not injective)", u)
-			}
-			colSeen[r] = gen
-			if faults.Has(u) {
-				return fmt.Errorf("embed: guest node %d maps to faulty host node %d", i*numCols+z, u)
-			}
-		}
-		// Dimension-0 guest edges: consecutive rows (cyclically) must be a
-		// torus step or a vertical jump — the same-column conditions of
-		// Graph.Adjacent, with m and w hoisted out of the loop.
-		for i := 0; i < n; i++ {
-			i2 := i + 1
-			if i2 == n {
-				i2 = 0
-			}
-			di := grid.Dist(int(rows[i]), int(rows[i2]), m)
-			if di == 1 || (di == w+1 && !g.DisableVJump) {
-				continue
-			}
-			return fmt.Errorf("embed: guest edge (%d,%d)-(%d,%d) maps to non-adjacent host rows %d,%d",
-				i, z, i2, z, rows[i], rows[i2])
-		}
-		// Cross-column edges. Edges between two deviating columns are
-		// checked once (from the smaller column index); edges into
-		// non-deviating columns are checked from this side. Column
-		// adjacency is checked once per pair; the per-row condition is
-		// then Adjacent's cross-column branch (torus step or diagonal
-		// jump).
-		g.ColShape.Coord(z, ncoord)
-		for dim := range g.ColShape {
-			orig := ncoord[dim]
-			for _, delta := range [2]int{1, -1} {
-				if delta == 1 {
-					ncoord[dim] = grid.Add(orig, 1, g.ColShape[dim])
-				} else {
-					ncoord[dim] = grid.Sub(orig, 1, g.ColShape[dim])
-				}
-				zn := g.ColShape.Index(ncoord)
-				if dev[zn] && zn < z {
-					continue
-				}
-				if !g.columnsAdjacent(z, zn) {
-					return fmt.Errorf("core: internal: columns %d and %d are not adjacent", z, zn)
-				}
-				for i := 0; i < n; i++ {
-					r2 := e.Map[i*numCols+zn] / numCols
-					di := grid.Dist(int(rows[i]), r2, m)
-					if di == 0 || (di == w && !g.DisableDJump) {
-						continue
-					}
-					return fmt.Errorf("embed: guest edge (%d,%d)-(%d,%d) maps to non-adjacent host pair (rows %d,%d)",
-						i, z, i, zn, rows[i], r2)
-				}
-			}
-			ncoord[dim] = orig
+		// Edges between two deviating columns are checked once, from the
+		// smaller column index; edges into non-deviating columns are
+		// checked from this side.
+		if err := g.verifyColumn(e, faults, sc, z, faultCol[z] == gen,
+			func(zn int) bool { return dev[zn] && zn < z }); err != nil {
+			return err
 		}
 	}
-	// Faults in non-deviating columns: their column images are exactly
-	// the default rows, so the fault must be masked under the default
-	// family. (Faults in deviating columns were checked row by row.)
+	return nil
+}
+
+// verifyColumn re-checks one column of the embedding: host-row range,
+// injectivity, fault avoidance, dimension-0 edge realization, the
+// cross-column edges to all 2(d-1) neighbor columns except those for
+// which skipPair reports the pair is (or will be) checked from the other
+// side — and that the embedding's map agrees with the scratch row
+// vectors the checks read from. Reading rows through sc.rowmap instead
+// of dividing e.Map entries keeps the hot loops division-free; the
+// explicit sync check preserves the certificate's strength (every e.Map
+// entry of the column is pinned to the verified row vector). hasFaults
+// (from verifyFaultPass) gates the per-row fault check.
+func (g *Graph) verifyColumn(e *embed.Embedding, faults *fault.Set, sc *Scratch, z int, hasFaults bool, skipPair func(zn int) bool) error {
+	p := g.P
+	n := p.N()
+	numCols := g.NumCols
+	if len(e.Map) != e.Guest.N() {
+		return fmt.Errorf("embed: map has %d entries, guest has %d nodes", len(e.Map), e.Guest.N())
+	}
+	m := p.M()
+	w := p.W
+	colSeen := sc.colSeenBuf(m)
+	ncoord := sc.ncoordBuf(p.D - 1)
+	rows := sc.rowmap[z]
+	if len(rows) != n {
+		return fmt.Errorf("core: internal: column %d row vector has %d entries, want %d", z, len(rows), n)
+	}
+	sc.colGen++
+	gen := sc.colGen
+	// One fused pass: membership, sync, injectivity, fault avoidance, and
+	// the dimension-0 guest edge to the next row (cyclically) — a torus
+	// step or a vertical jump, the same-column conditions of
+	// Graph.Adjacent, with m and w hoisted out of the loop.
+	for i := 0; i < n; i++ {
+		r := int(rows[i])
+		if r < 0 || r >= m {
+			return fmt.Errorf("embed: guest node (%d,%d) maps to out-of-range host row %d", i, z, r)
+		}
+		u := r*numCols + z
+		if e.Map[i*numCols+z] != u {
+			return fmt.Errorf("core: internal: embedding out of sync with row vector at guest node (%d,%d)", i, z)
+		}
+		if colSeen[r] == gen {
+			return fmt.Errorf("embed: host node %d hosts two guest nodes (not injective)", u)
+		}
+		colSeen[r] = gen
+		if hasFaults && faults.Has(u) {
+			return fmt.Errorf("embed: guest node %d maps to faulty host node %d", i*numCols+z, u)
+		}
+		i2 := i + 1
+		if i2 == n {
+			i2 = 0
+		}
+		r2 := int(rows[i2])
+		if r2-r == 1 {
+			continue // plain torus step, the overwhelmingly common case
+		}
+		di := grid.Dist(r, r2, m)
+		if di == 1 || (di == w+1 && !g.DisableVJump) {
+			continue
+		}
+		return fmt.Errorf("embed: guest edge (%d,%d)-(%d,%d) maps to non-adjacent host rows %d,%d",
+			i, z, i2, z, rows[i], rows[i2])
+	}
+	// Cross-column edges. Column adjacency is checked once per pair; the
+	// per-row condition is then Adjacent's cross-column branch (torus
+	// step or diagonal jump).
+	g.ColShape.Coord(z, ncoord)
+	for dim := range g.ColShape {
+		orig := ncoord[dim]
+		for _, delta := range [2]int{1, -1} {
+			if delta == 1 {
+				ncoord[dim] = grid.Add(orig, 1, g.ColShape[dim])
+			} else {
+				ncoord[dim] = grid.Sub(orig, 1, g.ColShape[dim])
+			}
+			zn := g.ColShape.Index(ncoord)
+			if skipPair(zn) {
+				continue
+			}
+			if !g.columnsAdjacent(z, zn) {
+				return fmt.Errorf("core: internal: columns %d and %d are not adjacent", z, zn)
+			}
+			nrows := sc.rowmap[zn]
+			if len(nrows) != n {
+				return fmt.Errorf("core: internal: column %d row vector has %d entries, want %d", zn, len(nrows), n)
+			}
+			// Adjacent columns' vectors agree outside the rows a band moved
+			// across (at most K of n, by the slope condition), so equality
+			// short-circuits the distance check for almost every row.
+			for i := 0; i < n; i++ {
+				if rows[i] == nrows[i] {
+					continue
+				}
+				if di := grid.Dist(int(rows[i]), int(nrows[i]), m); di == w && !g.DisableDJump {
+					continue
+				}
+				return fmt.Errorf("embed: guest edge (%d,%d)-(%d,%d) maps to non-adjacent host pair (rows %d,%d)",
+					i, z, i, zn, rows[i], nrows[i])
+			}
+		}
+		ncoord[dim] = orig
+	}
+	return nil
+}
+
+// verifyFaultPass makes the verifiers' single pass over the fault set:
+// every fault in a non-deviating column must be masked under the default
+// family (such a column's image is exactly the default rows), and every
+// deviating column holding a fault is marked in the returned
+// generation-counted table so verifyColumn checks it row by row — and
+// fault-free columns skip that check entirely.
+func (g *Graph) verifyFaultPass(faults *fault.Set, tpl *template, sc *Scratch, dev []bool) ([]int32, int32, error) {
+	numCols := g.NumCols
+	faultCol, gen := sc.faultColBuf(numCols)
 	var outErr error
 	faults.ForEach(func(idx int) {
 		if outErr != nil {
 			return
 		}
-		if dev[idx%numCols] {
+		z := idx % numCols
+		if dev[z] {
+			faultCol[z] = gen
 			return
 		}
 		if !tpl.maskedRow[idx/numCols] {
-			outErr = fmt.Errorf("embed: faulty host node %d lies in the default image of clean column %d", idx, idx%numCols)
+			outErr = fmt.Errorf("embed: faulty host node %d lies in the default image of clean column %d", idx, z)
 		}
 	})
-	return outErr
+	return faultCol, gen, outErr
 }

@@ -76,6 +76,17 @@ func (g *Graph) PlaceBandsScratch(faults *fault.Set, sc *Scratch) (*bands.Set, *
 }
 
 func (g *Graph) placeBands(faults *fault.Set, opts ExtractOptions) (*bands.Set, *PlaceReport, error) {
+	return g.placeBandsInto(faults, opts, nil, false)
+}
+
+// placeBandsInto is placeBands with an optional explicit destination for
+// the interpolated family (dst nil uses the scratch's own set) and, for
+// the coupled rate-ladder pipeline, optionally deferred family checks:
+// with deferChecks the caller takes over Validate/checkAllMasked, so it
+// can restrict validation to the columns that changed since the previous
+// rung. dst is only honored on the tracked fast path (it must be a
+// copy-on-write set of matching geometry).
+func (g *Graph) placeBandsInto(faults *fault.Set, opts ExtractOptions, dst *bands.Set, deferChecks bool) (*bands.Set, *PlaceReport, error) {
 	sc := opts.Scratch
 	rep := &PlaceReport{Faults: faults.Count()}
 	tileShape := g.TileShape()
@@ -146,7 +157,7 @@ func (g *Graph) placeBands(faults *fault.Set, opts ExtractOptions) (*bands.Set, 
 	}
 	var validate func() error
 	if tpl != nil {
-		bs, err = g.interpolateFast(boxes, sc, tpl)
+		bs, err = g.interpolateFast(boxes, sc, tpl, dst)
 		validate = func() error { return bs.ValidateDirty() }
 	} else {
 		bs, err = g.interpolate(boxes, sc)
@@ -154,6 +165,9 @@ func (g *Graph) placeBands(faults *fault.Set, opts ExtractOptions) (*bands.Set, 
 	}
 	if err != nil {
 		return nil, rep, err
+	}
+	if deferChecks && tpl != nil {
+		return bs, rep, nil
 	}
 	if err := validate(); err != nil {
 		return nil, rep, fmt.Errorf("core: placed bands invalid: %w", err)

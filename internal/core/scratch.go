@@ -80,6 +80,8 @@ type Scratch struct {
 	cleanVec  []int32
 	colSeen   []int32 // per-column verify bitmap, generation-counted
 	colGen    int32
+	faultCol  []int32 // per-column fault marker, generation-counted
+	faultGen  int32
 }
 
 // NewScratch returns a Scratch whose dense interpolation stage uses at
@@ -374,6 +376,18 @@ func (sc *Scratch) colSeenBuf(m int) []int32 {
 		sc.colGen = 0
 	}
 	return sc.colSeen[:m]
+}
+
+// faultColBuf returns the generation-counted per-column fault marker used
+// by the verifiers' single fault pass, freshly bumped: entries equal to
+// the returned generation mark columns holding at least one fault.
+func (sc *Scratch) faultColBuf(numCols int) ([]int32, int32) {
+	if cap(sc.faultCol) < numCols {
+		sc.faultCol = make([]int32, numCols)
+		sc.faultGen = 0
+	}
+	sc.faultGen++
+	return sc.faultCol[:numCols], sc.faultGen
 }
 
 // ensureFast prepares the persistent fast-path state for one trial on

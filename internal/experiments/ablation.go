@@ -23,7 +23,7 @@ func runA3Impl(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		res, err := cfg.monteCarlo(trials, cfg.Seed+uint64(h*977), nil,
+		res, err := cfg.monteCarlo(trials, cfg.cellSeed("A", uint64(h)), nil,
 			func(trial int, stream *rng.PCG, _ any) (stats.Outcome, error) {
 				fs := g.NewFaultState(stream.Uint64(), pNode, stream)
 				_, _, err := g.Embed(fs)

@@ -9,6 +9,7 @@ import (
 	"ftnet/internal/fault"
 	"ftnet/internal/rng"
 	"ftnet/internal/stats"
+	"ftnet/internal/sweep"
 	"ftnet/internal/worstcase"
 )
 
@@ -36,7 +37,7 @@ func runE9(cfg Config) error {
 	}
 	t := stats.NewTable(cfg.Out, "n", "ours k=n^{3/4}", "ours nodes", "ours ok",
 		"BCH k=n^{2/3} (analytic)", "BCH nodes (analytic)", "spare-grid k (clustered attack)")
-	r := rng.New(cfg.Seed + 9)
+	r := rng.New(cfg.cellSeed("E9"))
 	for _, n := range sides {
 		kOurs := int(math.Pow(float64(n), 0.75))
 		g, err := worstcase.NewGraph(worstcase.Params{D: 2, N: n, K: kOurs})
@@ -103,18 +104,15 @@ func runE10(cfg Config) error {
 	theoryBCH := math.Pow(bigN, 1.0/3.0)
 
 	// Find the largest fault count with >= 95% survival by doubling then
-	// bisecting on the fault count.
+	// bisecting on the fault count. Probes couple the counts: each trial
+	// owns one random injection order and F(k) is its k-prefix, so the
+	// measured rate is monotone in k on the shared trial set.
+	probes, err := sweep.NewProbes(g, trials, cfg.cellSeed("E10"), p.TheoremFailureProb(), cfg.sweepConfig())
+	if err != nil {
+		return err
+	}
 	rate := func(k int) (float64, error) {
-		res, err := cfg.monteCarlo(trials, cfg.Seed+uint64(k), coreScratch,
-			func(trial int, stream *rng.PCG, scratch any) (stats.Outcome, error) {
-				sc := scratch.(*core.Scratch)
-				faults := sc.Faults(g.NumNodes())
-				if err := faults.ExactRandom(stream, k); err != nil {
-					return stats.Failure, err
-				}
-				_, err := g.ContainTorus(faults, cfg.extractOpts(sc))
-				return classify(err)
-			})
+		res, err := probes.Count(k)
 		if err != nil {
 			return 0, err
 		}

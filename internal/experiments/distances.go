@@ -33,7 +33,7 @@ func runE15(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	r := rng.New(cfg.Seed + 15)
+	r := rng.New(cfg.cellSeed("E15"))
 	sources := 4
 	if !cfg.Quick {
 		sources = 10

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"ftnet/internal/expander"
 	"ftnet/internal/fault"
@@ -30,7 +31,7 @@ func runE11(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	lambda := g.SecondEigenvalue(300, rng.New(cfg.Seed+11))
+	lambda := g.SecondEigenvalue(300, rng.New(cfg.cellSeed("E11", 0)))
 	fmt.Fprintf(cfg.Out, "Gabber-Galil q=%d: %d nodes, max degree %d, lambda2 ~= %.3f (< 1: expansion certified)\n",
 		q, g.N, g.MaxDegree(), lambda)
 	if lambda >= 0.97 {
@@ -42,7 +43,7 @@ func runE11(cfg Config) error {
 	target := g.N / 3
 	t := stats.NewTable(cfg.Out, "deleted fraction", "target path", "trials", "found", "rate")
 	for _, frac := range []float64{0.1, 0.25, 0.4} {
-		res, err := cfg.monteCarlo(trials, cfg.Seed+uint64(frac*100), nil,
+		res, err := cfg.monteCarlo(trials, cfg.cellSeed("E11", math.Float64bits(frac)), nil,
 			func(trial int, stream *rng.PCG, _ any) (stats.Outcome, error) {
 				dead := fault.NewSet(g.N)
 				if err := dead.ExactRandom(stream, int(frac*float64(g.N))); err != nil {
@@ -77,10 +78,10 @@ func runE11(cfg Config) error {
 		return err
 	}
 	faults := fault.NewSet(prod.NumNodes())
-	if err := faults.ExactRandom(rng.New(cfg.Seed+12), n); err != nil { // O(n) faults
+	if err := faults.ExactRandom(rng.New(cfg.cellSeed("E11", 1)), n); err != nil { // O(n) faults
 		return err
 	}
-	if _, err := prod.Embed(faults, rng.New(cfg.Seed+13), 800_000); err != nil {
+	if _, err := prod.Embed(faults, rng.New(cfg.cellSeed("E11", 2)), 800_000); err != nil {
 		return fmt.Errorf("E11: product embed failed: %w", err)
 	}
 	fmt.Fprintf(cfg.Out, "product construction: %d-node host, degree <= %d, embedded fault-free %dx%d mesh around %d worst-case faults\n",

@@ -14,6 +14,8 @@ import (
 
 	"ftnet/internal/core"
 	"ftnet/internal/parallel"
+	"ftnet/internal/rng"
+	"ftnet/internal/sweep"
 )
 
 // Config tunes an experiment run.
@@ -30,6 +32,11 @@ type Config struct {
 	// path. Results are bit-identical either way (the golden equivalence
 	// tests pin that); the flag exists for perf ablations.
 	Dense bool
+	// Independent disables the nested coupling of the rate-ladder sweeps
+	// and threshold searches (internal/sweep): every rung or probe then
+	// draws fresh independent samples, reproducing the legacy
+	// one-Monte-Carlo-cell-per-rate behavior. Ablation flag.
+	Independent bool
 }
 
 func (c Config) trials(quick, full int) int {
@@ -37,6 +44,22 @@ func (c Config) trials(quick, full int) int {
 		return quick
 	}
 	return full
+}
+
+// cellSeed derives the Monte-Carlo seed of one table cell by hashing the
+// master seed with the experiment ID and the cell's coordinates
+// (rng.Hash64). Every driver must use it instead of ad-hoc arithmetic
+// like Seed+uint64(prob*1e9), whose truncations can collide across cells
+// and whose nearby seeds rely on the generator's seeding avalanche.
+func (c Config) cellSeed(expID string, cells ...uint64) uint64 {
+	var idHash uint64
+	for _, ch := range []byte(expID) {
+		idHash = idHash<<8 | uint64(ch)
+	}
+	parts := make([]uint64, 0, 8)
+	parts = append(parts, c.Seed, idHash)
+	parts = append(parts, cells...)
+	return rng.Hash64(parts...)
 }
 
 // monteCarlo runs one Monte-Carlo table cell on the parallel engine with
@@ -48,6 +71,26 @@ func (c Config) monteCarlo(trials int, seed uint64, newScratch func() any, fn pa
 		NewScratch: newScratch,
 		TargetCI:   c.TargetCI,
 	}, fn)
+}
+
+// ladder runs one coupled vector cell (rungs sharing trials) with the
+// experiment-level worker bound and per-rung early stopping.
+func (c Config) ladder(trials, k int, seed uint64, newScratch func() any, fn parallel.LadderTrial) (parallel.LadderReport, error) {
+	return parallel.RunLadder(trials, k, seed, parallel.Options{
+		Workers:    c.Parallel,
+		NewScratch: newScratch,
+		TargetCI:   c.TargetCI,
+	}, fn)
+}
+
+// sweepConfig maps the experiment configuration onto the curve engine's.
+func (c Config) sweepConfig() sweep.Config {
+	return sweep.Config{
+		Workers:     c.Parallel,
+		TargetCI:    c.TargetCI,
+		Independent: c.Independent,
+		Dense:       c.Dense,
+	}
 }
 
 // coreScratch is the standard per-worker scratch factory for trials

@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"ftnet/internal/core"
-	"ftnet/internal/rng"
 	"ftnet/internal/stats"
+	"ftnet/internal/sweep"
 )
 
 func init() {
@@ -36,18 +36,13 @@ func runE13(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		for _, prob := range probs {
-			res, err := cfg.monteCarlo(trials, cfg.Seed+uint64(prob*1e6)+uint64(params.W), coreScratch,
-				func(trial int, stream *rng.PCG, scratch any) (stats.Outcome, error) {
-					sc := scratch.(*core.Scratch)
-					faults := sc.Faults(g.NumNodes())
-					faults.Bernoulli(stream, prob)
-					_, err := g.ContainTorus(faults, cfg.extractOpts(sc))
-					return classify(err)
-				})
-			if err != nil {
-				return err
-			}
+		// Both constant rates ride one coupled sweep per instance.
+		curve, err := sweep.SurvivalCurve(g, probs, trials, cfg.cellSeed("E13", uint64(params.W)), cfg.sweepConfig())
+		if err != nil {
+			return err
+		}
+		for i, prob := range probs {
+			res := curve.Rungs[i].Result
 			t.Row(params.N(), g.Degree(), prob, res.Trials, res.Successes)
 			if res.Successes > 0 {
 				fmt.Fprintf(cfg.Out, "note: n=%d survived some trials at p=%g — below its threshold, fine\n",

@@ -49,7 +49,7 @@ func runE1(cfg Config) error {
 			bound := float64(p.NumNodes())
 			wantBound := (1 + p.Eps()) * math.Pow(float64(p.N()), float64(d))
 			// Measure the degree on a node sample.
-			r := rng.New(cfg.Seed + 1)
+			r := rng.New(cfg.cellSeed("E1"))
 			deg := -1
 			for i := 0; i < 20; i++ {
 				l := len(g.Neighbors(r.Intn(g.NumNodes()), nil))
@@ -122,7 +122,7 @@ func runE7(cfg Config) error {
 		rows = []row{{60, 8}, {100, 27}}
 	}
 	t := stats.NewTable(cfg.Out, "n", "k", "b", "m", "nodes", "degree", "patterns", "tolerated")
-	r := rng.New(cfg.Seed + 7)
+	r := rng.New(cfg.cellSeed("E7"))
 	for _, rw := range rows {
 		g, err := worstcase.NewGraph(worstcase.Params{D: 2, N: rw.n, K: rw.k})
 		if err != nil {
@@ -155,7 +155,7 @@ func runE8(cfg Config) error {
 		dims = []int{1, 2}
 	}
 	t := stats.NewTable(cfg.Out, "d", "b", "n", "m", "dim", "k_i (bound)", "received", "bands used")
-	r := rng.New(cfg.Seed + 8)
+	r := rng.New(cfg.cellSeed("E8"))
 	for _, d := range dims {
 		k := []int{16, 27, 128}[d-1]
 		nReq := []int{300, 100, 16}[d-1]

@@ -9,6 +9,7 @@ import (
 	"ftnet/internal/rng"
 	"ftnet/internal/stats"
 	"ftnet/internal/supernode"
+	"ftnet/internal/sweep"
 )
 
 func init() {
@@ -54,27 +55,28 @@ func runE2(cfg Config) error {
 	if cfg.Quick {
 		multipliers = []float64{1, 10, 50, 250}
 	}
+	rates := make([]float64, len(multipliers))
+	for i, mult := range multipliers {
+		rates[i] = pThm * mult
+	}
+	// The whole curve is one coupled sweep: every trial walks the rate
+	// ladder on nested fault sets, so the nine rungs cost little more
+	// than the most expensive one (see internal/sweep; Config.Independent
+	// restores the legacy one-cell-per-rate evaluation).
+	curve, err := sweep.SurvivalCurve(g, rates, trials, cfg.cellSeed("E2"), cfg.sweepConfig())
+	if err != nil {
+		return err
+	}
 	t := stats.NewTable(cfg.Out, "p", "p/p_thm", "trials", "survived", "rate", "95% CI")
-	for _, mult := range multipliers {
-		prob := pThm * mult
-		res, err := cfg.monteCarlo(trials, cfg.Seed+uint64(mult*1000), coreScratch,
-			func(trial int, stream *rng.PCG, scratch any) (stats.Outcome, error) {
-				sc := scratch.(*core.Scratch)
-				faults := sc.Faults(g.NumNodes())
-				faults.Bernoulli(stream, prob)
-				_, err := g.ContainTorus(faults, cfg.extractOpts(sc))
-				return classify(err)
-			})
-		if err != nil {
-			return err
-		}
-		t.Row(fmt.Sprintf("%.2e", prob), fmt.Sprintf("%.1fx", mult), res.Trials, res.Successes,
+	for i, rung := range curve.Rungs {
+		res := rung.Result
+		t.Row(fmt.Sprintf("%.2e", rung.Rate), fmt.Sprintf("%.1fx", multipliers[i]), res.Trials, res.Successes,
 			fmt.Sprintf("%.3f", res.Rate), fmt.Sprintf("[%.2f,%.2f]", res.Lo, res.Hi))
 		// Gate on the CI upper bound, not the point estimate: an
 		// early-stopped cell (-ci) may hold few trials, and one unlucky
 		// failure must not abort a run whose interval still admits the
 		// claimed >= 0.99 survival.
-		if mult <= 1 && res.Hi < 0.99 {
+		if multipliers[i] <= 1 && res.Hi < 0.99 {
 			return fmt.Errorf("E2: survival %s excludes 0.99 at the theorem's own probability", res)
 		}
 	}
@@ -107,38 +109,86 @@ func runE3(cfg Config) error {
 		multipliers = []float64{1, 50, 500}
 	}
 	trials := cfg.trials(25, 100)
-	t := stats.NewTable(cfg.Out, "p/p_thm", "cond1 fail", "cond2 fail", "cond3 fail", "healthy", "placement ok")
-	for _, mult := range multipliers {
-		prob := pThm * mult
-		var c1, c2, c3, healthy, placed int
-		r := rng.New(cfg.Seed + uint64(mult*7))
-		for trial := 0; trial < trials; trial++ {
-			faults := fault.NewSet(g.NumNodes())
-			faults.Bernoulli(r.Split(uint64(trial)), prob)
-			h := g.CheckHealth(faults)
-			if !h.Cond1OK {
-				c1++
-			}
-			if !h.Cond2OK {
-				c2++
-			}
-			if !h.Cond3OK {
-				c3++
-			}
-			if h.Healthy() {
-				healthy++
-			}
-			if _, _, err := g.PlaceBands(faults); err == nil {
-				placed++
-			} else {
-				var ue *core.UnhealthyError
-				if !errors.As(err, &ue) {
+	rates := make([]float64, len(multipliers))
+	for i, mult := range multipliers {
+		rates[i] = pThm * mult
+	}
+	// One coupled ladder cell: each trial walks all rates on nested fault
+	// sets (previously a fresh serial Monte-Carlo loop per rate), and the
+	// five diagnostics of a rate share its health check and placement.
+	const slots = 5 // cond1 fail, cond2 fail, cond3 fail, healthy, placement ok
+	type e3Scratch struct {
+		sc    *core.Scratch
+		added []int
+	}
+	outcome := func(b bool) stats.Outcome {
+		if b {
+			return stats.Success
+		}
+		return stats.Failure
+	}
+	rep, err := cfg.ladder(trials, len(rates)*slots, cfg.cellSeed("E3"),
+		func() any { return &e3Scratch{sc: core.NewScratch(1)} },
+		func(trial int, stream *rng.PCG, scratch any, stopped []bool, out []stats.Outcome) error {
+			es := scratch.(*e3Scratch)
+			faults := es.sc.Faults(g.NumNodes())
+			prev := 0.0
+			for r, rate := range rates {
+				var err error
+				es.added, err = faults.Extend(stream, prev, rate, es.added[:0])
+				if err != nil {
 					return err
 				}
+				prev = rate
+				base := r * slots
+				live := false
+				for s := 0; s < slots; s++ {
+					if !stopped[base+s] {
+						live = true
+						break
+					}
+				}
+				if !live {
+					continue
+				}
+				h := g.CheckHealth(faults)
+				out[base+0] = outcome(!h.Cond1OK)
+				out[base+1] = outcome(!h.Cond2OK)
+				out[base+2] = outcome(!h.Cond3OK)
+				out[base+3] = outcome(h.Healthy())
+				placed := false
+				var placeErr error
+				if cfg.Dense {
+					// Honor the -dense ablation: the scratch-backed call
+					// below always takes the locality fast path.
+					_, _, placeErr = g.PlaceBands(faults)
+				} else {
+					_, _, placeErr = g.PlaceBandsScratch(faults, es.sc)
+				}
+				if placeErr == nil {
+					placed = true
+				} else {
+					var ue *core.UnhealthyError
+					if !errors.As(placeErr, &ue) {
+						return placeErr
+					}
+				}
+				out[base+4] = outcome(placed)
 			}
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable(cfg.Out, "p/p_thm", "cond1 fail", "cond2 fail", "cond3 fail", "healthy", "placement ok")
+	for i, mult := range multipliers {
+		cells := make([]any, 0, slots+1)
+		cells = append(cells, fmt.Sprintf("%.0fx", mult))
+		for s := 0; s < slots; s++ {
+			res := rep.Rungs[i*slots+s].Result
+			cells = append(cells, fmt.Sprintf("%d/%d", res.Successes, res.Trials))
 		}
-		pct := func(x int) string { return fmt.Sprintf("%d/%d", x, trials) }
-		t.Row(fmt.Sprintf("%.0fx", mult), pct(c1), pct(c2), pct(c3), pct(healthy), pct(placed))
+		t.Row(cells...)
 	}
 	return t.Flush()
 }
@@ -165,29 +215,47 @@ func runE5(cfg Config) error {
 	if cfg.Quick {
 		scenarios = []scenario{{0.10, 0, 10}, {0.30, 0, 24}}
 	}
-	t := stats.NewTable(cfg.Out, "p", "q", "h", "degree", "n", "trials", "survived", "rate")
+	graphs := make([]*supernode.Graph, len(scenarios))
 	for i, sc := range scenarios {
 		g, err := e5Graph(sc.q, sc.h)
 		if err != nil {
 			return err
 		}
-		res, err := cfg.monteCarlo(trials, cfg.Seed+uint64(i*131), nil,
-			func(trial int, stream *rng.PCG, _ any) (stats.Outcome, error) {
-				fs := g.NewFaultState(stream.Uint64(), sc.p, stream)
-				_, _, err := g.Embed(fs)
-				if err == nil {
-					return stats.Success, nil
+		graphs[i] = g
+	}
+	// All scenarios share one vector cell: a trial evaluates every
+	// scenario under common random numbers (one per-trial key, one
+	// substream per scenario, so a scenario early-stopping never perturbs
+	// the others' draws), and each scenario keeps its own Wilson stop.
+	rep, err := cfg.ladder(trials, len(scenarios), cfg.cellSeed("E5"), nil,
+		func(trial int, stream *rng.PCG, _ any, stopped []bool, out []stats.Outcome) error {
+			tkey := stream.Uint64()
+			for i, sc := range scenarios {
+				if stopped[i] {
+					continue
 				}
-				var ue *core.UnhealthyError
-				if errors.As(err, &ue) {
-					return stats.Failure, nil
+				sub := rng.NewPCG(tkey, uint64(i))
+				fs := graphs[i].NewFaultState(sub.Uint64(), sc.p, sub)
+				_, _, err := graphs[i].Embed(fs)
+				if err != nil {
+					var ue *core.UnhealthyError
+					if !errors.As(err, &ue) {
+						return err
+					}
+					out[i] = stats.Failure
+					continue
 				}
-				return stats.Failure, err
-			})
-		if err != nil {
-			return err
-		}
-		t.Row(sc.p, sc.q, sc.h, g.P.Degree(), g.P.Side(), res.Trials, res.Successes,
+				out[i] = stats.Success
+			}
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	t := stats.NewTable(cfg.Out, "p", "q", "h", "degree", "n", "trials", "survived", "rate")
+	for i, sc := range scenarios {
+		res := rep.Rungs[i].Result
+		t.Row(sc.p, sc.q, sc.h, graphs[i].P.Degree(), graphs[i].P.Side(), res.Trials, res.Successes,
 			fmt.Sprintf("%.2f", res.Rate))
 	}
 	return t.Flush()
@@ -208,7 +276,7 @@ func runE6(cfg Config) error {
 			if err != nil {
 				continue
 			}
-			res, err := cfg.monteCarlo(trials, cfg.Seed+uint64(scale*100+h), nil,
+			res, err := cfg.monteCarlo(trials, cfg.cellSeed("E6", 0, uint64(scale), uint64(h)), nil,
 				func(trial int, stream *rng.PCG, _ any) (stats.Outcome, error) {
 					fs := g.NewFaultState(stream.Uint64(), pNode, stream)
 					_, _, err := g.Embed(fs)
@@ -230,7 +298,7 @@ func runE6(cfg Config) error {
 			if err != nil {
 				return 0, 0, err
 			}
-			res, err := cfg.monteCarlo(trials, cfg.Seed+uint64(side*10+g), nil,
+			res, err := cfg.monteCarlo(trials, cfg.cellSeed("E6", 1, uint64(side), uint64(g)), nil,
 				func(trial int, stream *rng.PCG, _ any) (stats.Outcome, error) {
 					faults := fault.NewSet(ct.NumNodes())
 					faults.Bernoulli(stream, pNode)

@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"ftnet/internal/core"
-	"ftnet/internal/rng"
 	"ftnet/internal/stats"
+	"ftnet/internal/sweep"
 )
 
 func init() {
@@ -35,15 +35,18 @@ func runA4(cfg Config) error {
 			return err
 		}
 		pThm := params.TheoremFailureProb()
+		// Every probe of the bracket/bisection re-evaluates the same
+		// coupled per-trial fault universes (sweep.Probes): the measured
+		// rate is monotone in p on the shared trial set, so bisection
+		// decisions compare the same randomness instead of resampling
+		// noise at every probe. The grid base pThm matches the doubling
+		// bracket below.
+		probes, err := sweep.NewProbes(g, trials, cfg.cellSeed("A4", uint64(params.W)), pThm, cfg.sweepConfig())
+		if err != nil {
+			return err
+		}
 		rate := func(prob float64) (float64, error) {
-			res, err := cfg.monteCarlo(trials, cfg.Seed+uint64(prob*1e9), coreScratch,
-				func(trial int, stream *rng.PCG, scratch any) (stats.Outcome, error) {
-					sc := scratch.(*core.Scratch)
-					faults := sc.Faults(g.NumNodes())
-					faults.Bernoulli(stream, prob)
-					_, err := g.ContainTorus(faults, cfg.extractOpts(sc))
-					return classify(err)
-				})
+			res, err := probes.Rate(prob)
 			if err != nil {
 				return 0, err
 			}

@@ -22,6 +22,11 @@ type Set struct {
 	bits  []uint64
 	n     int
 	count int
+	// touched lists the words of bits that may be nonzero, so Clear costs
+	// O(faults), not O(n/64). It may contain words that Remove has zeroed
+	// again; it is reset wholesale when it grows past half the word array
+	// (at that density a memset is cheaper anyway).
+	touched []int32
 }
 
 // NewSet returns an empty fault set over n nodes.
@@ -47,6 +52,9 @@ func (s *Set) Has(i int) bool {
 func (s *Set) Add(i int) {
 	w, b := i>>6, uint(i)&63
 	if s.bits[w]&(1<<b) == 0 {
+		if s.bits[w] == 0 && s.touched != nil {
+			s.touched = append(s.touched, int32(w))
+		}
 		s.bits[w] |= 1 << b
 		s.count++
 	}
@@ -61,11 +69,26 @@ func (s *Set) Remove(i int) {
 	}
 }
 
-// Clear empties the set, retaining the universe size.
+// Clear empties the set, retaining the universe size. From the second
+// call on it runs in O(words actually touched since the previous Clear)
+// rather than O(n/64): the first Clear pays one full memset to establish
+// the touched-word list, and a list that has grown past half the word
+// array falls back to the memset (at that density it is the cheaper of
+// the two).
 func (s *Set) Clear() {
-	for i := range s.bits {
-		s.bits[i] = 0
+	if s.touched == nil || len(s.touched) > len(s.bits)/2 {
+		for i := range s.bits {
+			s.bits[i] = 0
+		}
+		if s.touched == nil {
+			s.touched = make([]int32, 0, 16)
+		}
+	} else {
+		for _, w := range s.touched {
+			s.bits[w] = 0
+		}
 	}
+	s.touched = s.touched[:0]
 	s.count = 0
 }
 
@@ -73,6 +96,9 @@ func (s *Set) Clear() {
 func (s *Set) Clone() *Set {
 	c := &Set{bits: make([]uint64, len(s.bits)), n: s.n, count: s.count}
 	copy(c.bits, s.bits)
+	if s.touched != nil {
+		c.touched = append([]int32(nil), s.touched...)
+	}
 	return c
 }
 
@@ -121,20 +147,59 @@ func (s *Set) CountRange(lo, hi int) int {
 // Bernoulli adds each node of the universe independently with probability p,
 // using geometric skip sampling so sparse fault rates cost O(np) not O(n).
 func (s *Set) Bernoulli(r rng.Source, p float64) {
+	s.BernoulliRecord(r, p, nil)
+}
+
+// BernoulliRecord is Bernoulli, additionally appending to added every node
+// that actually transitioned from healthy to faulty, in increasing order,
+// and returning the grown slice. Nodes that were already faulty consume
+// the same random skips but are not recorded, so the marginal inclusion
+// probability of every healthy node is exactly p regardless of the set's
+// prior contents — the property the nested ladder sampler relies on.
+func (s *Set) BernoulliRecord(r rng.Source, p float64, added []int) []int {
 	if p <= 0 {
-		return
+		return added
 	}
 	if p >= 1 {
 		for i := 0; i < s.n; i++ {
-			s.Add(i)
+			if !s.Has(i) {
+				s.Add(i)
+				added = append(added, i)
+			}
 		}
-		return
+		return added
 	}
 	i := r.Geometric(p)
 	for i < s.n {
-		s.Add(i)
+		if !s.Has(i) {
+			s.Add(i)
+			added = append(added, i)
+		}
 		i += 1 + r.Geometric(p)
 	}
+	return added
+}
+
+// Extend grows a Bernoulli(pFrom) sample into a Bernoulli(pTo) sample,
+// pTo >= pFrom, by skip-sampling only the delta: every currently healthy
+// node joins independently with the conditional rate (pTo-pFrom)/(1-pFrom),
+// which is exactly P(faulty at pTo | healthy at pFrom) under the canonical
+// coupling F(p) = {i : U_i < p}. Starting from a set drawn at pFrom this
+// yields F(pFrom) ⊆ F(pTo) with the exact Bernoulli(pTo) marginal, at
+// O(n·(pTo-pFrom)) cost. Newly added nodes are appended to added (in
+// increasing order) and the grown slice returned.
+func (s *Set) Extend(r rng.Source, pFrom, pTo float64, added []int) ([]int, error) {
+	if pTo < pFrom {
+		return added, fmt.Errorf("fault: Extend from p=%v down to p=%v", pFrom, pTo)
+	}
+	if pFrom < 0 || pTo > 1 {
+		return added, fmt.Errorf("fault: Extend probabilities [%v, %v] out of range", pFrom, pTo)
+	}
+	if pFrom >= 1 {
+		return added, nil
+	}
+	q := (pTo - pFrom) / (1 - pFrom)
+	return s.BernoulliRecord(r, q, added), nil
 }
 
 // ExactRandom adds exactly k distinct uniformly random nodes. It returns an

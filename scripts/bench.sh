@@ -9,14 +9,14 @@
 # "bench" job).
 #
 # Usage:
-#   scripts/bench.sh                 # compare against BENCH_pr2.json, then refresh it
+#   scripts/bench.sh                 # compare against BENCH_pr3.json, then refresh it
 #   BENCH_OUT=/tmp/new.json scripts/bench.sh   # write elsewhere (CI does this)
 #   BENCH_COUNT=5 scripts/bench.sh             # more repetitions
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_pr2.json}"
-BASELINE="${BENCH_BASELINE:-BENCH_pr2.json}"
+OUT="${BENCH_OUT:-BENCH_pr3.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_pr3.json}"
 COUNT="${BENCH_COUNT:-3}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
@@ -24,6 +24,11 @@ trap 'rm -f "$TMP"' EXIT
 echo "== quick benchmarks (count=$COUNT) =="
 go test -run '^$' -count "$COUNT" -benchtime 50x -benchmem \
   -bench 'BenchmarkPlaceBandsB2$|BenchmarkExtractB2$|BenchmarkSurvivalTrialScratchB2$|BenchmarkSurvivalTrialScratchDenseB2$' . | tee "$TMP"
+# The sweep pair measures one full 9-rung E2 curve per op: coupled
+# (nested fault sets, rung-to-rung pipeline reuse) vs per-rung
+# independent evaluation. Their ratio is the coupling win.
+go test -run '^$' -count "$COUNT" -benchtime 100x -benchmem \
+  -bench 'BenchmarkSurvivalSweepB2$|BenchmarkSurvivalSweepIndependentB2$' . | tee -a "$TMP"
 go test -run '^$' -count "$COUNT" -benchtime 5000x -benchmem \
   -bench 'BenchmarkPadBox$' ./internal/core/ | tee -a "$TMP"
 
@@ -52,15 +57,16 @@ for name, rs in runs.items():
         "runs": len(rs),
     }
 
-# Keep the hand-recorded pre-PR baseline block, if the existing file has one.
+# Keep any hand-recorded pre-PR baseline blocks the existing file has.
 doc = {"cpu": cpu, "benchmarks": bench,
-       "config": {"benchtime": "50x (PadBox: 5000x)"},
+       "config": {"benchtime": "50x (PadBox: 5000x, Sweep: 100x)"},
        "generated_by": "scripts/bench.sh"}
 old = None
 try:
     old = json.load(open(baseline_path))
-    if "baseline_pr1" in old:
-        doc["baseline_pr1"] = old["baseline_pr1"]
+    for key in old:
+        if key.startswith("baseline_"):
+            doc[key] = old[key]
 except (FileNotFoundError, json.JSONDecodeError):
     pass
 
