@@ -6,11 +6,13 @@ package ftnet
 // regression suite for the whole reproduction.
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"testing"
 
 	"ftnet/internal/baseline"
+	"ftnet/internal/churn"
 	"ftnet/internal/core"
 	"ftnet/internal/expander"
 	"ftnet/internal/fault"
@@ -206,6 +208,134 @@ func BenchmarkSurvivalSweepIndependentB2(b *testing.B) {
 	rates := e2Ladder(g)
 	b.ResetTimer()
 	if _, err := sweep.SurvivalCurve(g, rates, b.N, 12345, sweep.Config{Workers: 1, Independent: true}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// churnSteadyState prepares a steady-state churn benchmark on the B2
+// host: a generator whose stationary faulty fraction sits at stationary,
+// plus a warm session holding an equilibrium fault set drawn at that
+// rate.
+func churnSteadyState(b *testing.B, g *core.Graph, stationary float64) (*churn.Generator, *core.Scratch, *core.Session, *rng.PCG, *fault.Set) {
+	b.Helper()
+	rho := 1.0
+	gen, err := churn.NewGenerator(churn.Process{Arrival: stationary * rho / (1 - stationary), Repair: rho}, g.NodeShape())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := core.NewScratch(1)
+	ses := g.NewSession(sc, core.ExtractOptions{})
+	stream := rng.NewPCG(4242, 1)
+	faults := sc.Faults(g.NumNodes())
+	faults.Bernoulli(stream, stationary)
+	ses.NoteAdded(faults.Slice())
+	if _, err := ses.Eval(faults); err != nil {
+		b.Fatal(err) // seed chosen healthy; a failure here is a bug
+	}
+	return gen, sc, ses, stream, faults
+}
+
+// benchChurnEval counts an unhealthy state as a normal outcome (it is
+// one, under churn) and anything else as a benchmark failure.
+func benchChurnEval(b *testing.B, err error) {
+	b.Helper()
+	if err != nil {
+		var ue *core.UnhealthyError
+		if !errors.As(err, &ue) {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChurnSession is the dynamic-workload headline: one op is one
+// churn event — a single fault arrival or repair at the steady state of
+// the theorem rate — evaluated incrementally by the core.Session
+// delta-evaluation engine. Compare against BenchmarkChurnSessionFromScratch
+// (same event stream, from-scratch pipeline per event) and the
+// BenchmarkSurvivalTrial* family (one from-scratch trial) for the
+// incremental win; against the from-scratch BenchmarkSurvivalTrialB2
+// the step runs ~40x faster (BENCH_pr4.json).
+func BenchmarkChurnSession(b *testing.B) {
+	g := benchGraphB2(b)
+	gen, _, ses, stream, faults := churnSteadyState(b, g, g.P.TheoremFailureProb())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, err := gen.Next(stream, faults)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ses.NoteAdded(ev.Added)
+		ses.NoteCleared(ev.Cleared)
+		_, err = ses.Eval(faults)
+		benchChurnEval(b, err)
+	}
+}
+
+// BenchmarkChurnSessionHeavy is the same step at a 10x-theorem standing
+// population (~56 faults, ~40 boxes): the incremental step still pays
+// only the toggled box's footprint, while every from-scratch evaluation
+// pays all of them — this is where the delta engine's O(event footprint)
+// vs O(standing footprint) separation shows.
+func BenchmarkChurnSessionHeavy(b *testing.B) {
+	g := benchGraphB2(b)
+	gen, _, ses, stream, faults := churnSteadyState(b, g, 10*g.P.TheoremFailureProb())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, err := gen.Next(stream, faults)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ses.NoteAdded(ev.Added)
+		ses.NoteCleared(ev.Cleared)
+		_, err = ses.Eval(faults)
+		benchChurnEval(b, err)
+	}
+}
+
+// BenchmarkChurnSessionFromScratch is the ablation baseline: the exact
+// same steady-state event stream, but every event pays a from-scratch
+// pipeline run (the strongest static baseline — scratch buffers and the
+// PR 2 locality fast path included). The gap to BenchmarkChurnSession is
+// the delta-evaluation win alone.
+func BenchmarkChurnSessionFromScratch(b *testing.B) {
+	g := benchGraphB2(b)
+	gen, sc, _, stream, faults := churnSteadyState(b, g, g.P.TheoremFailureProb())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Next(stream, faults); err != nil {
+			b.Fatal(err)
+		}
+		_, err := g.ContainTorus(faults, core.ExtractOptions{Scratch: sc})
+		benchChurnEval(b, err)
+	}
+}
+
+// BenchmarkChurnSessionFromScratchHeavy is the from-scratch ablation at
+// the 10x standing population of BenchmarkChurnSessionHeavy.
+func BenchmarkChurnSessionFromScratchHeavy(b *testing.B) {
+	g := benchGraphB2(b)
+	gen, sc, _, stream, faults := churnSteadyState(b, g, 10*g.P.TheoremFailureProb())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Next(stream, faults); err != nil {
+			b.Fatal(err)
+		}
+		_, err := g.ContainTorus(faults, core.ExtractOptions{Scratch: sc})
+		benchChurnEval(b, err)
+	}
+}
+
+// BenchmarkLifetime covers the E16/E17 workload: one op is one full
+// lifetime trial — fault-free start, ~60 churn events to the horizon,
+// every event re-embedded and verified through the session engine.
+func BenchmarkLifetime(b *testing.B) {
+	g := benchGraphB2(b)
+	pThm := g.P.TheoremFailureProb()
+	_, err := churn.Simulate(g, churn.Process{Arrival: pThm, Repair: 1}, b.N, 7, churn.Options{
+		Workers: 1,
+		Horizon: 5,
+	})
+	if err != nil {
 		b.Fatal(err)
 	}
 }

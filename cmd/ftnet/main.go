@@ -8,10 +8,14 @@
 //	ftnet worstcase -d 2 -side 100 -k 27 [-faults N] [-pattern cluster] [-seed N]
 //	ftnet health    -side 400 -p 1e-5 [-seed N]
 //	ftnet simulate  -side 200 -faults 10 [-steps N] [-seed N]
+//	ftnet churn     -side 200 -arrival 2e-5 -repair 1 -horizon 20 [-trials N] [-workers N] [-independent]
 //
 // Each subcommand prints the host resources, the injected fault count,
 // and whether a fault-free torus was extracted (extraction is always
-// verified independently before being reported as a success).
+// verified independently before being reported as a success). churn runs
+// lifetime trials of a dynamic fault process — Poisson per-node
+// arrivals, exponential per-fault repairs, optional adversarial bursts —
+// re-embedding incrementally after every event (internal/churn).
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"os"
 
 	"ftnet"
+	"ftnet/internal/churn"
 	"ftnet/internal/core"
 	"ftnet/internal/fault"
 	"ftnet/internal/parsim"
@@ -44,6 +49,8 @@ func main() {
 		err = runHealth(os.Args[2:])
 	case "simulate":
 		err = runSimulate(os.Args[2:])
+	case "churn":
+		err = runChurn(os.Args[2:])
 	default:
 		usage()
 	}
@@ -54,7 +61,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ftnet {random|clique|worstcase|health|simulate} [flags]   (run with -h for flags)")
+	fmt.Fprintln(os.Stderr, "usage: ftnet {random|clique|worstcase|health|simulate|churn} [flags]   (run with -h for flags)")
 	os.Exit(2)
 }
 
@@ -143,6 +150,74 @@ func runSimulate(args []string) error {
 		return err
 	}
 	fmt.Printf("all-reduce: sum=%.6f in %d steps\n", sum, redSteps)
+	return nil
+}
+
+// runChurn runs lifetime trials of the dynamic fault process on the
+// Theorem 2 host, re-embedding incrementally after every arrival,
+// repair or burst.
+func runChurn(args []string) error {
+	fs := flag.NewFlagSet("churn", flag.ExitOnError)
+	d := fs.Int("d", 2, "dimension")
+	side := fs.Int("side", 200, "minimum torus side")
+	eps := fs.Float64("eps", 0.5, "maximum node redundancy")
+	arrival := fs.Float64("arrival", -1, "per-node failure rate (default: the theorem probability per unit time)")
+	repair := fs.Float64("repair", 1, "per-fault repair rate (0 = pure aging)")
+	burstRate := fs.Float64("burst-rate", 0, "adversarial burst rate (0 = off)")
+	burstSize := fs.Int("burst-size", 8, "faults per adversarial burst")
+	burstPattern := fs.String("burst-pattern", "cluster", "burst adversary: uniform|cluster|rowsweep|diagonal|classspread|columnsweep")
+	horizon := fs.Float64("horizon", 20, "simulated time per trial")
+	trials := fs.Int("trials", 16, "Monte-Carlo trials")
+	workers := fs.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); results do not depend on it")
+	seed := fs.Uint64("seed", 1, "master seed")
+	stopAtDeath := fs.Bool("stop-at-death", false, "end each trial at the first unembeddable state")
+	independent := fs.Bool("independent", false, "ablation: re-run the full pipeline from scratch after every event instead of the incremental session")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	params, err := core.FitParams(*d, *side, *eps)
+	if err != nil {
+		return err
+	}
+	g, err := core.NewGraph(params)
+	if err != nil {
+		return err
+	}
+	pat, err := parsePattern(*burstPattern)
+	if err != nil {
+		return err
+	}
+	lambda := *arrival
+	if lambda < 0 {
+		lambda = params.TheoremFailureProb()
+	}
+	proc := churn.Process{
+		Arrival:      lambda,
+		Repair:       *repair,
+		BurstRate:    *burstRate,
+		BurstSize:    *burstSize,
+		BurstPattern: pat,
+	}
+	fmt.Printf("B^%d_n: side %d, host nodes %d; lambda=%.2e/node, rho=%.2g/fault, bursts %.2g x %d (%s)\n",
+		*d, params.N(), g.NumNodes(), lambda, *repair, *burstRate, *burstSize, pat)
+	res, err := churn.Simulate(g, proc, *trials, *seed, churn.Options{
+		Workers:     *workers,
+		Horizon:     *horizon,
+		StopAtDeath: *stopAtDeath,
+		Independent: *independent,
+	})
+	if err != nil {
+		return err
+	}
+	dt, dtSE := res.MeanDeathTime()
+	avail, availSE := res.Availability()
+	fmt.Printf("%d trials to horizon %.3g: %.0f events/trial\n", res.Trials, *horizon, res.Mean[churn.MetricEvents])
+	fmt.Printf("  availability:      %.4f +- %.4f\n", avail, availSE)
+	fmt.Printf("  death rate:        %.3f\n", res.DeathRate())
+	if res.DeathRate() > 0 {
+		fmt.Printf("  mean time to death:  %.3g +- %.2g (censored at horizon)\n", dt, dtSE)
+		fmt.Printf("  mean faults at death: %.1f\n", res.MeanDeathFaults())
+	}
 	return nil
 }
 

@@ -1,0 +1,72 @@
+// Churn: keep a verified torus alive while faults arrive and get
+// repaired.
+//
+//	go run ./examples/churn
+//
+// It opens an ftnet.Session on the Theorem 2 host and walks a short
+// fault timeline — nodes failing, nodes coming back — re-embedding after
+// every change. Each Reembed reuses everything the change left intact
+// (cost tracks the fault footprint, not the host size) and still returns
+// a fully verified embedding, bit-identical to a from-scratch
+// extraction.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"ftnet"
+)
+
+func main() {
+	host, err := ftnet.NewRandomFaultTorus(2, 400, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("host: %d nodes for a %dx%d torus, degree %d\n",
+		host.HostNodes(), host.Side(), host.Side(), host.Degree())
+
+	ses := host.NewSession()
+	r := rand.New(rand.NewSource(7))
+	var alive []int // faults we may later repair
+
+	for step := 1; step <= 8; step++ {
+		// Fail a few random nodes...
+		var failed []int
+		for i := 0; i < 3; i++ {
+			failed = append(failed, r.Intn(host.HostNodes()))
+		}
+		ses.AddFaults(failed...)
+		alive = append(alive, failed...)
+		// ...and, from step 4 on, repair an older one.
+		if step >= 4 {
+			ses.ClearFaults(alive[0])
+			alive = alive[1:]
+		}
+
+		emb, err := ses.Reembed()
+		if errors.Is(err, ftnet.ErrNotTolerated) {
+			fmt.Printf("step %d: %3d faults -> NOT tolerated (repair and retry)\n", step, ses.FaultCount())
+			ses.ClearFaults(alive...)
+			alive = alive[:0]
+			continue
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		h00, _ := emb.HostOf(0, 0)
+		fmt.Printf("step %d: %3d faults -> verified torus, guest (0,0) at host %d\n",
+			step, ses.FaultCount(), h00)
+	}
+
+	// Full repair returns the embedding to the pristine default.
+	ses.ClearFaults(alive...)
+	emb, err := ses.Reembed()
+	if err != nil {
+		log.Fatal(err)
+	}
+	h00, _ := emb.HostOf(0, 0)
+	fmt.Printf("all repaired: %d faults, guest (0,0) back at host %d\n", ses.FaultCount(), h00)
+}

@@ -179,6 +179,85 @@ func (t *RandomFaultTorus) Healthy(f *Faults) bool {
 	return t.g.CheckHealth(f.set).Healthy()
 }
 
+// Session maintains a long-lived torus embedding over a fault set that
+// changes in place — nodes fail, nodes get repaired — re-deriving on
+// each Reembed only the work the mutations since the previous Reembed
+// actually invalidated (the bidirectional delta-evaluation engine,
+// internal/core.Session). Results are bit-identical to a from-scratch
+// Extract of the same fault set; only the cost differs: a Reembed after
+// a small change costs O(fault footprint), not O(host size).
+//
+// A Session is not safe for concurrent use. Embeddings returned by
+// Reembed are stable snapshots (they do not alias the session) and stay
+// valid after further mutations.
+type Session struct {
+	t      *RandomFaultTorus
+	sc     *core.Scratch
+	ses    *core.Session
+	faults *fault.Set
+	delta  []int
+}
+
+// NewSession starts a session on the fault-free host.
+func (t *RandomFaultTorus) NewSession() *Session {
+	sc := core.NewScratch(1)
+	return &Session{
+		t:      t,
+		sc:     sc,
+		ses:    t.g.NewSession(sc, core.ExtractOptions{}),
+		faults: fault.NewSet(t.g.NumNodes()),
+	}
+}
+
+// AddFaults marks host nodes faulty. Already-faulty nodes are ignored.
+func (s *Session) AddFaults(nodes ...int) {
+	s.delta = s.delta[:0]
+	for _, v := range nodes {
+		if !s.faults.Has(v) {
+			s.faults.Add(v)
+			s.delta = append(s.delta, v)
+		}
+	}
+	s.ses.NoteAdded(s.delta)
+}
+
+// ClearFaults marks host nodes repaired. Already-healthy nodes are
+// ignored.
+func (s *Session) ClearFaults(nodes ...int) {
+	s.delta = s.delta[:0]
+	for _, v := range nodes {
+		if s.faults.Has(v) {
+			s.faults.Remove(v)
+			s.delta = append(s.delta, v)
+		}
+	}
+	s.ses.NoteCleared(s.delta)
+}
+
+// FaultCount returns the current number of faulty nodes.
+func (s *Session) FaultCount() int { return s.faults.Count() }
+
+// Faulty reports whether host node v is currently faulty.
+func (s *Session) Faulty(v int) bool { return s.faults.Has(v) }
+
+// Reembed extracts and verifies a fault-free torus for the current fault
+// set, reusing the previous embedding wherever the mutations left it
+// intact. It returns ErrNotTolerated (wrapped) when the pattern exceeds
+// the construction's tolerance; the session stays usable — clear some
+// faults and Reembed again.
+func (s *Session) Reembed() (*Embedding, error) {
+	res, err := s.ses.Eval(s.faults)
+	if err != nil {
+		return nil, classify(err)
+	}
+	// The result aliases the session's scratch; hand out a stable copy.
+	inner := &embed.Embedding{
+		Guest: res.Embedding.Guest,
+		Map:   append([]int(nil), res.Embedding.Map...),
+	}
+	return wrapEmbedding(inner, s.t.Side(), s.t.Dims()), nil
+}
+
 // ---------------------------------------------------------------------------
 // CliqueTorus: Theorem 1.
 

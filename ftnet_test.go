@@ -224,6 +224,87 @@ func TestExtractDeterministic(t *testing.T) {
 	}
 }
 
+// TestSessionLifecycle drives the public churn API end to end: every
+// Reembed must match a from-scratch Extract of the same fault set,
+// through additions, repairs, an intolerable episode, and recovery.
+func TestSessionLifecycle(t *testing.T) {
+	host, err := NewRandomFaultTorus(2, 150, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := host.NewSession()
+
+	check := func(label string) *Embedding {
+		t.Helper()
+		emb, err := ses.Reembed()
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		fresh := host.NewFaults()
+		for v := 0; v < host.HostNodes(); v++ {
+			if ses.Faulty(v) {
+				fresh.Add(v)
+			}
+		}
+		want, err := host.Extract(fresh)
+		if err != nil {
+			t.Fatalf("%s: fresh extract: %v", label, err)
+		}
+		for i := range want.Map {
+			if emb.Map[i] != want.Map[i] {
+				t.Fatalf("%s: session and fresh extraction differ at guest node %d", label, i)
+			}
+		}
+		return emb
+	}
+
+	first := check("empty")
+	firstCopy := append([]int(nil), first.Map...)
+	ses.AddFaults(1234, 99999, 1234) // duplicate add is a no-op
+	if ses.FaultCount() != 2 {
+		t.Fatalf("fault count %d, want 2", ses.FaultCount())
+	}
+	check("grown")
+	// The snapshot handed out earlier must be unaffected by mutations:
+	// Reembed returns copies, not views of the session's scratch.
+	for i, v := range firstCopy {
+		if first.Map[i] != v {
+			t.Fatalf("earlier snapshot mutated at guest node %d", i)
+		}
+	}
+	ses.ClearFaults(1234)
+	if ses.FaultCount() != 1 {
+		t.Fatalf("fault count %d after repair, want 1", ses.FaultCount())
+	}
+	check("repaired")
+	ses.ClearFaults(99999, 99999)
+	if ses.FaultCount() != 0 {
+		t.Fatalf("fault count %d after full repair, want 0", ses.FaultCount())
+	}
+	healed := check("healed")
+	for i := range healed.Map {
+		if healed.Map[i] != first.Map[i] {
+			t.Fatalf("fully healed session differs from the pristine embedding at %d", i)
+		}
+	}
+	if _, err := healed.Mesh(); err != nil {
+		t.Fatalf("mesh restriction on session embedding: %v", err)
+	}
+
+	// Overload the host; the session must classify the failure and stay
+	// usable for recovery.
+	over := host.InjectRandom(3, 0.05)
+	ses.AddFaults(over.Nodes()...)
+	if _, err := ses.Reembed(); err == nil {
+		t.Skip("lucky pattern survived")
+	} else if !errors.Is(err, ErrNotTolerated) {
+		t.Fatalf("expected ErrNotTolerated, got %v", err)
+	}
+	ses.ClearFaults(over.Nodes()...)
+	ses.AddFaults(777)
+	check("recovered")
+}
+
 func TestThreeDimensional(t *testing.T) {
 	if testing.Short() {
 		t.Skip("3D hosts are large")

@@ -149,6 +149,20 @@ func (s *Set) DirtyColumns() []int32 { return s.dirtyList }
 // DirtyCount returns the number of dirty columns.
 func (s *Set) DirtyCount() int { return len(s.dirtyList) }
 
+// CopyBandRange copies bands [gLo, gHi) at column z from src, marking z
+// dirty on a tracked receiver. The two families must share geometry (the
+// caller's responsibility). The delta-evaluation engine uses it to carry
+// an unchanged fault box's footprint values from the previous family
+// instead of re-interpolating them.
+func (s *Set) CopyBandRange(src *Set, gLo, gHi, z int) {
+	for gi := gLo; gi < gHi; gi++ {
+		s.vals[gi][z] = src.vals[gi][z]
+	}
+	if s.dirtyBits != nil {
+		s.MarkDirty(z)
+	}
+}
+
 // ColumnEqual reports whether the receiver and other hold identical band
 // values at column z. The two families must share geometry (the caller's
 // responsibility); the coupled rate-ladder pipeline uses this to detect

@@ -1,0 +1,158 @@
+// Package churn generates dynamic fault workloads — stochastic fault
+// arrivals, repairs, and adversarial clustered bursts over continuous
+// time — and drives the Theorem 2 pipeline through them via the
+// core.Session delta-evaluation engine.
+//
+// The paper's model is static: inject a fault set once, build the
+// embedding once. Real deployments see faults arrive *and get repaired*
+// over a machine's lifetime (cf. the fault-tolerant network constructors
+// and Byzantine-churn lines of work in PAPERS.md), so this package models
+// the host as a continuous-time Markov process: every healthy node fails
+// at rate Arrival, every faulty node is repaired at rate Repair, and —
+// optionally — adversarial bursts drop a spatially clustered batch of
+// faults at rate BurstRate (reusing the Theorem 3 adversary patterns of
+// internal/fault). Events are drawn by Gillespie's direct method, so
+// inter-event times and event kinds are exact for the rate triple.
+//
+// Each churn event mutates the fault set by a recorded delta, which is
+// exactly what core.Session consumes: one event costs one incremental
+// Eval — O(fault footprint), not O(N) — instead of a from-scratch
+// pipeline run (BenchmarkChurnSession pins the gap). The lifetime driver
+// (lifetime.go) aggregates trials into death-time, death-size and
+// availability statistics on parallel.RunLifetime, with the same
+// worker-count-independent determinism as every other engine in the
+// repository.
+package churn
+
+import (
+	"fmt"
+	"math"
+
+	"ftnet/internal/fault"
+	"ftnet/internal/grid"
+	"ftnet/internal/rng"
+)
+
+// Process parameterizes the fault-churn stochastic process on a host
+// with a fixed node count.
+type Process struct {
+	// Arrival is the failure rate of each healthy node (events per node
+	// per unit time). The aggregate arrival rate is Arrival * #healthy.
+	Arrival float64
+	// Repair is the repair rate of each faulty node; 0 disables repair
+	// (the pure-aging regime of the mean-faults-to-death experiments).
+	Repair float64
+	// BurstRate, if positive, adds adversarial burst events at this
+	// aggregate rate: each burst places BurstSize clustered faults with
+	// the BurstPattern adversary from internal/fault.
+	BurstRate float64
+	// BurstSize is the number of faults per burst (default 8).
+	BurstSize int
+	// BurstPattern is the adversary used for bursts (default
+	// fault.Cluster, the densest axis-aligned box).
+	BurstPattern fault.Pattern
+}
+
+// Validate checks the rate triple.
+func (p Process) Validate() error {
+	if p.Arrival < 0 || p.Repair < 0 || p.BurstRate < 0 {
+		return fmt.Errorf("churn: negative rate in %+v", p)
+	}
+	if p.Arrival == 0 && p.Repair == 0 && p.BurstRate == 0 {
+		return fmt.Errorf("churn: all rates zero; the process has no events")
+	}
+	if p.BurstRate > 0 && p.BurstSize < 0 {
+		return fmt.Errorf("churn: negative burst size %d", p.BurstSize)
+	}
+	return nil
+}
+
+// Event is one churn step: the simulated time it occurred at and the
+// fault-set delta it applied. Added and Cleared alias the generator's
+// buffers and are valid only until the next Next call.
+type Event struct {
+	Time    float64
+	Added   []int
+	Cleared []int
+}
+
+// Generator draws the event sequence of one trial and applies it to a
+// fault set. It owns the delta buffers, so steady-state stepping
+// allocates nothing (bursts excepted — they build a pattern set). A
+// Generator must not be shared by concurrent trials; call Reset at each
+// trial start.
+type Generator struct {
+	proc  Process
+	shape grid.Shape // host node grid, for spatially structured bursts
+	now   float64
+
+	added, cleared []int
+}
+
+// NewGenerator builds a generator for the process on a host whose flat
+// node indices are row-major over hostShape (core.Graph.NodeShape).
+func NewGenerator(proc Process, hostShape grid.Shape) (*Generator, error) {
+	if err := proc.Validate(); err != nil {
+		return nil, err
+	}
+	if proc.BurstSize == 0 {
+		proc.BurstSize = 8
+	}
+	return &Generator{proc: proc, shape: hostShape.Clone()}, nil
+}
+
+// Reset rewinds the clock for a new trial.
+func (gen *Generator) Reset() { gen.now = 0 }
+
+// Now returns the current simulated time.
+func (gen *Generator) Now() float64 { return gen.now }
+
+// Next advances to the next churn event, mutates faults by its delta,
+// and returns it. Gillespie's direct method: the waiting time is
+// exponential in the total rate of the current state, and the event kind
+// is chosen proportionally to its rate. An error means the process is
+// stuck (every competing rate is zero in this state) — with Arrival > 0
+// that requires an all-faulty host.
+func (gen *Generator) Next(r rng.Source, faults *fault.Set) (Event, error) {
+	n := faults.Len()
+	count := faults.Count()
+	rateArrival := gen.proc.Arrival * float64(n-count)
+	rateRepair := gen.proc.Repair * float64(count)
+	total := rateArrival + rateRepair + gen.proc.BurstRate
+	if total <= 0 {
+		return Event{}, fmt.Errorf("churn: no event possible (%d/%d nodes faulty, rates %+v)", count, n, gen.proc)
+	}
+	// Exponential waiting time; 1-U keeps the argument in (0, 1].
+	gen.now += -math.Log(1-r.Float64()) / total
+	ev := Event{Time: gen.now, Added: gen.added[:0], Cleared: gen.cleared[:0]}
+	switch u := r.Float64() * total; {
+	case u < rateArrival:
+		// Uniform healthy node, by rejection: the expected iteration
+		// count is n/(n-count), ~1 in every realistic regime.
+		for {
+			v := r.Intn(n)
+			if !faults.Has(v) {
+				faults.Add(v)
+				ev.Added = append(ev.Added, v)
+				break
+			}
+		}
+	case u < rateArrival+rateRepair:
+		v := faults.Nth(r.Intn(count))
+		faults.Remove(v)
+		ev.Cleared = append(ev.Cleared, v)
+	default:
+		burst, err := fault.Adversarial(gen.proc.BurstPattern, gen.shape, gen.proc.BurstSize, 2, r)
+		if err != nil {
+			return Event{}, fmt.Errorf("churn: burst: %w", err)
+		}
+		burst.ForEach(func(v int) {
+			if !faults.Has(v) {
+				faults.Add(v)
+				ev.Added = append(ev.Added, v)
+			}
+		})
+	}
+	gen.added, gen.cleared = ev.Added[:0], ev.Cleared[:0]
+	return ev, nil
+}

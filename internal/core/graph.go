@@ -52,6 +52,17 @@ func NewGraph(p Params) (*Graph, error) {
 // NumNodes returns m * n^{d-1}.
 func (g *Graph) NumNodes() int { return g.P.M() * g.NumCols }
 
+// NodeShape returns the host node grid [m, n, ..., n]: flat node indices
+// are row-major over it (NodeIndex(i, z) = i*numCols + z). Fault
+// generators that place spatially structured patterns (adversarial
+// bursts, clusters) address the host through this shape.
+func (g *Graph) NodeShape() grid.Shape {
+	s := make(grid.Shape, g.P.D)
+	s[0] = g.P.M()
+	copy(s[1:], g.ColShape)
+	return s
+}
+
 // NodeIndex returns the flat index of node (i, z).
 func (g *Graph) NodeIndex(i, z int) int { return i*g.NumCols + z }
 

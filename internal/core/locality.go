@@ -172,11 +172,9 @@ func (g *Graph) fastPath(bs *bands.Set, opts ExtractOptions) *template {
 // dense evaluation.
 func (g *Graph) interpolateFast(boxes []*faultBox, sc *Scratch, tpl *template, dst *bands.Set) (*bands.Set, error) {
 	p := g.P
-	t := p.Tile()
 	d1 := p.D - 1
-	colTiles := p.ColTiles()
 	numSlabs := p.NumSlabs()
-	cornerShape := grid.Uniform(d1, colTiles)
+	cornerShape := grid.Uniform(d1, p.ColTiles())
 
 	bs := dst
 	if bs == nil {
@@ -193,30 +191,45 @@ func (g *Graph) interpolateFast(boxes []*faultBox, sc *Scratch, tpl *template, d
 
 	starts, counts, coord := sc.footprintBufs(d1)
 	for _, b := range boxes {
-		total := 1
-		for dim := 0; dim < d1; dim++ {
-			ext := b.ext[dim+1] + 2 // footprint ±1 tile
-			if ext > colTiles {
-				ext = colTiles
-			}
-			starts[dim] = grid.Sub(b.lo[dim+1], 1, colTiles) * t
-			counts[dim] = ext * t
-			total *= counts[dim]
-		}
-		for it := 0; it < total; it++ {
-			rem := it
-			for dim := d1 - 1; dim >= 0; dim-- {
-				coord[dim] = grid.Add(starts[dim], rem%counts[dim], g.ColShape[dim])
-				rem /= counts[dim]
-			}
-			z := g.ColShape.Index(coord)
+		g.footprintColumns(b, starts, counts, coord, func(z int) {
 			ev.setColumn(z)
 			for rs := 0; rs < b.ext[0]; rs++ {
 				ev.evalSlab(bs, grid.Add(b.lo[0], rs, numSlabs), z)
 			}
-		}
+		})
 	}
 	return bs, nil
+}
+
+// footprintColumns enumerates the columns of b's footprint ±1 tile —
+// exactly the columns whose band values the box can influence — calling
+// fn for each. starts/counts/coord are caller-owned (d-1)-sized work
+// buffers (Scratch.footprintBufs). Both the fast interpolation and the
+// delta-evaluation engine's box-copy pass drive this one enumerator, so
+// the two agree on the footprint to the column.
+func (g *Graph) footprintColumns(b *faultBox, starts, counts, coord []int, fn func(z int)) {
+	p := g.P
+	t := p.Tile()
+	d1 := p.D - 1
+	colTiles := p.ColTiles()
+	total := 1
+	for dim := 0; dim < d1; dim++ {
+		ext := b.ext[dim+1] + 2 // footprint ±1 tile
+		if ext > colTiles {
+			ext = colTiles
+		}
+		starts[dim] = grid.Sub(b.lo[dim+1], 1, colTiles) * t
+		counts[dim] = ext * t
+		total *= counts[dim]
+	}
+	for it := 0; it < total; it++ {
+		rem := it
+		for dim := d1 - 1; dim >= 0; dim-- {
+			coord[dim] = grid.Add(starts[dim], rem%counts[dim], g.ColShape[dim])
+			rem /= counts[dim]
+		}
+		fn(g.ColShape.Index(coord))
+	}
 }
 
 // movedBand records a band that slid by one step between two adjacent

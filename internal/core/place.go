@@ -88,6 +88,48 @@ func (g *Graph) placeBands(faults *fault.Set, opts ExtractOptions) (*bands.Set, 
 // copy-on-write set of matching geometry).
 func (g *Graph) placeBandsInto(faults *fault.Set, opts ExtractOptions, dst *bands.Set, deferChecks bool) (*bands.Set, *PlaceReport, error) {
 	sc := opts.Scratch
+	boxes, rep, err := g.buildBoxes(faults, sc)
+	if err != nil {
+		return nil, rep, err
+	}
+
+	var bs *bands.Set
+	var tpl *template
+	if sc != nil && !opts.Dense {
+		// Template build failures (e.g. ablated edge classes) silently
+		// fall back to the dense path, which reports them on its own
+		// terms.
+		tpl, _ = g.template()
+	}
+	var validate func() error
+	if tpl != nil {
+		bs, err = g.interpolateFast(boxes, sc, tpl, dst)
+		validate = func() error { return bs.ValidateDirty() }
+	} else {
+		bs, err = g.interpolate(boxes, sc)
+		validate = func() error { return bs.Validate() }
+	}
+	if err != nil {
+		return nil, rep, err
+	}
+	if deferChecks && tpl != nil {
+		return bs, rep, nil
+	}
+	if err := validate(); err != nil {
+		return nil, rep, fmt.Errorf("core: placed bands invalid: %w", err)
+	}
+	if err := g.checkAllMasked(bs, faults); err != nil {
+		return nil, rep, err
+	}
+	return bs, rep, nil
+}
+
+// buildBoxes runs the combinatorial half of Lemma 5 — fault-box
+// isolation, pigeonhole segments, padding — and returns the finished box
+// list ready for interpolation. The boxes are freshly allocated each
+// call (the delta-evaluation engine retains the previous Eval's list for
+// box-level diffing); only the odometer and bitmap buffers come from sc.
+func (g *Graph) buildBoxes(faults *fault.Set, sc *Scratch) ([]*faultBox, *PlaceReport, error) {
 	rep := &PlaceReport{Faults: faults.Count()}
 	tileShape := g.TileShape()
 
@@ -146,36 +188,7 @@ func (g *Graph) placeBandsInto(faults *fault.Set, opts ExtractOptions, dst *band
 		}
 		rep.Padded += padded
 	}
-
-	var bs *bands.Set
-	var tpl *template
-	if sc != nil && !opts.Dense {
-		// Template build failures (e.g. ablated edge classes) silently
-		// fall back to the dense path, which reports them on its own
-		// terms.
-		tpl, _ = g.template()
-	}
-	var validate func() error
-	if tpl != nil {
-		bs, err = g.interpolateFast(boxes, sc, tpl, dst)
-		validate = func() error { return bs.ValidateDirty() }
-	} else {
-		bs, err = g.interpolate(boxes, sc)
-		validate = func() error { return bs.Validate() }
-	}
-	if err != nil {
-		return nil, rep, err
-	}
-	if deferChecks && tpl != nil {
-		return bs, rep, nil
-	}
-	if err := validate(); err != nil {
-		return nil, rep, fmt.Errorf("core: placed bands invalid: %w", err)
-	}
-	if err := g.checkAllMasked(bs, faults); err != nil {
-		return nil, rep, err
-	}
-	return bs, rep, nil
+	return boxes, rep, nil
 }
 
 // faultyTiles returns the flat tile indices containing at least one fault.

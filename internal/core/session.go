@@ -1,0 +1,669 @@
+// Bidirectional delta evaluation for the Theorem 2 pipeline.
+//
+// A Session carries the pipeline state — copy-on-write band families,
+// row vectors, embedding, certification — across a sequence of Evals
+// whose fault sets differ by arbitrary mutations: additions, removals,
+// or both at once. Each Eval re-derives only the columns whose band
+// values actually changed since the last successful Eval, and its result
+// is bit-identical to a from-scratch dense evaluation of the same fault
+// set (the golden interleaving suite pins this). The monotone rate-ladder
+// sweep (SweepTrial) and the dynamic churn workloads (internal/churn) are
+// both thin clients of this engine.
+//
+// The reuse argument is the locality/path-independence argument the
+// per-trial fast path (locality.go) makes against the all-defaults
+// template, applied between two consecutive band families instead:
+//
+//   - Placement (Lemmas 5, 9-11) makes every column's band values a pure
+//     function of the pinned corners in its own tile cell, so two
+//     families differ only inside the footprints of the boxes that
+//     changed. Eval detects those columns by value diff over the two
+//     families' dirty sets — bit-exact, independent of how boxes moved —
+//     and revalidates only them (bands.ValidateColumns).
+//   - Extraction (Lemmas 6-7): the canonical row vector of a column whose
+//     bands did not change, connected to the anchor column 0 through
+//     unchanged columns, is itself unchanged (every transfer along the
+//     path is identical). Vectors are re-derived only for changed columns
+//     and for unchanged "island" components whose first re-derived contact
+//     disagrees with the kept vector (Lemma 7 makes each island
+//     all-or-nothing, so one O(n) comparison per boundary contact
+//     decides the whole component).
+//   - Verification re-certifies exactly the deviating columns whose
+//     vector was re-derived, the deviating neighbors of re-derived
+//     columns (their cross-column edges face new vectors), and the
+//     deviating columns whose fault membership changed; everything else
+//     is covered by the previous Eval's certification plus the template
+//     certificate.
+//
+// Removal is where the two-sided diff earns its keep. A cleared fault
+// lets placement release the bands around its box, *healing* columns
+// back toward the template. Such a column is dirty in the previous
+// committed family (it deviated from the template) but clean in the new
+// one (SeedFrom restored it), so diffing either dirty set alone would
+// miss it; Eval diffs over the union — previous-commit dirt plus
+// new-placement dirt — which is exactly "may differ from the template on
+// either side". The healed column's vector is then re-derived from a
+// trusted frontier like any changed column, and if it returns to the
+// default base its embedding slice falls back to the template map (the
+// oldDev bookkeeping). No certification work is lost to removals that
+// leave the bands alone: an embedding certified against a fault set
+// remains valid for every subset, and the per-Eval fault pass
+// (verifyFaultPass) re-checks the surviving faults against the current
+// deviation state anyway.
+package core
+
+import (
+	"fmt"
+
+	"ftnet/internal/bands"
+	"ftnet/internal/fault"
+	"ftnet/internal/grid"
+)
+
+// Column states during one Eval's incremental extraction.
+const (
+	swKept      uint8 = iota // bands unchanged, vector provisionally kept
+	swChanged                // band values changed, vector must be re-derived
+	swAnchor                 // unchanged and connected to column 0: trusted
+	swConfirmed              // unchanged island column whose kept vector was re-derived and matched
+	swAssigned               // vector re-derived this Eval
+)
+
+// Session is the bidirectional delta-evaluation engine. It owns two
+// copy-on-write band families (successive Evals alternate between them
+// so the previous state's values survive for diffing) and the
+// bookkeeping of which columns each Eval actually recomputed. A Session
+// wraps one Scratch and, like it, must never be shared by concurrent
+// trials; it stays valid across trials (call Reset at each trial start).
+type Session struct {
+	g    *Graph
+	sc   *Scratch
+	opts ExtractOptions
+
+	bsA, bsB *bands.Set
+	cur      *bands.Set // family described by the scratch's rowmap/embedding state
+	warm     bool       // scratch state valid for incremental reuse against cur
+
+	touched   []int32 // columns re-derived at any Eval since Reset (== sc.prevDirty)
+	churnCols []int32 // columns whose fault membership changed since the last successful Eval
+
+	// Box-level placement diff: the previous successful Eval's box list
+	// and the per-box classification buffers of the current one (see
+	// interpolateDelta; session-owned so the per-event hot path does not
+	// allocate).
+	prevBoxes []*faultBox
+	copyable  []bool
+	matchedA  []bool
+	matchedB  []bool
+
+	mark    []int32 // per-column generation stamps (diff and verify-set dedup)
+	gen     int32
+	state   []uint8
+	changed []int32
+	queue   []int
+	recomp  []int32 // columns whose vector was re-derived this Eval
+	oldDev  []bool  // dev flag each recomp column had before re-derivation
+	pending []int32
+	verify  []int32
+	nbuf    []int
+	ncoord  []int
+}
+
+// NewSession wraps sc for delta evaluation on g. opts.Scratch is forced
+// to sc; opts.Dense degrades every Eval to the independent dense
+// pipeline (the ablation mode).
+func (g *Graph) NewSession(sc *Scratch, opts ExtractOptions) *Session {
+	opts.Scratch = sc
+	return &Session{g: g, sc: sc, opts: opts}
+}
+
+// Reset starts a new trial: the next Eval rebuilds the pipeline state
+// from scratch instead of diffing against the previous trial's state.
+func (s *Session) Reset() {
+	s.warm = false
+	s.churnCols = s.churnCols[:0]
+}
+
+// NoteAdded records newly added fault indices (as returned by
+// fault.Set.Extend or BernoulliRecord) so the next Eval re-certifies
+// their columns even when no band moved — e.g. a fault landing on an
+// already-masked row.
+func (s *Session) NoteAdded(added []int) {
+	for _, idx := range added {
+		s.churnCols = append(s.churnCols, int32(idx%s.g.NumCols))
+	}
+}
+
+// NoteCleared records removed fault indices (as returned by
+// fault.Set.RemoveRecord). Clearing a fault can never invalidate the
+// previous certification — an embedding certified against a fault set
+// remains valid for every subset — but the columns are recorded anyway
+// so every certified state has been checked against exactly its own
+// fault set, keeping each Eval's certificate self-contained instead of
+// resting on a subset argument. The cost is one extra column visit per
+// cleared fault, and only when the column deviates.
+func (s *Session) NoteCleared(cleared []int) {
+	for _, idx := range cleared {
+		s.churnCols = append(s.churnCols, int32(idx%s.g.NumCols))
+	}
+}
+
+// Eval runs the full pipeline — place, extract, verify — on the given
+// fault set and returns the survival proof, reusing as much of the
+// previous successful Eval's work as the band-value diff allows. The
+// fault set may differ from the previous Eval's by any mixture of
+// additions and removals, as long as every mutation since the last
+// successful Eval was reported through NoteAdded/NoteCleared. The Result
+// aliases the Session and is valid only until the next Eval or Reset.
+// An *UnhealthyError is a survival failure (state stays warm: the next
+// Eval diffs against the last healthy state); other errors are bugs.
+func (s *Session) Eval(faults *fault.Set) (*Result, error) {
+	g, sc := s.g, s.sc
+	if s.opts.Dense || sc == nil {
+		return g.ContainTorus(faults, s.opts)
+	}
+	tpl, err := g.template()
+	if err != nil {
+		// No usable template (e.g. ablated edge classes): every Eval runs
+		// the standalone pipeline, which reports such failures on its own
+		// terms.
+		return g.ContainTorus(faults, s.opts)
+	}
+	s.ensureBuffers()
+	target := s.bsA
+	if s.cur == s.bsA {
+		target = s.bsB
+	}
+	boxes, rep, err := g.buildBoxes(faults, sc)
+	if err != nil {
+		return nil, err // unhealthy box structure leaves the warm state untouched
+	}
+	warm := s.warm && sc.fastInit && sc.fastGraph == g && s.cur != nil
+	var bs *bands.Set
+	if warm {
+		bs, err = s.interpolateDelta(boxes, tpl, target)
+	} else {
+		bs, err = g.interpolateFast(boxes, sc, tpl, target)
+	}
+	if err != nil {
+		return nil, err // unhealthy placements leave the warm state untouched
+	}
+	res := &Result{Bands: bs, Report: rep}
+
+	if !warm {
+		return s.evalCold(bs, boxes, faults, tpl, res)
+	}
+
+	// Diff the new family against the last successful Eval's: every value
+	// difference lies inside the union of the two dirty sets (see the
+	// package comment — the union is what catches healed columns).
+	s.gen++
+	s.changed = s.changed[:0]
+	for _, list := range [2][]int32{s.cur.DirtyColumns(), bs.DirtyColumns()} {
+		for _, z32 := range list {
+			if s.mark[z32] == s.gen {
+				continue
+			}
+			s.mark[z32] = s.gen
+			if !bs.ColumnEqual(s.cur, int(z32)) {
+				s.changed = append(s.changed, z32)
+			}
+		}
+	}
+	if err := bs.ValidateColumns(s.changed); err != nil {
+		return nil, fmt.Errorf("core: placed bands invalid: %w", err)
+	}
+	if err := g.checkAllMasked(bs, faults); err != nil {
+		return nil, err
+	}
+	if err := s.extractIncremental(bs, tpl); err != nil {
+		return nil, err
+	}
+	if err := s.verifyIncremental(faults, tpl); err != nil {
+		return nil, err
+	}
+	res.Embedding = sc.emb
+	s.commit(bs, boxes)
+	return res, nil
+}
+
+// interpolateDelta is the placement half of the delta evaluation: it
+// seeds target from the template and then, box by box, either copies the
+// box's footprint values from the last committed family (when the box
+// and every box that can influence its footprint are unchanged — values
+// are then bit-identical by construction) or re-interpolates it with the
+// fresh pinned table. A box is "unchanged" when its tile geometry and
+// padded segment list match a previous box exactly; it is demoted to
+// re-interpolation when any added or removed box sits close enough
+// (expanded footprints intersecting in every dimension) for its pins to
+// reach into a shared tile cell. The result is bit-identical to
+// interpolateFast on the same boxes; only the cost differs — a churn
+// event pays for the toggled box, not the standing population.
+func (s *Session) interpolateDelta(boxes []*faultBox, tpl *template, dst *bands.Set) (*bands.Set, error) {
+	g, sc := s.g, s.sc
+	p := g.P
+	d1 := p.D - 1
+	per := p.PerSlab()
+	numSlabs := p.NumSlabs()
+	cornerShape := grid.Uniform(d1, p.ColTiles())
+	tileShape := g.TileShape()
+
+	// Classify: copyable[i] means boxes[i] has an identical predecessor.
+	// matched[j] marks predecessors that found a successor; the rest were
+	// removed and count as perturbing.
+	if cap(s.copyable) < len(boxes) {
+		s.copyable = make([]bool, len(boxes))
+		s.matchedB = make([]bool, len(boxes))
+	}
+	copyable := s.copyable[:len(boxes)]
+	if cap(s.matchedA) < len(s.prevBoxes) {
+		s.matchedA = make([]bool, len(s.prevBoxes))
+	}
+	matched := s.matchedA[:len(s.prevBoxes)]
+	for j := range matched {
+		matched[j] = false
+	}
+	for i, b := range boxes {
+		copyable[i] = false
+		for j, pb := range s.prevBoxes {
+			if !matched[j] && sameBox(b, pb) {
+				copyable[i] = true
+				matched[j] = true
+				break
+			}
+		}
+	}
+	// Demote matched boxes within reach of a perturber: an added or
+	// changed new box (unmatched above) or a removed predecessor. The
+	// perturber set is fixed before demotion — a demoted-but-matched box
+	// keeps its pins, so demotion does not cascade through it.
+	isMatched := append(s.matchedB[:0], copyable...)
+	s.matchedB = isMatched
+	for i, b := range boxes {
+		if !copyable[i] {
+			continue
+		}
+		for k, nb := range boxes {
+			if k != i && !isMatched[k] && boxesInfluence(b, nb, tileShape) {
+				copyable[i] = false
+				break
+			}
+		}
+		if !copyable[i] {
+			continue
+		}
+		for j, pb := range s.prevBoxes {
+			if !matched[j] && boxesInfluence(b, pb, tileShape) {
+				copyable[i] = false
+				break
+			}
+		}
+	}
+
+	if err := dst.SeedFrom(tpl.bs); err != nil {
+		return nil, err
+	}
+	pinned, err := g.buildPinned(boxes, sc, cornerShape)
+	if err != nil {
+		return nil, err
+	}
+	ev := sc.colEvalBuf(g, tpl.defaults, pinned, cornerShape)
+	starts, counts, coord := sc.footprintBufs(d1)
+	cur := s.cur
+	for i, b := range boxes {
+		if copyable[i] {
+			g.footprintColumns(b, starts, counts, coord, func(z int) {
+				for rs := 0; rs < b.ext[0]; rs++ {
+					gLo := grid.Add(b.lo[0], rs, numSlabs) * per
+					dst.CopyBandRange(cur, gLo, gLo+per, z)
+				}
+			})
+			continue
+		}
+		g.footprintColumns(b, starts, counts, coord, func(z int) {
+			ev.setColumn(z)
+			for rs := 0; rs < b.ext[0]; rs++ {
+				ev.evalSlab(dst, grid.Add(b.lo[0], rs, numSlabs), z)
+			}
+		})
+	}
+	return dst, nil
+}
+
+// sameBox reports whether two fault boxes are identical in tile geometry
+// and padded segment layout — the inputs the interpolation's pinned
+// corners are a pure function of.
+func sameBox(a, b *faultBox) bool {
+	if len(a.lo) != len(b.lo) || len(a.segs) != len(b.segs) {
+		return false
+	}
+	for d := range a.lo {
+		if a.lo[d] != b.lo[d] || a.ext[d] != b.ext[d] {
+			return false
+		}
+	}
+	for i := range a.segs {
+		if a.segs[i] != b.segs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// boxesInfluence reports whether box p's pins can reach a tile cell that
+// box b's footprint columns interpolate over: their expanded footprints
+// (±1 tile) must intersect in every dimension. Slab ranges interact
+// without the ±1 (pins exist only at spanned slabs), so expanding
+// dimension 0 too is conservative, never unsound.
+func boxesInfluence(b, p *faultBox, tileShape grid.Shape) bool {
+	for d := range tileShape {
+		if !grid.IntervalsIntersect(
+			grid.Sub(b.lo[d], 1, tileShape[d]), b.ext[d]+2,
+			grid.Sub(p.lo[d], 1, tileShape[d]), p.ext[d]+2, tileShape[d]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ensureBuffers sizes the per-column working state to the graph.
+func (s *Session) ensureBuffers() {
+	g := s.g
+	numCols := g.NumCols
+	if s.bsA == nil || s.bsA.K() != g.P.K() || s.bsA.M != g.P.M() || s.bsA.NumColumns() != numCols {
+		p := g.P
+		s.bsA = bands.NewSet(p.M(), p.W, g.ColShape, p.K())
+		s.bsB = bands.NewSet(p.M(), p.W, g.ColShape, p.K())
+		s.cur = nil
+		s.warm = false
+	}
+	if cap(s.mark) < numCols {
+		s.mark = make([]int32, numCols)
+		s.state = make([]uint8, numCols)
+		s.gen = 0
+	}
+	s.mark = s.mark[:numCols]
+	s.state = s.state[:numCols]
+	if cap(s.ncoord) < g.P.D-1 {
+		s.ncoord = make([]int, g.P.D-1)
+	}
+	s.ncoord = s.ncoord[:g.P.D-1]
+}
+
+// evalCold runs the standalone extract+verify path (exactly ContainTorus
+// after placement) and, when it leaves the scratch in the reusable
+// fast-path state, marks the session warm for the next Eval.
+func (s *Session) evalCold(bs *bands.Set, boxes []*faultBox, faults *fault.Set, tpl *template, res *Result) (*Result, error) {
+	g, sc := s.g, s.sc
+	if err := bs.ValidateDirty(); err != nil {
+		return nil, fmt.Errorf("core: placed bands invalid: %w", err)
+	}
+	if err := g.checkAllMasked(bs, faults); err != nil {
+		return nil, err
+	}
+	emb, err := g.extractFast(bs, tpl, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.verifyFast(emb, bs, faults, tpl, sc); err != nil {
+		return nil, err
+	}
+	res.Embedding = emb
+	s.commit(bs, boxes)
+	return res, nil
+}
+
+// commit records a successful Eval: the scratch's rowmap/dev/embedding
+// state now describes bs (placed from boxes), and sc.prevDirty (the
+// inter-trial restore list) must cover every column deviating from the
+// template — the union of everything any Eval since Reset re-derived.
+func (s *Session) commit(bs *bands.Set, boxes []*faultBox) {
+	sc := s.sc
+	s.cur = bs
+	s.prevBoxes = boxes
+	s.warm = sc.fastInit && sc.fastGraph == s.g
+	s.touched = append(s.touched[:0], sc.prevDirty...)
+	s.churnCols = s.churnCols[:0]
+	if len(s.recomp) > 0 {
+		s.recomp = s.recomp[:0]
+		s.oldDev = s.oldDev[:0]
+	}
+}
+
+// extractIncremental re-derives row vectors for exactly the columns that
+// need it: the changed columns, plus any unchanged island whose kept
+// vectors no longer match a re-derived boundary contact. Kept columns'
+// vectors stay canonical by Lemma 7 (see the package comment), so the
+// embedding is bit-identical to a from-scratch extraction.
+func (s *Session) extractIncremental(bs *bands.Set, tpl *template) error {
+	g, sc := s.g, s.sc
+	n := g.P.N()
+	numCols := g.NumCols
+	rowmap, rowflat, dev := sc.rowmap, sc.rowflat, sc.devCols
+	base := tpl.defaultRows
+
+	state := s.state
+	for z := range state {
+		state[z] = swKept
+	}
+	for _, z32 := range s.changed {
+		state[z32] = swChanged
+	}
+	s.recomp = s.recomp[:0]
+	s.oldDev = s.oldDev[:0]
+
+	queue := s.queue[:0]
+	nbuf := s.nbuf
+	if state[0] == swChanged {
+		// The anchor's own bands changed. Its canonical vector is directly
+		// recomputable (Lemma 6 anchors guest row 0 just above band 0 of
+		// column 0), so it seeds the flood pre-assigned; no free trust
+		// region exists, and every kept component is validated through
+		// island probes on first contact.
+		anchor := bs.UnmaskedRows(0, rowflat[:0:n])
+		if len(anchor) != n {
+			return fmt.Errorf("core: column 0 has %d unmasked rows, want %d", len(anchor), n)
+		}
+		s.oldDev = append(s.oldDev, dev[0])
+		rowmap[0] = anchor
+		dev[0] = !int32Equal(anchor, base)
+		state[0] = swAssigned
+		s.recomp = append(s.recomp, 0)
+		queue = append(queue, 0)
+	} else {
+		// Trust region: the component of unchanged columns containing the
+		// anchor column 0 keeps its vectors verbatim.
+		state[0] = swAnchor
+		queue = append(queue, 0)
+		for head := 0; head < len(queue); head++ {
+			z := queue[head]
+			nbuf = g.columnNeighbors(z, nbuf[:0], s.ncoord)
+			for _, zn := range nbuf {
+				if state[zn] == swKept {
+					state[zn] = swAnchor
+					queue = append(queue, zn)
+				}
+			}
+		}
+		queue = queue[:0]
+	}
+
+	// Re-derive the changed region, flooding BFS out of trusted columns.
+	// Seeding may need several passes: a changed component enclosed by
+	// not-yet-confirmed islands becomes seedable only after those islands
+	// are contacted. assign transfers zFrom -> zTo into zTo's backing slot.
+	assign := func(zFrom, zTo int) error {
+		dst := rowflat[zTo*n : (zTo+1)*n]
+		s.oldDev = append(s.oldDev, dev[zTo])
+		if err := g.transferFast(bs, base, sc, zFrom, zTo, rowmap[zFrom], dst, dev); err != nil {
+			return err
+		}
+		rowmap[zTo] = dst
+		state[zTo] = swAssigned
+		s.recomp = append(s.recomp, int32(zTo))
+		queue = append(queue, zTo)
+		return nil
+	}
+	s.pending = append(s.pending[:0], s.changed...)
+	for len(s.pending) > 0 {
+		// Seed every pending changed column that touches a trusted one.
+		rest := s.pending[:0]
+		progress := false
+		for _, z32 := range s.pending {
+			z := int(z32)
+			if state[z] != swChanged {
+				progress = true // assigned by an earlier flood
+				continue
+			}
+			seeded := false
+			nbuf = g.columnNeighbors(z, nbuf[:0], s.ncoord)
+			for _, zn := range nbuf {
+				if st := state[zn]; st == swAnchor || st == swConfirmed || st == swAssigned {
+					if err := assign(zn, z); err != nil {
+						return err
+					}
+					seeded = true
+					break
+				}
+			}
+			if seeded {
+				progress = true
+			} else {
+				rest = append(rest, z32)
+			}
+		}
+		s.pending = rest
+		if !progress && len(s.pending) > 0 {
+			return fmt.Errorf("core: internal: %d changed columns unreachable from any trusted column", len(s.pending))
+		}
+		// Flood: walk the frontier of trusted vectors, re-deriving changed
+		// columns and probing kept islands on first contact. A confirmed
+		// island column spreads confirmation through its whole component
+		// without further O(n) comparisons (Lemma 7 makes the component
+		// all-or-nothing) and is itself a valid transfer source, so trust
+		// crosses islands to reach changed regions on their far side.
+		for head := 0; head < len(queue); head++ {
+			z := queue[head]
+			confirmed := state[z] == swConfirmed
+			nbuf = g.columnNeighbors(z, nbuf[:0], s.ncoord)
+			for _, zn := range nbuf {
+				switch state[zn] {
+				case swChanged:
+					if err := assign(z, zn); err != nil {
+						return err
+					}
+				case swKept:
+					if confirmed {
+						// Same island as an already-validated column.
+						state[zn] = swConfirmed
+						queue = append(queue, zn)
+						continue
+					}
+					// First contact with a kept island: re-derive its vector
+					// once. If it matches, the whole component is valid; if
+					// not, the island genuinely shifted — flood into it.
+					tmp := sc.cleanVecBuf(n)
+					oldDev := dev[zn]
+					if err := g.transferFast(bs, base, sc, z, zn, rowmap[z], tmp, dev); err != nil {
+						return err
+					}
+					if int32Equal(tmp, rowmap[zn]) {
+						dev[zn] = oldDev
+						state[zn] = swConfirmed
+						queue = append(queue, zn)
+						continue
+					}
+					dst := rowflat[zn*n : (zn+1)*n]
+					copy(dst, tmp)
+					rowmap[zn] = dst
+					s.oldDev = append(s.oldDev, oldDev)
+					state[zn] = swAssigned
+					s.recomp = append(s.recomp, int32(zn))
+					queue = append(queue, zn)
+				}
+			}
+		}
+		queue = queue[:0]
+	}
+	s.queue = queue
+	s.nbuf = nbuf
+
+	// Sync the embedding for re-derived columns: deviating vectors are
+	// written out, restored-to-base vectors fall back to the default map.
+	e := sc.emb
+	for i, z32 := range s.recomp {
+		z := int(z32)
+		switch {
+		case dev[z]:
+			rows := rowmap[z]
+			for j := 0; j < n; j++ {
+				e.Map[j*numCols+z] = int(rows[j])*numCols + z
+			}
+		case s.oldDev[i]:
+			for j := 0; j < n; j++ {
+				e.Map[j*numCols+z] = int(base[j])*numCols + z
+			}
+		}
+	}
+	// Extend the inter-trial restore set: anything re-derived this Eval
+	// may now deviate from the template.
+	s.gen++
+	for _, z32 := range sc.prevDirty {
+		s.mark[z32] = s.gen
+	}
+	for _, z32 := range s.recomp {
+		if s.mark[z32] != s.gen {
+			s.mark[z32] = s.gen
+			sc.prevDirty = append(sc.prevDirty, z32)
+		}
+	}
+	return nil
+}
+
+// verifyIncremental re-certifies the Eval: every deviating column whose
+// vector was re-derived, every deviating neighbor of a re-derived column
+// (its cross-column edges face new vectors), and every deviating column
+// whose fault membership changed since the last certified state; plus
+// the masked-under-default check for all faults in non-deviating columns.
+func (s *Session) verifyIncremental(faults *fault.Set, tpl *template) error {
+	g, sc := s.g, s.sc
+	dev := sc.devCols
+	e := sc.emb
+	faultCol, fgen, err := g.verifyFaultPass(faults, tpl, sc, dev)
+	if err != nil {
+		return err
+	}
+
+	s.gen++
+	gen := s.gen
+	s.verify = s.verify[:0]
+	add := func(z int) {
+		if s.mark[z] != gen && dev[z] {
+			s.mark[z] = gen
+			s.verify = append(s.verify, int32(z))
+		}
+	}
+	nbuf := s.nbuf
+	for _, z32 := range s.recomp {
+		z := int(z32)
+		add(z)
+		nbuf = g.columnNeighbors(z, nbuf[:0], s.ncoord)
+		for _, zn := range nbuf {
+			add(zn)
+		}
+	}
+	for _, z32 := range s.churnCols {
+		add(int(z32))
+	}
+	s.nbuf = nbuf
+
+	inSet := func(z int) bool { return s.mark[z] == gen }
+	for _, z32 := range s.verify {
+		z := int(z32)
+		if err := g.verifyColumn(e, faults, sc, z, faultCol[z] == fgen,
+			func(zn int) bool { return inSet(zn) && zn < z }); err != nil {
+			return err
+		}
+	}
+	return nil
+}

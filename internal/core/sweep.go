@@ -7,107 +7,39 @@
 // and verification state, paying only for the columns whose band values
 // actually changed.
 //
-// The reuse argument is the same locality/path-independence argument the
-// per-trial fast path (locality.go) makes against the all-defaults
-// template, applied between two consecutive band families instead:
-//
-//   - Placement (Lemmas 5, 9-11) makes every column's band values a pure
-//     function of the pinned corners in its own tile cell, so two nested
-//     rungs' families differ only inside the footprints of the boxes that
-//     changed. Eval detects those columns by value diff over the two
-//     families' dirty sets — bit-exact, independent of how boxes moved —
-//     and revalidates only them (bands.ValidateColumns).
-//   - Extraction (Lemmas 6-7): the canonical row vector of a column whose
-//     bands did not change, connected to the anchor column 0 through
-//     unchanged columns, is itself unchanged (every transfer along the
-//     path is identical). Vectors are re-derived only for changed columns
-//     and for unchanged "island" components whose first re-derived contact
-//     disagrees with the kept vector (Lemma 7 makes each island
-//     all-or-nothing, so one O(n) comparison per boundary contact
-//     decides the whole component).
-//   - Verification re-certifies exactly the deviating columns whose
-//     vector was re-derived, the deviating neighbors of re-derived
-//     columns (their cross-column edges face new vectors), and the
-//     deviating columns that received new faults; everything else is
-//     covered by the previous rung's certification plus the template
-//     certificate.
-//
-// The result of every rung is bit-identical to a from-scratch dense
-// evaluation on the same fault set (the sweep equivalence tests pin
-// this), which is what lets the curve engine skip early-stopped rungs
-// without perturbing later ones.
+// All of the incremental machinery lives in the bidirectional
+// delta-evaluation engine (Session, session.go); a SweepTrial is its
+// monotone, grow-only client. The result of every rung is bit-identical
+// to a from-scratch dense evaluation on the same fault set (the sweep
+// equivalence tests pin this), which is what lets the curve engine skip
+// early-stopped rungs without perturbing later ones.
 package core
 
-import (
-	"fmt"
+import "ftnet/internal/fault"
 
-	"ftnet/internal/bands"
-	"ftnet/internal/fault"
-)
-
-// Column states during one Eval's incremental extraction.
-const (
-	swKept      uint8 = iota // bands unchanged, vector provisionally kept
-	swChanged                // band values changed, vector must be re-derived
-	swAnchor                 // unchanged and connected to column 0: trusted
-	swConfirmed              // unchanged island column whose kept vector was re-derived and matched
-	swAssigned               // vector re-derived this rung
-)
-
-// SweepTrial carries one coupled rate-ladder trial through the pipeline.
-// It owns two copy-on-write band families (rungs alternate between them
-// so the previous rung's values survive for diffing) and the bookkeeping
-// of which columns each rung actually recomputed. A SweepTrial wraps one
+// SweepTrial carries one coupled rate-ladder trial through the pipeline:
+// a Session driven with monotone, grow-only fault sets. It wraps one
 // Scratch and, like it, must never be shared by concurrent trials; it
 // stays valid across trials (call Reset at each trial start).
 type SweepTrial struct {
-	g    *Graph
-	sc   *Scratch
-	opts ExtractOptions
-
-	bsA, bsB *bands.Set
-	cur      *bands.Set // family described by the scratch's rowmap/embedding state
-	warm     bool       // scratch state valid for incremental reuse against cur
-
-	touched   []int32 // columns re-derived at any rung of this trial (== sc.prevDirty)
-	deltaCols []int32 // columns of faults added since the last successful rung
-
-	mark    []int32 // per-column generation stamps (diff and verify-set dedup)
-	gen     int32
-	state   []uint8
-	changed []int32
-	queue   []int
-	recomp  []int32 // columns whose vector was re-derived this rung
-	oldDev  []bool  // dev flag each recomp column had before re-derivation
-	pending []int32
-	verify  []int32
-	nbuf    []int
-	ncoord  []int
+	ses *Session
 }
 
 // NewSweepTrial wraps sc for coupled ladder evaluation on g. opts.Scratch
 // is forced to sc; opts.Dense degrades every rung to the independent
 // dense pipeline (the ablation mode).
 func (g *Graph) NewSweepTrial(sc *Scratch, opts ExtractOptions) *SweepTrial {
-	opts.Scratch = sc
-	return &SweepTrial{g: g, sc: sc, opts: opts}
+	return &SweepTrial{ses: g.NewSession(sc, opts)}
 }
 
 // Reset starts a new trial: the next Eval rebuilds the pipeline state
 // from scratch instead of diffing against the previous trial's last rung.
-func (st *SweepTrial) Reset() {
-	st.warm = false
-	st.deltaCols = st.deltaCols[:0]
-}
+func (st *SweepTrial) Reset() { st.ses.Reset() }
 
 // NoteFaults records newly added fault indices (as returned by
 // fault.Set.Extend) so the next Eval re-certifies their columns even when
 // no band moved — e.g. a fault landing on an already-masked row.
-func (st *SweepTrial) NoteFaults(added []int) {
-	for _, idx := range added {
-		st.deltaCols = append(st.deltaCols, int32(idx%st.g.NumCols))
-	}
-}
+func (st *SweepTrial) NoteFaults(added []int) { st.ses.NoteAdded(added) }
 
 // Eval runs the full pipeline — place, extract, verify — on the trial's
 // current fault set and returns the survival proof, reusing as much of
@@ -115,362 +47,4 @@ func (st *SweepTrial) NoteFaults(added []int) {
 // aliases the SweepTrial and is valid only until the next Eval or Reset.
 // An *UnhealthyError is a survival failure (state stays warm: the next,
 // larger rung diffs against the last healthy rung); other errors are bugs.
-func (st *SweepTrial) Eval(faults *fault.Set) (*Result, error) {
-	g, sc := st.g, st.sc
-	if st.opts.Dense || sc == nil {
-		return g.ContainTorus(faults, st.opts)
-	}
-	tpl, err := g.template()
-	if err != nil {
-		// No usable template (e.g. ablated edge classes): every rung runs
-		// the standalone pipeline, which reports such failures on its own
-		// terms.
-		return g.ContainTorus(faults, st.opts)
-	}
-	st.ensureBuffers()
-	target := st.bsA
-	if st.cur == st.bsA {
-		target = st.bsB
-	}
-	bs, rep, err := g.placeBandsInto(faults, st.opts, target, true)
-	if err != nil {
-		return nil, err // unhealthy placements leave the warm state untouched
-	}
-	res := &Result{Bands: bs, Report: rep}
-
-	if !st.warm || !sc.fastInit || sc.fastGraph != g {
-		return st.evalCold(bs, faults, tpl, res)
-	}
-
-	// Diff the new family against the last successful rung's: every value
-	// difference lies inside the union of the two dirty sets.
-	st.gen++
-	st.changed = st.changed[:0]
-	for _, list := range [2][]int32{st.cur.DirtyColumns(), bs.DirtyColumns()} {
-		for _, z32 := range list {
-			if st.mark[z32] == st.gen {
-				continue
-			}
-			st.mark[z32] = st.gen
-			if !bs.ColumnEqual(st.cur, int(z32)) {
-				st.changed = append(st.changed, z32)
-			}
-		}
-	}
-	if err := bs.ValidateColumns(st.changed); err != nil {
-		return nil, fmt.Errorf("core: placed bands invalid: %w", err)
-	}
-	if err := g.checkAllMasked(bs, faults); err != nil {
-		return nil, err
-	}
-	if err := st.extractIncremental(bs, tpl); err != nil {
-		return nil, err
-	}
-	if err := st.verifyIncremental(faults, tpl); err != nil {
-		return nil, err
-	}
-	res.Embedding = sc.emb
-	st.commit(bs)
-	return res, nil
-}
-
-// ensureBuffers sizes the per-column working state to the graph.
-func (st *SweepTrial) ensureBuffers() {
-	g := st.g
-	numCols := g.NumCols
-	if st.bsA == nil || st.bsA.K() != g.P.K() || st.bsA.M != g.P.M() || st.bsA.NumColumns() != numCols {
-		p := g.P
-		st.bsA = bands.NewSet(p.M(), p.W, g.ColShape, p.K())
-		st.bsB = bands.NewSet(p.M(), p.W, g.ColShape, p.K())
-		st.cur = nil
-		st.warm = false
-	}
-	if cap(st.mark) < numCols {
-		st.mark = make([]int32, numCols)
-		st.state = make([]uint8, numCols)
-		st.gen = 0
-	}
-	st.mark = st.mark[:numCols]
-	st.state = st.state[:numCols]
-	if cap(st.ncoord) < g.P.D-1 {
-		st.ncoord = make([]int, g.P.D-1)
-	}
-	st.ncoord = st.ncoord[:g.P.D-1]
-}
-
-// evalCold runs the standalone extract+verify path (exactly ContainTorus
-// after placement) and, when it leaves the scratch in the reusable
-// fast-path state, marks the trial warm for the next rung.
-func (st *SweepTrial) evalCold(bs *bands.Set, faults *fault.Set, tpl *template, res *Result) (*Result, error) {
-	g, sc := st.g, st.sc
-	if err := bs.ValidateDirty(); err != nil {
-		return nil, fmt.Errorf("core: placed bands invalid: %w", err)
-	}
-	if err := g.checkAllMasked(bs, faults); err != nil {
-		return nil, err
-	}
-	emb, err := g.extractFast(bs, tpl, st.opts)
-	if err != nil {
-		return nil, err
-	}
-	if err := g.verifyFast(emb, bs, faults, tpl, sc); err != nil {
-		return nil, err
-	}
-	res.Embedding = emb
-	st.commit(bs)
-	return res, nil
-}
-
-// commit records a successful rung: the scratch's rowmap/dev/embedding
-// state now describes bs, and sc.prevDirty (the inter-trial restore list)
-// must cover every column deviating from the template — the union of
-// everything any rung of this trial re-derived.
-func (st *SweepTrial) commit(bs *bands.Set) {
-	sc := st.sc
-	st.cur = bs
-	st.warm = sc.fastInit && sc.fastGraph == st.g
-	st.touched = append(st.touched[:0], sc.prevDirty...)
-	st.deltaCols = st.deltaCols[:0]
-	if len(st.recomp) > 0 {
-		st.recomp = st.recomp[:0]
-		st.oldDev = st.oldDev[:0]
-	}
-}
-
-// extractIncremental re-derives row vectors for exactly the columns that
-// need it: the changed columns, plus any unchanged island whose kept
-// vectors no longer match a re-derived boundary contact. Kept columns'
-// vectors stay canonical by Lemma 7 (see the package comment), so the
-// embedding is bit-identical to a from-scratch extraction.
-func (st *SweepTrial) extractIncremental(bs *bands.Set, tpl *template) error {
-	g, sc := st.g, st.sc
-	n := g.P.N()
-	numCols := g.NumCols
-	rowmap, rowflat, dev := sc.rowmap, sc.rowflat, sc.devCols
-	base := tpl.defaultRows
-
-	state := st.state
-	for z := range state {
-		state[z] = swKept
-	}
-	for _, z32 := range st.changed {
-		state[z32] = swChanged
-	}
-	st.recomp = st.recomp[:0]
-	st.oldDev = st.oldDev[:0]
-
-	queue := st.queue[:0]
-	nbuf := st.nbuf
-	if state[0] == swChanged {
-		// The anchor's own bands changed. Its canonical vector is directly
-		// recomputable (Lemma 6 anchors guest row 0 just above band 0 of
-		// column 0), so it seeds the flood pre-assigned; no free trust
-		// region exists, and every kept component is validated through
-		// island probes on first contact.
-		anchor := bs.UnmaskedRows(0, rowflat[:0:n])
-		if len(anchor) != n {
-			return fmt.Errorf("core: column 0 has %d unmasked rows, want %d", len(anchor), n)
-		}
-		st.oldDev = append(st.oldDev, dev[0])
-		rowmap[0] = anchor
-		dev[0] = !int32Equal(anchor, base)
-		state[0] = swAssigned
-		st.recomp = append(st.recomp, 0)
-		queue = append(queue, 0)
-	} else {
-		// Trust region: the component of unchanged columns containing the
-		// anchor column 0 keeps its vectors verbatim.
-		state[0] = swAnchor
-		queue = append(queue, 0)
-		for head := 0; head < len(queue); head++ {
-			z := queue[head]
-			nbuf = g.columnNeighbors(z, nbuf[:0], st.ncoord)
-			for _, zn := range nbuf {
-				if state[zn] == swKept {
-					state[zn] = swAnchor
-					queue = append(queue, zn)
-				}
-			}
-		}
-		queue = queue[:0]
-	}
-
-	// Re-derive the changed region, flooding BFS out of trusted columns.
-	// Seeding may need several passes: a changed component enclosed by
-	// not-yet-confirmed islands becomes seedable only after those islands
-	// are contacted. assign transfers zFrom -> zTo into zTo's backing slot.
-	assign := func(zFrom, zTo int) error {
-		dst := rowflat[zTo*n : (zTo+1)*n]
-		st.oldDev = append(st.oldDev, dev[zTo])
-		if err := g.transferFast(bs, base, sc, zFrom, zTo, rowmap[zFrom], dst, dev); err != nil {
-			return err
-		}
-		rowmap[zTo] = dst
-		state[zTo] = swAssigned
-		st.recomp = append(st.recomp, int32(zTo))
-		queue = append(queue, zTo)
-		return nil
-	}
-	st.pending = append(st.pending[:0], st.changed...)
-	for len(st.pending) > 0 {
-		// Seed every pending changed column that touches a trusted one.
-		rest := st.pending[:0]
-		progress := false
-		for _, z32 := range st.pending {
-			z := int(z32)
-			if state[z] != swChanged {
-				progress = true // assigned by an earlier flood
-				continue
-			}
-			seeded := false
-			nbuf = g.columnNeighbors(z, nbuf[:0], st.ncoord)
-			for _, zn := range nbuf {
-				if s := state[zn]; s == swAnchor || s == swConfirmed || s == swAssigned {
-					if err := assign(zn, z); err != nil {
-						return err
-					}
-					seeded = true
-					break
-				}
-			}
-			if seeded {
-				progress = true
-			} else {
-				rest = append(rest, z32)
-			}
-		}
-		st.pending = rest
-		if !progress && len(st.pending) > 0 {
-			return fmt.Errorf("core: internal: %d changed columns unreachable from any trusted column", len(st.pending))
-		}
-		// Flood: walk the frontier of trusted vectors, re-deriving changed
-		// columns and probing kept islands on first contact. A confirmed
-		// island column spreads confirmation through its whole component
-		// without further O(n) comparisons (Lemma 7 makes the component
-		// all-or-nothing) and is itself a valid transfer source, so trust
-		// crosses islands to reach changed regions on their far side.
-		for head := 0; head < len(queue); head++ {
-			z := queue[head]
-			confirmed := state[z] == swConfirmed
-			nbuf = g.columnNeighbors(z, nbuf[:0], st.ncoord)
-			for _, zn := range nbuf {
-				switch state[zn] {
-				case swChanged:
-					if err := assign(z, zn); err != nil {
-						return err
-					}
-				case swKept:
-					if confirmed {
-						// Same island as an already-validated column.
-						state[zn] = swConfirmed
-						queue = append(queue, zn)
-						continue
-					}
-					// First contact with a kept island: re-derive its vector
-					// once. If it matches, the whole component is valid; if
-					// not, the island genuinely shifted — flood into it.
-					tmp := sc.cleanVecBuf(n)
-					oldDev := dev[zn]
-					if err := g.transferFast(bs, base, sc, z, zn, rowmap[z], tmp, dev); err != nil {
-						return err
-					}
-					if int32Equal(tmp, rowmap[zn]) {
-						dev[zn] = oldDev
-						state[zn] = swConfirmed
-						queue = append(queue, zn)
-						continue
-					}
-					dst := rowflat[zn*n : (zn+1)*n]
-					copy(dst, tmp)
-					rowmap[zn] = dst
-					st.oldDev = append(st.oldDev, oldDev)
-					state[zn] = swAssigned
-					st.recomp = append(st.recomp, int32(zn))
-					queue = append(queue, zn)
-				}
-			}
-		}
-		queue = queue[:0]
-	}
-	st.queue = queue
-	st.nbuf = nbuf
-
-	// Sync the embedding for re-derived columns: deviating vectors are
-	// written out, restored-to-base vectors fall back to the default map.
-	e := sc.emb
-	for i, z32 := range st.recomp {
-		z := int(z32)
-		switch {
-		case dev[z]:
-			rows := rowmap[z]
-			for j := 0; j < n; j++ {
-				e.Map[j*numCols+z] = int(rows[j])*numCols + z
-			}
-		case st.oldDev[i]:
-			for j := 0; j < n; j++ {
-				e.Map[j*numCols+z] = int(base[j])*numCols + z
-			}
-		}
-	}
-	// Extend the inter-trial restore set: anything re-derived this rung
-	// may now deviate from the template.
-	st.gen++
-	for _, z32 := range sc.prevDirty {
-		st.mark[z32] = st.gen
-	}
-	for _, z32 := range st.recomp {
-		if st.mark[z32] != st.gen {
-			st.mark[z32] = st.gen
-			sc.prevDirty = append(sc.prevDirty, z32)
-		}
-	}
-	return nil
-}
-
-// verifyIncremental re-certifies the rung: every deviating column whose
-// vector was re-derived, every deviating neighbor of a re-derived column
-// (its cross-column edges face new vectors), and every deviating column
-// that received a new fault since the last certified rung; plus the
-// masked-under-default check for all faults in non-deviating columns.
-func (st *SweepTrial) verifyIncremental(faults *fault.Set, tpl *template) error {
-	g, sc := st.g, st.sc
-	dev := sc.devCols
-	e := sc.emb
-	faultCol, fgen, err := g.verifyFaultPass(faults, tpl, sc, dev)
-	if err != nil {
-		return err
-	}
-
-	st.gen++
-	gen := st.gen
-	st.verify = st.verify[:0]
-	add := func(z int) {
-		if st.mark[z] != gen && dev[z] {
-			st.mark[z] = gen
-			st.verify = append(st.verify, int32(z))
-		}
-	}
-	nbuf := st.nbuf
-	for _, z32 := range st.recomp {
-		z := int(z32)
-		add(z)
-		nbuf = g.columnNeighbors(z, nbuf[:0], st.ncoord)
-		for _, zn := range nbuf {
-			add(zn)
-		}
-	}
-	for _, z32 := range st.deltaCols {
-		add(int(z32))
-	}
-	st.nbuf = nbuf
-
-	inSet := func(z int) bool { return st.mark[z] == gen }
-	for _, z32 := range st.verify {
-		z := int(z32)
-		if err := g.verifyColumn(e, faults, sc, z, faultCol[z] == fgen,
-			func(zn int) bool { return inSet(zn) && zn < z }); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+func (st *SweepTrial) Eval(faults *fault.Set) (*Result, error) { return st.ses.Eval(faults) }

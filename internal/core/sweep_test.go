@@ -24,35 +24,11 @@ func sweepRates(g *Graph) []float64 {
 
 // evalBoth compares one SweepTrial rung against a from-scratch dense
 // evaluation of the same fault set: outcome class, bands and embedding
-// must be bit-identical.
+// must be bit-identical. The comparison itself lives with the Session
+// engine (evalSessionBoth, session_test.go).
 func evalBoth(t *testing.T, g *Graph, st *SweepTrial, faults *fault.Set, label string) {
 	t.Helper()
-	resSweep, errSweep := st.Eval(faults)
-	resDense, errDense := g.ContainTorus(faults, ExtractOptions{Dense: true})
-	if (errSweep == nil) != (errDense == nil) {
-		t.Fatalf("%s: outcome mismatch: sweep err=%v, dense err=%v", label, errSweep, errDense)
-	}
-	if errSweep != nil {
-		var us, ud *UnhealthyError
-		if errors.As(errSweep, &us) != errors.As(errDense, &ud) {
-			t.Fatalf("%s: error class mismatch: sweep %v, dense %v", label, errSweep, errDense)
-		}
-		return
-	}
-	for gi := 0; gi < resDense.Bands.K(); gi++ {
-		for z := 0; z < g.NumCols; z++ {
-			if resDense.Bands.Value(gi, z) != resSweep.Bands.Value(gi, z) {
-				t.Fatalf("%s: band %d column %d: dense %d, sweep %d",
-					label, gi, z, resDense.Bands.Value(gi, z), resSweep.Bands.Value(gi, z))
-			}
-		}
-	}
-	for i := range resDense.Embedding.Map {
-		if resDense.Embedding.Map[i] != resSweep.Embedding.Map[i] {
-			t.Fatalf("%s: embedding differs at guest node %d: dense %d, sweep %d",
-				label, i, resDense.Embedding.Map[i], resSweep.Embedding.Map[i])
-		}
-	}
+	evalSessionBoth(t, g, st.ses, faults, label)
 }
 
 // TestSweepLadderEquivalence walks coupled 9-rung ladders across many

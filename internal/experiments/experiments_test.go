@@ -11,7 +11,7 @@ func quickConfig(buf *bytes.Buffer) Config {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"A1", "A3", "A4", "E1", "E10", "E11", "E12", "E13", "E14", "E15", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	want := []string{"A1", "A3", "A4", "E1", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	all := All()
 	if len(all) != len(want) {
 		ids := make([]string, len(all))
@@ -162,5 +162,25 @@ func TestE15(t *testing.T) {
 	out := runOne(t, "E15")
 	if !strings.Contains(out, "stretch") {
 		t.Errorf("E15 output:\n%s", out)
+	}
+}
+
+func TestE16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn lifetime sweep")
+	}
+	out := runOne(t, "E16")
+	if !strings.Contains(out, "rate-invariant") {
+		t.Errorf("E16 output:\n%s", out)
+	}
+}
+
+func TestE17(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn availability sweep")
+	}
+	out := runOne(t, "E17")
+	if !strings.Contains(out, "availability crosses") {
+		t.Errorf("E17 output:\n%s", out)
 	}
 }

@@ -180,6 +180,86 @@ func (s *Set) BernoulliRecord(r rng.Source, p float64, added []int) []int {
 	return added
 }
 
+// RemoveRecord is the healing mirror of BernoulliRecord: each currently
+// faulty node returns to health independently with probability p. Every
+// healed node is appended to removed in increasing order and the grown
+// slice returned. Skips between removals are sampled geometrically over
+// the rank sequence of faulty nodes, so the random-stream consumption is
+// O(count·p) — symmetric to BernoulliRecord's O(n·p) — and the walk
+// itself costs one pass over the bitset words. The churn engine uses the
+// returned delta to tell the incremental pipeline which columns lost a
+// fault, exactly as Extend's added list reports which gained one.
+func (s *Set) RemoveRecord(r rng.Source, p float64, removed []int) []int {
+	if p <= 0 || s.count == 0 {
+		return removed
+	}
+	if p >= 1 {
+		start := len(removed)
+		s.ForEach(func(i int) { removed = append(removed, i) })
+		for _, i := range removed[start:] {
+			s.Remove(i)
+		}
+		return removed
+	}
+	next := r.Geometric(p) // rank of the next healed node among the faulty
+	rank := 0
+	for w, word := range s.bits {
+		if word == 0 {
+			continue
+		}
+		if rank+bits.OnesCount64(word) <= next {
+			rank += bits.OnesCount64(word)
+			continue
+		}
+		for word != 0 {
+			if rank == next {
+				b := bits.TrailingZeros64(word)
+				i := w<<6 + b
+				s.Remove(i)
+				removed = append(removed, i)
+				next += 1 + r.Geometric(p)
+			}
+			rank++
+			word &= word - 1
+		}
+	}
+	return removed
+}
+
+// RemoveAll clears every node in the list (the undo path of a recorded
+// addition batch: RemoveAll(added) exactly reverts BernoulliRecord or
+// Extend, because those lists contain only genuinely-new nodes). Nodes
+// that are already healthy are skipped.
+func (s *Set) RemoveAll(nodes []int) {
+	for _, i := range nodes {
+		s.Remove(i)
+	}
+}
+
+// Nth returns the index of the k-th faulty node in increasing order,
+// 0 <= k < Count. It pops word-level counts, so the cost is O(n/64), not
+// O(n); the churn engine uses it to draw uniform repair targets.
+func (s *Set) Nth(k int) int {
+	if k < 0 || k >= s.count {
+		panic("fault: Nth out of range")
+	}
+	for w, word := range s.bits {
+		c := bits.OnesCount64(word)
+		if k >= c {
+			k -= c
+			continue
+		}
+		for ; ; k-- {
+			b := bits.TrailingZeros64(word)
+			if k == 0 {
+				return w<<6 + b
+			}
+			word &= word - 1
+		}
+	}
+	panic("fault: internal: count out of sync with bitset")
+}
+
 // Extend grows a Bernoulli(pFrom) sample into a Bernoulli(pTo) sample,
 // pTo >= pFrom, by skip-sampling only the delta: every currently healthy
 // node joins independently with the conditional rate (pTo-pFrom)/(1-pFrom),

@@ -1,0 +1,127 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"ftnet/internal/rng"
+)
+
+// syntheticLifetime is a deterministic vector trial: component c of trial
+// t is a pure function of the trial's private stream, so any two runs
+// that commit the same prefix must agree bit for bit.
+func syntheticLifetime(dims int) LifetimeTrial {
+	return func(t int, stream *rng.PCG, scratch any, out []float64) error {
+		for c := 0; c < dims; c++ {
+			out[c] = float64(c+1) * stream.Float64()
+		}
+		return nil
+	}
+}
+
+// TestParallelDeterminismLifetime pins the vector engine's contract: the
+// full report — means, standard errors, trial counts, stopping point —
+// is bit-identical for 1, 4 and 16 workers, with and without early
+// stopping.
+func TestParallelDeterminismLifetime(t *testing.T) {
+	const dims = 4
+	// Every component c is uniform [0, c+1): identical relative spread,
+	// so the all-components rule resolves them together — relative
+	// precision 0.1 needs ~130 of the 400 trials and early stop triggers.
+	for _, targetCI := range []float64{0, 0.1} {
+		var want LifetimeReport
+		for i, workers := range []int{1, 4, 16} {
+			rep, err := RunLifetime(400, dims, 77, Options{
+				Workers:  workers,
+				TargetCI: targetCI,
+			}, syntheticLifetime(dims))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				want = rep
+				continue
+			}
+			if rep.Trials != want.Trials || rep.Shards != want.Shards || rep.EarlyStopped != want.EarlyStopped {
+				t.Fatalf("ci=%g workers=%d: commit (%d trials, %d shards, early=%v), want (%d, %d, %v)",
+					targetCI, workers, rep.Trials, rep.Shards, rep.EarlyStopped,
+					want.Trials, want.Shards, want.EarlyStopped)
+			}
+			for c := 0; c < dims; c++ {
+				if rep.Mean[c] != want.Mean[c] || rep.StdErr[c] != want.StdErr[c] {
+					t.Fatalf("ci=%g workers=%d: component %d = (%v, %v), want (%v, %v)",
+						targetCI, workers, c, rep.Mean[c], rep.StdErr[c], want.Mean[c], want.StdErr[c])
+				}
+			}
+		}
+		if targetCI > 0 && !want.EarlyStopped {
+			t.Fatal("tight relative target did not stop early; weaken the trial variance")
+		}
+	}
+}
+
+// TestLifetimeMoments sanity-checks the aggregation: for uniform [0, k)
+// components the mean must sit near k/2 with a credible standard error.
+func TestLifetimeMoments(t *testing.T) {
+	const dims = 3
+	rep, err := RunLifetime(2000, dims, 12345, Options{Workers: 4}, syntheticLifetime(dims))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials != 2000 {
+		t.Fatalf("committed %d trials, want 2000", rep.Trials)
+	}
+	for c := 0; c < dims; c++ {
+		want := float64(c+1) / 2
+		if math.Abs(rep.Mean[c]-want) > 6*rep.StdErr[c] {
+			t.Fatalf("component %d mean %v, want %v +- %v", c, rep.Mean[c], want, 6*rep.StdErr[c])
+		}
+		wantSE := float64(c+1) / math.Sqrt(12) / math.Sqrt(2000)
+		if rep.StdErr[c] < wantSE/2 || rep.StdErr[c] > 2*wantSE {
+			t.Fatalf("component %d stderr %v, want about %v", c, rep.StdErr[c], wantSE)
+		}
+	}
+}
+
+// TestLifetimeTrialError pins error semantics: an error in the committed
+// prefix aborts the run with the smallest-index trial error.
+func TestLifetimeTrialError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := RunLifetime(100, 2, 9, Options{Workers: 4}, func(tr int, stream *rng.PCG, scratch any, out []float64) error {
+		if tr == 13 {
+			return fmt.Errorf("trial 13 exploded: %w", boom)
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if _, err := RunLifetime(0, 2, 9, Options{}, syntheticLifetime(2)); err == nil {
+		t.Fatal("zero trials must error")
+	}
+	if _, err := RunLifetime(10, 0, 9, Options{}, syntheticLifetime(2)); err == nil {
+		t.Fatal("zero dims must error")
+	}
+}
+
+// TestLifetimeScratchReuse checks that each worker gets exactly one
+// scratch and trials see it.
+func TestLifetimeScratchReuse(t *testing.T) {
+	rep, err := RunLifetime(64, 1, 5, Options{
+		Workers:    3,
+		NewScratch: func() any { return new(int) },
+	}, func(tr int, stream *rng.PCG, scratch any, out []float64) error {
+		c := scratch.(*int)
+		*c++
+		out[0] = 1
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mean[0] != 1 {
+		t.Fatalf("mean %v, want 1", rep.Mean[0])
+	}
+}

@@ -9,14 +9,14 @@
 # "bench" job).
 #
 # Usage:
-#   scripts/bench.sh                 # compare against BENCH_pr3.json, then refresh it
+#   scripts/bench.sh                 # compare against BENCH_pr4.json, then refresh it
 #   BENCH_OUT=/tmp/new.json scripts/bench.sh   # write elsewhere (CI does this)
 #   BENCH_COUNT=5 scripts/bench.sh             # more repetitions
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${BENCH_OUT:-BENCH_pr3.json}"
-BASELINE="${BENCH_BASELINE:-BENCH_pr3.json}"
+OUT="${BENCH_OUT:-BENCH_pr4.json}"
+BASELINE="${BENCH_BASELINE:-BENCH_pr4.json}"
 COUNT="${BENCH_COUNT:-3}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
@@ -31,6 +31,15 @@ go test -run '^$' -count "$COUNT" -benchtime 100x -benchmem \
   -bench 'BenchmarkSurvivalSweepB2$|BenchmarkSurvivalSweepIndependentB2$' . | tee -a "$TMP"
 go test -run '^$' -count "$COUNT" -benchtime 5000x -benchmem \
   -bench 'BenchmarkPadBox$' ./internal/core/ | tee -a "$TMP"
+# The churn family measures the delta-evaluation engine: one op is one
+# churn event (fault arrival or repair) at a steady state, evaluated
+# incrementally (Session) vs from scratch; Heavy pins the 10x-theorem
+# standing population where the O(event footprint) vs O(standing
+# footprint) separation shows. Lifetime is one full E16-style trial.
+go test -run '^$' -count "$COUNT" -benchtime 200x -benchmem \
+  -bench 'BenchmarkChurnSession$|BenchmarkChurnSessionHeavy$|BenchmarkChurnSessionFromScratch$|BenchmarkChurnSessionFromScratchHeavy$' . | tee -a "$TMP"
+go test -run '^$' -count "$COUNT" -benchtime 30x -benchmem \
+  -bench 'BenchmarkLifetime$' . | tee -a "$TMP"
 
 python3 - "$TMP" "$OUT" "$BASELINE" <<'EOF'
 import json, re, sys, datetime
@@ -59,7 +68,7 @@ for name, rs in runs.items():
 
 # Keep any hand-recorded pre-PR baseline blocks the existing file has.
 doc = {"cpu": cpu, "benchmarks": bench,
-       "config": {"benchtime": "50x (PadBox: 5000x, Sweep: 100x)"},
+       "config": {"benchtime": "50x (PadBox: 5000x, Sweep: 100x, Churn: 200x, Lifetime: 30x)"},
        "generated_by": "scripts/bench.sh"}
 old = None
 try:
