@@ -9,6 +9,7 @@
 //	ftnet health    -side 400 -p 1e-5 [-seed N]
 //	ftnet simulate  -side 200 -faults 10 [-steps N] [-seed N]
 //	ftnet churn     -side 200 -arrival 2e-5 -repair 1 -horizon 20 [-trials N] [-workers N] [-independent]
+//	ftnet serve     -listen 127.0.0.1:8080 -topology id=main,d=2,side=200,eps=0.5 [-snapshot-dir DIR]
 //
 // Each subcommand prints the host resources, the injected fault count,
 // and whether a fault-free torus was extracted (extraction is always
@@ -29,6 +30,7 @@ import (
 	"ftnet/internal/fault"
 	"ftnet/internal/parsim"
 	"ftnet/internal/rng"
+	"ftnet/internal/validate"
 	"ftnet/internal/viz"
 	"ftnet/internal/worstcase"
 )
@@ -51,6 +53,8 @@ func main() {
 		err = runSimulate(os.Args[2:])
 	case "churn":
 		err = runChurn(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	default:
 		usage()
 	}
@@ -61,7 +65,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ftnet {random|clique|worstcase|health|simulate|churn} [flags]   (run with -h for flags)")
+	fmt.Fprintln(os.Stderr, "usage: ftnet {random|clique|worstcase|health|simulate|churn|serve} [flags]   (run with -h for flags)")
 	os.Exit(2)
 }
 
@@ -161,7 +165,7 @@ func runChurn(args []string) error {
 	d := fs.Int("d", 2, "dimension")
 	side := fs.Int("side", 200, "minimum torus side")
 	eps := fs.Float64("eps", 0.5, "maximum node redundancy")
-	arrival := fs.Float64("arrival", -1, "per-node failure rate (default: the theorem probability per unit time)")
+	arrival := fs.Float64("arrival", -1, "per-node failure rate (-1 = the theorem probability per unit time)")
 	repair := fs.Float64("repair", 1, "per-fault repair rate (0 = pure aging)")
 	burstRate := fs.Float64("burst-rate", 0, "adversarial burst rate (0 = off)")
 	burstSize := fs.Int("burst-size", 8, "faults per adversarial burst")
@@ -173,6 +177,36 @@ func runChurn(args []string) error {
 	stopAtDeath := fs.Bool("stop-at-death", false, "end each trial at the first unembeddable state")
 	independent := fs.Bool("independent", false, "ablation: re-run the full pipeline from scratch after every event instead of the incremental session")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Flag validation shares internal/validate with the serve subcommand's
+	// config: a negative or NaN rate, a zero horizon or a negative worker
+	// count would otherwise flow straight into the Gillespie generator as
+	// garbage. -arrival keeps its documented sentinel (exactly -1 = the
+	// theorem probability).
+	if *arrival != -1 {
+		if err := validate.Rate("churn: -arrival", *arrival); err != nil {
+			return err
+		}
+	}
+	if err := validate.Rate("churn: -repair", *repair); err != nil {
+		return err
+	}
+	if err := validate.Rate("churn: -burst-rate", *burstRate); err != nil {
+		return err
+	}
+	if *burstRate > 0 {
+		if err := validate.Min("churn: -burst-size", *burstSize, 1); err != nil {
+			return err
+		}
+	}
+	if err := validate.Positive("churn: -horizon", *horizon); err != nil {
+		return err
+	}
+	if err := validate.Min("churn: -workers", *workers, 0); err != nil {
+		return err
+	}
+	if err := validate.Min("churn: -trials", *trials, 1); err != nil {
 		return err
 	}
 	params, err := core.FitParams(*d, *side, *eps)

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChurnFlagValidation pins the churn subcommand's input hardening:
+// nonsense rates, horizons and counts must be rejected with a clear
+// error before they reach the Gillespie generator. (main exits nonzero
+// on any returned error.)
+func TestChurnFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-arrival", "-0.5"}, "-arrival"},
+		{[]string{"-arrival", "NaN"}, "-arrival"},
+		{[]string{"-arrival", "+Inf"}, "-arrival"},
+		{[]string{"-repair", "-1"}, "-repair"},
+		{[]string{"-repair", "NaN"}, "-repair"},
+		{[]string{"-horizon", "0"}, "-horizon"},
+		{[]string{"-horizon", "-3"}, "-horizon"},
+		{[]string{"-horizon", "NaN"}, "-horizon"},
+		{[]string{"-workers", "-2"}, "-workers"},
+		{[]string{"-trials", "0"}, "-trials"},
+		{[]string{"-burst-rate", "-1"}, "-burst-rate"},
+		{[]string{"-burst-rate", "1", "-burst-size", "0"}, "-burst-size"},
+	} {
+		err := runChurn(tc.args)
+		if err == nil {
+			t.Errorf("churn %v accepted", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("churn %v: error %q does not name %s", tc.args, err, tc.want)
+		}
+	}
+}

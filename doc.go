@@ -22,6 +22,14 @@
 // an independent checker: the mapping is injective, avoids faulty nodes,
 // and realizes every torus edge over a fault-free host edge.
 //
+// For hosts whose fault set changes in place, Session maintains a
+// long-lived embedding with O(fault-footprint) incremental Reembed; the
+// Checked mutation variants (AddFaultsChecked, ClearFaultsChecked,
+// Faults.AddChecked) validate node indices at the API boundary and are
+// the right entry points when indices arrive from untrusted input —
+// ftnetd (internal/server, started with "ftnet serve") serves Sessions
+// over HTTP on exactly that contract.
+//
 // The internal packages contain the full machinery (bands, healthiness,
 // pigeonhole cascades, expander baselines, experiment drivers, and the
 // deterministic parallel Monte-Carlo engine); this package is the

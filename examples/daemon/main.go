@@ -1,0 +1,121 @@
+// Command daemon is a minimal ftnetd client: it reports a burst of
+// faults to a running daemon, reads back the committed embedding
+// snapshot, verifies its checksum locally, repairs the faults, and
+// prints the daemon's batching metrics.
+//
+// Start a daemon first:
+//
+//	ftnet serve -listen 127.0.0.1:8080 -topology id=main,d=2,side=64,eps=0.5
+//
+// then:
+//
+//	go run ./examples/daemon -addr http://127.0.0.1:8080 -topology main
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+
+	"ftnet/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	topo := flag.String("topology", "main", "topology id")
+	flag.Parse()
+
+	base := *addr + "/v1/topologies/" + *topo
+
+	// Host parameters.
+	var info struct {
+		Side      int `json:"side"`
+		Dims      int `json:"dims"`
+		HostNodes int `json:"host_nodes"`
+	}
+	mustJSON("GET", base, nil, &info)
+	fmt.Printf("topology %s: %d-dimensional side-%d torus on %d host nodes\n",
+		*topo, info.Dims, info.Side, info.HostNodes)
+
+	// Report a burst of well-separated faults; the response tells us
+	// which committed generation covers them.
+	nodes := []int{17, 5000, 20011, 33333}
+	var state struct {
+		Generation int64  `json:"generation"`
+		FaultCount int    `json:"fault_count"`
+		Checksum   string `json:"checksum"`
+	}
+	mustJSON("POST", base+"/faults", map[string]any{"nodes": nodes}, &state)
+	fmt.Printf("reported %d faults -> generation %d (%d standing faults)\n",
+		len(nodes), state.Generation, state.FaultCount)
+
+	// Read the served embedding and verify its checksum locally.
+	var emb struct {
+		Generation int64  `json:"generation"`
+		Checksum   string `json:"checksum"`
+		Faults     []int  `json:"faults"`
+		Map        []int  `json:"map"`
+	}
+	mustJSON("GET", base+"/embedding", nil, &emb)
+	local := fmt.Sprintf("%016x", server.MapChecksum(emb.Map))
+	fmt.Printf("embedding generation %d: %d guest nodes, %d faults avoided, checksum %s (local %s)\n",
+		emb.Generation, len(emb.Map), len(emb.Faults), emb.Checksum, local)
+	if local != emb.Checksum {
+		log.Fatalf("served checksum does not match served map")
+	}
+
+	// Repair everything.
+	mustJSON("DELETE", base+"/faults", map[string]any{"nodes": nodes}, &state)
+	fmt.Printf("repaired -> generation %d (%d standing faults)\n", state.Generation, state.FaultCount)
+
+	// Show the daemon's view of the batching.
+	resp, err := http.Get(*addr + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	for _, line := range bytes.Split(text, []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("ftnetd_reembed_total")) ||
+			bytes.HasPrefix(line, []byte("ftnetd_batch_mutations")) {
+			fmt.Println(string(line))
+		}
+	}
+}
+
+func mustJSON(method, url string, body any, out any) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatalf("%s %s: %v (is ftnetd running? start it with: ftnet serve)", method, url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s %s: %d: %s", method, url, resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		log.Fatalf("%s %s: %v", method, url, err)
+	}
+}

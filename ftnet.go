@@ -20,11 +20,40 @@ type Faults struct {
 // Count returns the number of faulty nodes.
 func (f *Faults) Count() int { return f.set.Count() }
 
+// Len returns the universe size: host node indices are valid in [0, Len).
+func (f *Faults) Len() int { return f.set.Len() }
+
 // Has reports whether host node v is faulty.
 func (f *Faults) Has(v int) bool { return f.set.Has(v) }
 
-// Add marks host node v faulty.
-func (f *Faults) Add(v int) { f.set.Add(v) }
+// checkNode validates a host node index against the universe [0, n).
+// The bitset underneath would not catch every bad index itself: a
+// negative index panics with an unhelpful slice error, and an index in
+// the padding of the last word is silently absorbed, corrupting Count.
+func checkNode(v, n int) error {
+	if v < 0 || v >= n {
+		return fmt.Errorf("ftnet: host node %d out of range [0, %d)", v, n)
+	}
+	return nil
+}
+
+// AddChecked marks host node v faulty, rejecting out-of-range indices.
+// Adding an already-faulty node is a no-op.
+func (f *Faults) AddChecked(v int) error {
+	if err := checkNode(v, f.set.Len()); err != nil {
+		return err
+	}
+	f.set.Add(v)
+	return nil
+}
+
+// Add marks host node v faulty. It panics on an out-of-range index; use
+// AddChecked when the index comes from untrusted input.
+func (f *Faults) Add(v int) {
+	if err := f.AddChecked(v); err != nil {
+		panic(err)
+	}
+}
 
 // Nodes returns the faulty node indices in increasing order.
 func (f *Faults) Nodes() []int { return f.set.Slice() }
@@ -209,8 +238,17 @@ func (t *RandomFaultTorus) NewSession() *Session {
 	}
 }
 
-// AddFaults marks host nodes faulty. Already-faulty nodes are ignored.
-func (s *Session) AddFaults(nodes ...int) {
+// AddFaultsChecked marks host nodes faulty, rejecting the whole batch if
+// any index is out of range: either every node is applied or none is, so
+// a malformed wire request cannot leave the session half-mutated.
+// Already-faulty nodes are ignored.
+func (s *Session) AddFaultsChecked(nodes ...int) error {
+	n := s.faults.Len()
+	for _, v := range nodes {
+		if err := checkNode(v, n); err != nil {
+			return err
+		}
+	}
 	s.delta = s.delta[:0]
 	for _, v := range nodes {
 		if !s.faults.Has(v) {
@@ -219,11 +257,28 @@ func (s *Session) AddFaults(nodes ...int) {
 		}
 	}
 	s.ses.NoteAdded(s.delta)
+	return nil
 }
 
-// ClearFaults marks host nodes repaired. Already-healthy nodes are
-// ignored.
-func (s *Session) ClearFaults(nodes ...int) {
+// AddFaults marks host nodes faulty. Already-faulty nodes are ignored.
+// It panics on an out-of-range index; use AddFaultsChecked when the
+// indices come from untrusted input.
+func (s *Session) AddFaults(nodes ...int) {
+	if err := s.AddFaultsChecked(nodes...); err != nil {
+		panic(err)
+	}
+}
+
+// ClearFaultsChecked marks host nodes repaired, rejecting the whole
+// batch if any index is out of range (all-or-nothing, like
+// AddFaultsChecked). Already-healthy nodes are ignored.
+func (s *Session) ClearFaultsChecked(nodes ...int) error {
+	n := s.faults.Len()
+	for _, v := range nodes {
+		if err := checkNode(v, n); err != nil {
+			return err
+		}
+	}
 	s.delta = s.delta[:0]
 	for _, v := range nodes {
 		if s.faults.Has(v) {
@@ -232,13 +287,31 @@ func (s *Session) ClearFaults(nodes ...int) {
 		}
 	}
 	s.ses.NoteCleared(s.delta)
+	return nil
+}
+
+// ClearFaults marks host nodes repaired. Already-healthy nodes are
+// ignored. It panics on an out-of-range index; use ClearFaultsChecked
+// when the indices come from untrusted input.
+func (s *Session) ClearFaults(nodes ...int) {
+	if err := s.ClearFaultsChecked(nodes...); err != nil {
+		panic(err)
+	}
 }
 
 // FaultCount returns the current number of faulty nodes.
 func (s *Session) FaultCount() int { return s.faults.Count() }
 
+// HostNodes returns the host node count; indices in [0, HostNodes) are
+// the valid inputs to AddFaults and ClearFaults.
+func (s *Session) HostNodes() int { return s.faults.Len() }
+
 // Faulty reports whether host node v is currently faulty.
 func (s *Session) Faulty(v int) bool { return s.faults.Has(v) }
+
+// FaultNodes returns the currently faulty host nodes in increasing
+// order, as a fresh slice.
+func (s *Session) FaultNodes() []int { return s.faults.Slice() }
 
 // Reembed extracts and verifies a fault-free torus for the current fault
 // set, reusing the previous embedding wherever the mutations left it

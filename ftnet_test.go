@@ -322,3 +322,164 @@ func TestThreeDimensional(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFaultsAddChecked pins the API-boundary validation: out-of-range
+// indices — including those that land in the padding bits of the
+// bitset's last word, which the raw bitset silently absorbs — must be
+// rejected before they can corrupt state, and the unchecked signature
+// must fail loudly instead of deep inside fault.Set.
+func TestFaultsAddChecked(t *testing.T) {
+	host, err := NewRandomFaultTorus(2, 64, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := host.NewFaults()
+	if f.Len() != host.HostNodes() {
+		t.Fatalf("Len = %d, want %d", f.Len(), host.HostNodes())
+	}
+	if err := f.AddChecked(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddChecked(f.Len() - 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []int{-1, f.Len(), f.Len() + 1, (f.Len()/64+1)*64 - 1, 1 << 40} {
+		if err := f.AddChecked(bad); err == nil {
+			t.Errorf("AddChecked(%d) accepted (universe %d)", bad, f.Len())
+		}
+	}
+	if f.Count() != 2 {
+		t.Fatalf("rejected adds corrupted Count: %d", f.Count())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Add with out-of-range index did not panic")
+		}
+	}()
+	f.Add(f.Len())
+}
+
+// TestSessionCheckedMutations pins the all-or-nothing contract of the
+// validated session mutators: a batch with any invalid index mutates
+// nothing.
+func TestSessionCheckedMutations(t *testing.T) {
+	host, err := NewRandomFaultTorus(2, 64, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := host.NewSession()
+	if ses.HostNodes() != host.HostNodes() {
+		t.Fatalf("HostNodes = %d, want %d", ses.HostNodes(), host.HostNodes())
+	}
+	if err := ses.AddFaultsChecked(3, 99, ses.HostNodes()); err == nil {
+		t.Fatal("AddFaultsChecked accepted an out-of-range index")
+	}
+	if ses.FaultCount() != 0 || ses.Faulty(3) {
+		t.Fatal("rejected batch partially applied")
+	}
+	if err := ses.AddFaultsChecked(3, 99); err != nil {
+		t.Fatal(err)
+	}
+	if got := ses.FaultNodes(); len(got) != 2 || got[0] != 3 || got[1] != 99 {
+		t.Fatalf("FaultNodes = %v", got)
+	}
+	if err := ses.ClearFaultsChecked(3, -1); err == nil {
+		t.Fatal("ClearFaultsChecked accepted an out-of-range index")
+	}
+	if !ses.Faulty(3) {
+		t.Fatal("rejected clear batch partially applied")
+	}
+	if err := ses.ClearFaultsChecked(3, 99); err != nil {
+		t.Fatal(err)
+	}
+	if ses.FaultCount() != 0 {
+		t.Fatalf("FaultCount = %d after full clear", ses.FaultCount())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AddFaults with out-of-range index did not panic")
+		}
+	}()
+	ses.AddFaults(-5)
+}
+
+// TestSessionFailHealReembed is the fail -> heal -> Reembed regression
+// test: after a Reembed fails with ErrNotTolerated, the churn recorded
+// before and during the failed episode must survive, so that once the
+// state heals, every mutated column is re-checked against exactly its
+// own fault set and the result is bit-identical to a from-scratch
+// Extract.
+func TestSessionFailHealReembed(t *testing.T) {
+	host, err := NewRandomFaultTorus(2, 64, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := host.NewSession()
+	side := host.Side()
+	rows := host.HostNodes() / side // d=2: numCols == side
+
+	// Healthy base state.
+	ses.AddFaults(17)
+	if _, err := ses.Reembed(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill an entire host column: unmaskable, Reembed must fail.
+	col := side / 2
+	killer := make([]int, rows)
+	for r := range killer {
+		killer[r] = r*side + col
+	}
+	ses.AddFaults(killer...)
+	if _, err := ses.Reembed(); !errors.Is(err, ErrNotTolerated) {
+		t.Fatalf("expected ErrNotTolerated, got %v", err)
+	}
+
+	// The session must stay usable across the failure: mutate more
+	// (a second benign fault in a different column) while unhealthy.
+	other := 40*side + col/2
+	ses.AddFaults(other)
+	if _, err := ses.Reembed(); !errors.Is(err, ErrNotTolerated) {
+		t.Fatalf("still-dense pattern: expected ErrNotTolerated, got %v", err)
+	}
+
+	// Heal the killer column and re-embed: the pending churn from the
+	// failed episodes (killer column and 'other') must still be
+	// re-checked, and the result must equal a from-scratch Extract.
+	ses.ClearFaults(killer...)
+	emb, err := ses.Reembed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ses.FaultCount() != 2 {
+		t.Fatalf("FaultCount = %d, want 2", ses.FaultCount())
+	}
+	faults := host.NewFaults()
+	faults.Add(17)
+	faults.Add(other)
+	want, err := host.Extract(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Map {
+		if want.Map[i] != emb.Map[i] {
+			t.Fatalf("healed session embedding differs from from-scratch Extract at guest node %d", i)
+		}
+	}
+
+	// And the session keeps working incrementally afterwards.
+	ses.ClearFaults(17, other)
+	emb2, err := ses.Reembed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := host.Extract(host.NewFaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range clean.Map {
+		if clean.Map[i] != emb2.Map[i] {
+			t.Fatalf("fully healed embedding differs from fault-free Extract at guest node %d", i)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"ftnet/internal/fault"
 	"ftnet/internal/grid"
 	"ftnet/internal/rng"
+	"ftnet/internal/validate"
 )
 
 // Process parameterizes the fault-churn stochastic process on a host
@@ -55,8 +56,14 @@ type Process struct {
 
 // Validate checks the rate triple.
 func (p Process) Validate() error {
-	if p.Arrival < 0 || p.Repair < 0 || p.BurstRate < 0 {
-		return fmt.Errorf("churn: negative rate in %+v", p)
+	if err := validate.Rate("churn: arrival rate", p.Arrival); err != nil {
+		return err
+	}
+	if err := validate.Rate("churn: repair rate", p.Repair); err != nil {
+		return err
+	}
+	if err := validate.Rate("churn: burst rate", p.BurstRate); err != nil {
+		return err
 	}
 	if p.Arrival == 0 && p.Repair == 0 && p.BurstRate == 0 {
 		return fmt.Errorf("churn: all rates zero; the process has no events")

@@ -229,3 +229,60 @@ func TestSessionUnhealthyRecovery(t *testing.T) {
 		t.Fatal("session went cold across the unhealthy episode")
 	}
 }
+
+// TestSessionChurnSurvivesFailedEval pins the bookkeeping behind the
+// fail -> heal -> Reembed contract: churn columns reported through
+// NoteAdded/NoteCleared must survive a failed (unhealthy) Eval — they
+// are consumed only by a successful commit — so the eventual successful
+// Eval re-verifies every column mutated since the last commit against
+// exactly its own fault set.
+func TestSessionChurnSurvivesFailedEval(t *testing.T) {
+	g := mustGraph(t, testParams2D())
+	sc := NewScratch(1)
+	ses := g.NewSession(sc, ExtractOptions{})
+	faults := fault.NewSet(g.NumNodes())
+
+	base := []int{g.NodeIndex(100, 100)}
+	faults.Add(base[0])
+	ses.NoteAdded(base)
+	if _, err := ses.Eval(faults); err != nil {
+		t.Fatal(err)
+	}
+	if len(ses.churnCols) != 0 {
+		t.Fatalf("successful Eval left %d churn columns pending", len(ses.churnCols))
+	}
+
+	// An unmaskable pattern: a full host column.
+	var killer []int
+	col := 150
+	for r := 0; r < g.P.M(); r++ {
+		u := g.NodeIndex(r, col)
+		faults.Add(u)
+		killer = append(killer, u)
+	}
+	ses.NoteAdded(killer)
+	if _, err := ses.Eval(faults); err == nil {
+		t.Fatal("full-column pattern unexpectedly tolerated")
+	}
+	if len(ses.churnCols) < len(killer) {
+		t.Fatalf("failed Eval dropped churn: %d columns pending, want >= %d", len(ses.churnCols), len(killer))
+	}
+
+	// Churn reported *during* the failed episode accumulates too.
+	extra := []int{g.NodeIndex(30, 60)}
+	faults.Add(extra[0])
+	ses.NoteAdded(extra)
+	pending := len(ses.churnCols)
+	if pending < len(killer)+1 {
+		t.Fatalf("churn recorded during failure lost: %d pending", pending)
+	}
+
+	// Heal and commit: the pending churn is consumed by the successful
+	// Eval, and the state matches the dense pipeline bit for bit.
+	faults.RemoveAll(killer)
+	ses.NoteCleared(killer)
+	evalSessionBoth(t, g, ses, faults, "healed after failed eval")
+	if len(ses.churnCols) != 0 {
+		t.Fatalf("successful Eval left %d churn columns pending", len(ses.churnCols))
+	}
+}

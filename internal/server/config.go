@@ -1,0 +1,141 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"ftnet/internal/validate"
+)
+
+// TopologyConfig describes one hosted Theorem 2 topology.
+type TopologyConfig struct {
+	// ID names the topology in URLs, metrics and snapshot files.
+	ID string
+	// D is the guest dimension (>= 2).
+	D int
+	// MinSide is the minimum guest torus side; the host fits the exact
+	// side (see ftnet.NewRandomFaultTorus).
+	MinSide int
+	// MaxEps bounds the node redundancy (host nodes <= (1+MaxEps) n^d).
+	MaxEps float64
+}
+
+// Validate checks one topology spec.
+func (t TopologyConfig) Validate() error {
+	if t.ID == "" {
+		return fmt.Errorf("topology id must be non-empty")
+	}
+	for _, r := range t.ID {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_') {
+			return fmt.Errorf("topology id %q: only letters, digits, '-' and '_' are allowed", t.ID)
+		}
+	}
+	if err := validate.Min("topology "+t.ID+": d", t.D, 2); err != nil {
+		return err
+	}
+	if err := validate.Min("topology "+t.ID+": side", t.MinSide, 1); err != nil {
+		return err
+	}
+	return validate.Positive("topology "+t.ID+": eps", t.MaxEps)
+}
+
+// ParseTopologySpec parses the CLI form "id=main,d=2,side=200,eps=0.5".
+// d defaults to 2 and eps to 0.5; id and side are required.
+func ParseTopologySpec(spec string) (TopologyConfig, error) {
+	tc := TopologyConfig{D: 2, MaxEps: 0.5}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return tc, fmt.Errorf("topology spec %q: %q is not key=value", spec, part)
+		}
+		var err error
+		switch key {
+		case "id":
+			tc.ID = val
+		case "d":
+			tc.D, err = strconv.Atoi(val)
+		case "side":
+			tc.MinSide, err = strconv.Atoi(val)
+		case "eps":
+			tc.MaxEps, err = strconv.ParseFloat(val, 64)
+		default:
+			return tc, fmt.Errorf("topology spec %q: unknown key %q (want id, d, side, eps)", spec, key)
+		}
+		if err != nil {
+			return tc, fmt.Errorf("topology spec %q: bad %s: %v", spec, key, err)
+		}
+	}
+	if tc.ID == "" || tc.MinSide == 0 {
+		return tc, fmt.Errorf("topology spec %q: id and side are required", spec)
+	}
+	return tc, tc.Validate()
+}
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Topologies lists the hosted topologies; at least one is required.
+	Topologies []TopologyConfig
+	// SnapshotDir, if non-empty, enables snapshot/restore: POST
+	// /v1/topologies/{id}/snapshot writes <dir>/<id>.json, and startup
+	// restores each topology whose snapshot file exists.
+	SnapshotDir string
+	// MaxBatchCols is the batching policy's footprint threshold: pending
+	// asynchronous mutations are evaluated as soon as they touch at
+	// least this many distinct host columns ("the accumulated footprint
+	// stops being small"). 0 means the default of 64.
+	MaxBatchCols int
+	// FlushInterval is the periodic flush of pending asynchronous
+	// mutations. <= 0 disables the timer: pending work then waits for a
+	// threshold crossing, an explicit reembed, or the next synchronous
+	// request. The CLI flag defaults to DefaultFlushInterval; callers
+	// constructing a Config directly must opt in explicitly.
+	FlushInterval time.Duration
+}
+
+// Defaults for the batching policy. DefaultFlushInterval is applied by
+// the serve subcommand's flag default, not by Config (whose zero value
+// means "no flush timer").
+const (
+	DefaultMaxBatchCols  = 64
+	DefaultFlushInterval = 250 * time.Millisecond
+)
+
+// Validate checks the whole daemon configuration, using the same helpers
+// as the churn CLI flags.
+func (c Config) Validate() error {
+	if len(c.Topologies) == 0 {
+		return fmt.Errorf("server: no topologies configured")
+	}
+	seen := make(map[string]bool, len(c.Topologies))
+	for _, t := range c.Topologies {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("server: %v", err)
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("server: duplicate topology id %q", t.ID)
+		}
+		seen[t.ID] = true
+	}
+	if err := validate.Min("server: max batch columns", c.MaxBatchCols, 0); err != nil {
+		return err
+	}
+	return nil
+}
+
+// maxBatchCols resolves the threshold default.
+func (c Config) maxBatchCols() int {
+	if c.MaxBatchCols <= 0 {
+		return DefaultMaxBatchCols
+	}
+	return c.MaxBatchCols
+}
+
+// flushInterval clamps the flush timer: <= 0 disables.
+func (c Config) flushInterval() time.Duration {
+	if c.FlushInterval <= 0 {
+		return 0
+	}
+	return c.FlushInterval
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// topoMetrics is the per-topology instrument set, updated by the
+// topology's writer goroutine and read lock-free by GET /metrics.
+type topoMetrics struct {
+	reembedOK       atomic.Int64 // successful commits
+	reembedNotTol   atomic.Int64 // ErrNotTolerated outcomes
+	reembedErr      atomic.Int64 // internal errors
+	reembedNanos    atomic.Int64 // total wall time spent in Reembed
+	batchMutations  atomic.Int64 // mutation requests covered by all evals
+	batchNodes      atomic.Int64 // node indices covered by all evals
+	faults          atomic.Int64 // gauge: committed fault population
+	pendingRequests atomic.Int64 // gauge: mutations applied but not yet evaluated
+	generation      atomic.Int64 // gauge: committed embedding generation
+	restored        atomic.Int64 // gauge: 1 when state came from a snapshot file
+}
+
+func (m *topoMetrics) evals() int64 {
+	return m.reembedOK.Load() + m.reembedNotTol.Load() + m.reembedErr.Load()
+}
+
+// writeMetrics renders every topology's instruments in the Prometheus
+// text exposition format (hand-rolled: the repo takes no dependencies).
+func writeMetrics(b *strings.Builder, topos map[string]*topology) {
+	ids := make([]string, 0, len(topos))
+	for id := range topos {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	fmt.Fprintf(b, "# HELP ftnetd_reembed_total Reembed evaluations by outcome.\n# TYPE ftnetd_reembed_total counter\n")
+	for _, id := range ids {
+		m := topos[id].metrics
+		fmt.Fprintf(b, "ftnetd_reembed_total{topology=%q,outcome=\"ok\"} %d\n", id, m.reembedOK.Load())
+		fmt.Fprintf(b, "ftnetd_reembed_total{topology=%q,outcome=\"not_tolerated\"} %d\n", id, m.reembedNotTol.Load())
+		fmt.Fprintf(b, "ftnetd_reembed_total{topology=%q,outcome=\"error\"} %d\n", id, m.reembedErr.Load())
+	}
+
+	// Sum/count pairs are exposed as summaries (the only scalar type
+	// whose _sum/_count suffixes strict OpenMetrics parsers accept).
+	fmt.Fprintf(b, "# HELP ftnetd_reembed_latency_seconds Wall time spent in Reembed (sum) over evaluations (count).\n# TYPE ftnetd_reembed_latency_seconds summary\n")
+	for _, id := range ids {
+		m := topos[id].metrics
+		fmt.Fprintf(b, "ftnetd_reembed_latency_seconds_sum{topology=%q} %g\n", id, float64(m.reembedNanos.Load())/1e9)
+		fmt.Fprintf(b, "ftnetd_reembed_latency_seconds_count{topology=%q} %d\n", id, m.evals())
+	}
+
+	// Batch sizes: the batching win is visible as sum/count >> 1 under
+	// concurrent load.
+	fmt.Fprintf(b, "# HELP ftnetd_batch_mutations Mutation requests coalesced per evaluation.\n# TYPE ftnetd_batch_mutations summary\n")
+	for _, id := range ids {
+		m := topos[id].metrics
+		fmt.Fprintf(b, "ftnetd_batch_mutations_sum{topology=%q} %d\n", id, m.batchMutations.Load())
+		fmt.Fprintf(b, "ftnetd_batch_mutations_count{topology=%q} %d\n", id, m.evals())
+	}
+	fmt.Fprintf(b, "# HELP ftnetd_batch_nodes Node indices coalesced per evaluation.\n# TYPE ftnetd_batch_nodes summary\n")
+	for _, id := range ids {
+		m := topos[id].metrics
+		fmt.Fprintf(b, "ftnetd_batch_nodes_sum{topology=%q} %d\n", id, m.batchNodes.Load())
+		fmt.Fprintf(b, "ftnetd_batch_nodes_count{topology=%q} %d\n", id, m.evals())
+	}
+
+	gauge := func(name, help string, val func(*topoMetrics) int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, id := range ids {
+			fmt.Fprintf(b, "%s{topology=%q} %d\n", name, id, val(topos[id].metrics))
+		}
+	}
+	gauge("ftnetd_faults", "Committed fault population.",
+		func(m *topoMetrics) int64 { return m.faults.Load() })
+	gauge("ftnetd_pending_mutations", "Mutations applied to the session but not yet evaluated.",
+		func(m *topoMetrics) int64 { return m.pendingRequests.Load() })
+	gauge("ftnetd_embedding_generation", "Generation of the served embedding snapshot.",
+		func(m *topoMetrics) int64 { return m.generation.Load() })
+	gauge("ftnetd_restored_from_snapshot", "1 when the topology state was restored from a snapshot file at startup.",
+		func(m *topoMetrics) int64 { return m.restored.Load() })
+}

@@ -1,0 +1,214 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ftnet"
+	"ftnet/internal/rng"
+)
+
+// TestServeConcurrencyContract is the daemon's -race contract test: N
+// goroutines hammer fault POSTs, repair DELETEs and embedding GETs on
+// one topology while the writer batches. Every embedding snapshot any
+// reader observes must verify bit-identically against a from-scratch
+// Extract of exactly the fault set it reports it was committed with —
+// the wire-level restatement of the engine's golden equivalence
+// guarantee.
+func TestServeConcurrencyContract(t *testing.T) {
+	srv, ts := startServer(t, testConfig(t, nil))
+	topo := srv.topos["main"]
+	hostNodes := topo.host.HostNodes()
+
+	const (
+		writers   = 6
+		readers   = 4
+		writerOps = 25
+		readerOps = 25
+	)
+	type observed struct {
+		faults   []int
+		mapHash  uint64
+		checksum string
+		m        []int
+	}
+	var (
+		mu   sync.Mutex
+		seen = make(map[int64]observed) // generation -> first observation
+	)
+	note := func(emb embeddingResponse) {
+		mu.Lock()
+		defer mu.Unlock()
+		if prev, ok := seen[emb.Generation]; ok {
+			// Same generation observed twice must be the same state.
+			if prev.checksum != emb.Checksum {
+				t.Errorf("generation %d served with two checksums: %s vs %s", emb.Generation, prev.checksum, emb.Checksum)
+			}
+			return
+		}
+		seen[emb.Generation] = observed{
+			faults:   emb.Faults,
+			mapHash:  MapChecksum(emb.Map),
+			checksum: emb.Checksum,
+			m:        emb.Map,
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.NewPCG(77, uint64(w))
+			var mine []int
+			for i := 0; i < writerOps; i++ {
+				// 422 is a legitimate outcome here: a random pattern may
+				// genuinely exceed the construction's tolerance. The report
+				// is still recorded (reality does not roll back), the last
+				// good snapshot keeps being served, and the serving
+				// contract below is what the readers verify.
+				if len(mine) > 0 && r.Float64() < 0.35 {
+					v := mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					var st stateResponse
+					code, body := doJSON(t, "DELETE", ts.URL+"/v1/topologies/main/faults",
+						mutationRequest{Nodes: []int{v}}, &st)
+					if code != 200 && code != 422 {
+						t.Errorf("writer %d: DELETE %d: %d %s", w, v, code, body)
+						return
+					}
+					continue
+				}
+				v := r.Intn(hostNodes)
+				var st stateResponse
+				code, body := doJSON(t, "POST", ts.URL+"/v1/topologies/main/faults",
+					mutationRequest{Nodes: []int{v}}, &st)
+				if code != 200 && code != 422 {
+					t.Errorf("writer %d: POST %d: %d %s", w, v, code, body)
+					return
+				}
+				mine = append(mine, v)
+			}
+		}(w)
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			for i := 0; i < readerOps; i++ {
+				var emb embeddingResponse
+				code, _ := doJSON(t, "GET", ts.URL+"/v1/topologies/main/embedding", nil, &emb)
+				if code != 200 {
+					t.Errorf("reader %d: GET embedding: %d", rd, code)
+					return
+				}
+				note(emb)
+			}
+		}(rd)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Final state too, so at least one nontrivial generation is checked
+	// even if the readers raced ahead of the writers.
+	var emb embeddingResponse
+	doJSON(t, "GET", ts.URL+"/v1/topologies/main/embedding", nil, &emb)
+	note(emb)
+
+	// Verify every observed generation against a from-scratch pipeline
+	// run of its committed fault set.
+	host, err := ftnet.NewRandomFaultTorus(2, 64, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("no generations observed")
+	}
+	for gen, obs := range seen {
+		faults := host.NewFaults()
+		for _, v := range obs.faults {
+			if err := faults.AddChecked(v); err != nil {
+				t.Fatalf("generation %d: served fault list invalid: %v", gen, err)
+			}
+		}
+		want, err := host.Extract(faults)
+		if err != nil {
+			t.Fatalf("generation %d (%d faults): from-scratch Extract failed: %v", gen, faults.Count(), err)
+		}
+		if got := MapChecksum(want.Map); got != obs.mapHash {
+			for i := range want.Map {
+				if want.Map[i] != obs.m[i] {
+					t.Fatalf("generation %d: served embedding differs from from-scratch Extract at guest node %d (%d faults)",
+						gen, i, faults.Count())
+				}
+			}
+			t.Fatalf("generation %d: map hash mismatch yet maps equal?", gen)
+		}
+		if want := fmt.Sprintf("%016x", obs.mapHash); want != obs.checksum {
+			t.Fatalf("generation %d: served checksum %s does not match served map %s", gen, obs.checksum, want)
+		}
+	}
+	t.Logf("verified %d generations; evals=%d for %d mutation posts",
+		len(seen), topo.metrics.evals(), writers*writerOps)
+}
+
+// TestServeBurstCoalescing pins the batching acceptance bound: k
+// concurrent synchronous fault reports against a stretched evaluation
+// window trigger at most a small constant number of Evals, observable in
+// the metrics, and every report is covered by the evaluation that
+// answers it.
+func TestServeBurstCoalescing(t *testing.T) {
+	srv, ts := startServer(t, testConfig(t, func(c *Config) { c.FlushInterval = -1 }))
+	topo := srv.topos["main"]
+
+	// Stretch the eval window so the burst demonstrably piles up behind
+	// an in-flight evaluation instead of winning by being faster than
+	// the HTTP round trips.
+	topo.evalDelay.Store(int64(50 * time.Millisecond))
+
+	const k = 32
+	// A well-separated 4x8 grid of faults (>= 3 tiles apart in every
+	// dimension), so the pattern stays tolerated at any prefix.
+	numCols := topo.numCols
+	nodes := make([]int, k)
+	for i := range nodes {
+		nodes[i] = (i/8*60+5)*numCols + (i%8)*24 + 3
+	}
+	before := topo.metrics.evals()
+	var wg sync.WaitGroup
+	errs := make(chan string, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var st stateResponse
+			code, body := doJSON(t, "POST", ts.URL+"/v1/topologies/main/faults",
+				mutationRequest{Nodes: []int{nodes[i]}}, &st)
+			if code != 200 {
+				errs <- fmt.Sprintf("burst POST %d: %d %s", i, code, body)
+				return
+			}
+			if st.FaultCount == 0 {
+				errs <- fmt.Sprintf("burst POST %d: answered by an evaluation that covers no faults", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	evals := topo.metrics.evals() - before
+	if evals < 1 || evals > 8 {
+		t.Fatalf("burst of %d posts triggered %d evals, want a small constant (1..8)", k, evals)
+	}
+	var info topologyInfo
+	doJSON(t, "GET", ts.URL+"/v1/topologies/main", nil, &info)
+	if info.FaultCount != k {
+		t.Fatalf("committed faults = %d, want %d", info.FaultCount, k)
+	}
+	t.Logf("burst of %d posts -> %d evals", k, evals)
+}

@@ -1,0 +1,407 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ftnet"
+)
+
+// maxBodyBytes bounds a mutation request body (a batch of node indices).
+const maxBodyBytes = 32 << 20
+
+// Server is the ftnetd daemon state: one topology worker per configured
+// topology plus the HTTP wire protocol.
+//
+// Routes:
+//
+//	GET    /healthz                        liveness + per-topology summary
+//	GET    /metrics                        Prometheus text metrics
+//	GET    /v1/topologies                  list hosted topologies
+//	GET    /v1/topologies/{id}             host parameters + current state
+//	POST   /v1/topologies/{id}/faults      report faults  {"nodes":[...]}
+//	DELETE /v1/topologies/{id}/faults      report repairs {"nodes":[...]}
+//	POST   /v1/topologies/{id}/reembed     flush pending mutations, evaluate now
+//	GET    /v1/topologies/{id}/embedding   last committed embedding snapshot
+//	POST   /v1/topologies/{id}/snapshot    persist session state to disk
+//
+// Mutations default to synchronous (the response carries the outcome of
+// the evaluation that covered the batch); ?wait=0 returns 202 Accepted
+// and leaves evaluation to the batching policy.
+type Server struct {
+	cfg    Config
+	topos  map[string]*topology
+	mux    *http.ServeMux
+	snapMu sync.Mutex // serializes snapshot file writes
+
+	closeOnce sync.Once
+}
+
+// New validates cfg, builds every topology's host, restores snapshots
+// when SnapshotDir holds one, commits each initial state, and starts the
+// writer goroutines. The returned server is ready to serve.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, topos: make(map[string]*topology, len(cfg.Topologies))}
+	for _, tc := range cfg.Topologies {
+		var restore *diskSnapshot
+		if cfg.SnapshotDir != "" {
+			var err error
+			restore, err = loadSnapshot(cfg.SnapshotDir, tc.ID)
+			if err != nil {
+				return nil, fmt.Errorf("server: %v", err)
+			}
+		}
+		t, err := newTopology(tc, cfg, restore)
+		if err != nil {
+			return nil, fmt.Errorf("server: %v", err)
+		}
+		s.topos[tc.ID] = t
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	for _, t := range s.topos {
+		go t.run()
+	}
+	return s, nil
+}
+
+// Close stops every topology worker (flushing applied mutations) and,
+// when snapshots are configured, persists each topology's final
+// committed state. Callers should drain the HTTP server first.
+func (s *Server) Close() error {
+	var firstErr error
+	s.closeOnce.Do(func() {
+		for _, t := range s.topos {
+			close(t.stopc)
+		}
+		for _, t := range s.topos {
+			<-t.done
+		}
+		if s.cfg.SnapshotDir == "" {
+			return
+		}
+		for _, t := range s.topos {
+			if _, _, err := s.writeTopoSnapshot(t); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	})
+	return firstErr
+}
+
+// writeTopoSnapshot persists the topology's current state and returns,
+// alongside the file path, exactly the committed Snapshot that went to
+// disk (the caller must not re-load t.snap: a concurrent commit could
+// make the acknowledgement claim a newer generation than the file
+// holds). The session fault set may be slightly newer than the
+// committed snapshot — restore replays the committed part first (which
+// re-verifies against the checksum) and leaves the delta pending, so a
+// torn pair stays consistent.
+func (s *Server) writeTopoSnapshot(t *topology) (string, *Snapshot, error) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	snap := t.snap.Load()
+	session := snap.FaultNodes
+	if p := t.curFaults.Load(); p != nil {
+		session = *p
+	}
+	path, err := writeSnapshot(s.cfg.SnapshotDir, t, snap, session)
+	return path, snap, err
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/topologies", s.handleList)
+	s.mux.HandleFunc("GET /v1/topologies/{id}", s.handleInfo)
+	s.mux.HandleFunc("POST /v1/topologies/{id}/faults", s.mutationHandler(reqAdd))
+	s.mux.HandleFunc("DELETE /v1/topologies/{id}/faults", s.mutationHandler(reqClear))
+	s.mux.HandleFunc("POST /v1/topologies/{id}/reembed", s.handleReembed)
+	s.mux.HandleFunc("GET /v1/topologies/{id}/embedding", s.handleEmbedding)
+	s.mux.HandleFunc("POST /v1/topologies/{id}/snapshot", s.handleSnapshot)
+}
+
+// ---------------------------------------------------------------------------
+// Wire types.
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+type stateResponse struct {
+	Topology   string `json:"topology"`
+	Generation int64  `json:"generation"`
+	FaultCount int    `json:"fault_count"`
+	Checksum   string `json:"checksum"`
+}
+
+type acceptedResponse struct {
+	Topology string `json:"topology"`
+	Status   string `json:"status"`
+	Nodes    int    `json:"nodes"`
+}
+
+type topologyInfo struct {
+	ID         string  `json:"id"`
+	Dims       int     `json:"dims"`
+	Side       int     `json:"side"`
+	HostNodes  int     `json:"host_nodes"`
+	Degree     int     `json:"degree"`
+	Eps        float64 `json:"eps"`
+	TheoremP   float64 `json:"theorem_failure_prob"`
+	Generation int64   `json:"generation"`
+	FaultCount int     `json:"fault_count"`
+}
+
+type embeddingResponse struct {
+	Topology   string `json:"topology"`
+	Generation int64  `json:"generation"`
+	Side       int    `json:"side"`
+	Dims       int    `json:"dims"`
+	Checksum   string `json:"checksum"`
+	Faults     []int  `json:"faults"`
+	Map        []int  `json:"map"`
+}
+
+type mutationRequest struct {
+	Nodes []int `json:"nodes"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// topo resolves the {id} path value; a miss answers 404 and returns nil.
+func (s *Server) topo(w http.ResponseWriter, r *http.Request) *topology {
+	id := r.PathValue("id")
+	t, ok := s.topos[id]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown topology %q", id)
+		return nil
+	}
+	return t
+}
+
+func stateOf(t *topology, snap *Snapshot) stateResponse {
+	return stateResponse{
+		Topology:   t.cfg.ID,
+		Generation: snap.Generation,
+		FaultCount: len(snap.FaultNodes),
+		Checksum:   fmt.Sprintf("%016x", snap.Checksum),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Handlers.
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type topoHealth struct {
+		Generation int64 `json:"generation"`
+		FaultCount int   `json:"fault_count"`
+		Pending    int64 `json:"pending"`
+	}
+	out := struct {
+		Status     string                `json:"status"`
+		Topologies map[string]topoHealth `json:"topologies"`
+	}{Status: "ok", Topologies: make(map[string]topoHealth, len(s.topos))}
+	for id, t := range s.topos {
+		snap := t.snap.Load()
+		out.Topologies[id] = topoHealth{
+			Generation: snap.Generation,
+			FaultCount: len(snap.FaultNodes),
+			Pending:    t.metrics.pendingRequests.Load(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	writeMetrics(&b, s.topos)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Write([]byte(b.String()))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	out := make([]topologyInfo, 0, len(s.topos))
+	for _, t := range s.topos {
+		out = append(out, s.infoOf(t))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) infoOf(t *topology) topologyInfo {
+	snap := t.snap.Load()
+	return topologyInfo{
+		ID:         t.cfg.ID,
+		Dims:       t.host.Dims(),
+		Side:       t.host.Side(),
+		HostNodes:  t.host.HostNodes(),
+		Degree:     t.host.Degree(),
+		Eps:        t.host.Eps(),
+		TheoremP:   t.host.TheoremFailureProb(),
+		Generation: snap.Generation,
+		FaultCount: len(snap.FaultNodes),
+	}
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	t := s.topo(w, r)
+	if t == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.infoOf(t))
+}
+
+// mutationHandler serves POST (report faults) and DELETE (report
+// repairs) on .../faults. Indices are validated here, at the API
+// boundary, against the immutable host size — the writer goroutine never
+// sees an out-of-range index.
+func (s *Server) mutationHandler(kind reqKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t := s.topo(w, r)
+		if t == nil {
+			return
+		}
+		var req mutationRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		if len(req.Nodes) == 0 {
+			writeError(w, http.StatusBadRequest, "no nodes in request")
+			return
+		}
+		n := t.host.HostNodes()
+		for _, v := range req.Nodes {
+			if v < 0 || v >= n {
+				writeError(w, http.StatusBadRequest, "host node %d out of range [0, %d)", v, n)
+				return
+			}
+		}
+		wait := true
+		if raw := r.URL.Query().Get("wait"); raw != "" {
+			var err error
+			if wait, err = strconv.ParseBool(raw); err != nil {
+				writeError(w, http.StatusBadRequest, "bad wait parameter %q (want a boolean)", raw)
+				return
+			}
+		}
+		mut := request{kind: kind, nodes: req.Nodes}
+		if wait {
+			mut.reply = make(chan result, 1)
+		}
+		if err := t.submit(mut); err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		if !wait {
+			writeJSON(w, http.StatusAccepted, acceptedResponse{
+				Topology: t.cfg.ID, Status: "accepted", Nodes: len(req.Nodes),
+			})
+			return
+		}
+		s.replyState(w, r, t, mut.reply)
+	}
+}
+
+func (s *Server) handleReembed(w http.ResponseWriter, r *http.Request) {
+	t := s.topo(w, r)
+	if t == nil {
+		return
+	}
+	mut := request{kind: reqFlush, reply: make(chan result, 1)}
+	if err := t.submit(mut); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	s.replyState(w, r, t, mut.reply)
+}
+
+// replyState waits for the writer's outcome and renders it. A fault
+// pattern beyond the construction's tolerance is the caller's news, not
+// a server failure: 422, with the still-served last-good generation.
+func (s *Server) replyState(w http.ResponseWriter, r *http.Request, t *topology, reply chan result) {
+	select {
+	case res := <-reply:
+		switch {
+		case res.err == nil:
+			writeJSON(w, http.StatusOK, stateOf(t, res.snap))
+		case errors.Is(res.err, ftnet.ErrNotTolerated):
+			snap := t.snap.Load()
+			writeJSON(w, http.StatusUnprocessableEntity, struct {
+				errorResponse
+				stateResponse
+			}{
+				errorResponse{Error: res.err.Error()},
+				stateOf(t, snap),
+			})
+		case errors.Is(res.err, errShutdown):
+			writeError(w, http.StatusServiceUnavailable, "%v", res.err)
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", res.err)
+		}
+	case <-r.Context().Done():
+		// Client went away; the writer's buffered reply is dropped.
+		writeError(w, http.StatusServiceUnavailable, "request canceled")
+	case <-t.stopc:
+		writeError(w, http.StatusServiceUnavailable, "%v", errShutdown)
+	}
+}
+
+func (s *Server) handleEmbedding(w http.ResponseWriter, r *http.Request) {
+	t := s.topo(w, r)
+	if t == nil {
+		return
+	}
+	snap := t.snap.Load()
+	writeJSON(w, http.StatusOK, embeddingResponse{
+		Topology:   t.cfg.ID,
+		Generation: snap.Generation,
+		Side:       snap.Emb.Side,
+		Dims:       snap.Emb.Dims,
+		Checksum:   fmt.Sprintf("%016x", snap.Checksum),
+		Faults:     snap.FaultNodes,
+		Map:        snap.Emb.Map,
+	})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	t := s.topo(w, r)
+	if t == nil {
+		return
+	}
+	if s.cfg.SnapshotDir == "" {
+		writeError(w, http.StatusConflict, "snapshots disabled: no snapshot dir configured")
+		return
+	}
+	path, snap, err := s.writeTopoSnapshot(t)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		stateResponse
+		Path string `json:"path"`
+	}{stateOf(t, snap), path})
+}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"ftnet"
+)
+
+// diskSnapshot is the on-disk session state: the committed fault set and
+// embedding generation, plus enough topology identity to refuse a
+// restore onto a different host. The embedding itself is not stored —
+// the pipeline is deterministic, so replaying the fault set reproduces
+// it bit-identically; EmbeddingChecksum pins that claim at restore time.
+type diskSnapshot struct {
+	Version    int    `json:"version"`
+	TopologyID string `json:"topology"`
+	D          int    `json:"d"`
+	Side       int    `json:"side"` // realized guest side, not MinSide
+	HostNodes  int    `json:"host_nodes"`
+	Generation int64  `json:"generation"`
+	Faults     []int  `json:"faults"`
+	// SessionFaults is the session's full fault set at snapshot time,
+	// including mutations recorded after the last successful commit
+	// (whose evaluation failed or had not run yet) — recorded reality
+	// never rolls back, so it must survive a restart too. Restore
+	// replays Faults (which must re-verify against EmbeddingChecksum)
+	// and then the delta to SessionFaults, left pending.
+	SessionFaults []int `json:"session_faults,omitempty"`
+	// EmbeddingChecksum is MapChecksum of the committed map, hex-encoded.
+	EmbeddingChecksum string `json:"embedding_checksum"`
+}
+
+const snapshotVersion = 1
+
+func (d *diskSnapshot) checksum() uint64 {
+	v, err := strconv.ParseUint(d.EmbeddingChecksum, 16, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// check refuses to restore state onto an incompatible host.
+func (d *diskSnapshot) check(cfg TopologyConfig, host *ftnet.RandomFaultTorus) error {
+	if d.Version != snapshotVersion {
+		return fmt.Errorf("topology %s: snapshot version %d, want %d", cfg.ID, d.Version, snapshotVersion)
+	}
+	if d.TopologyID != cfg.ID {
+		return fmt.Errorf("topology %s: snapshot belongs to topology %q", cfg.ID, d.TopologyID)
+	}
+	if d.D != host.Dims() || d.Side != host.Side() || d.HostNodes != host.HostNodes() {
+		return fmt.Errorf("topology %s: snapshot host (d=%d side=%d nodes=%d) does not match configured host (d=%d side=%d nodes=%d)",
+			cfg.ID, d.D, d.Side, d.HostNodes, host.Dims(), host.Side(), host.HostNodes())
+	}
+	return nil
+}
+
+// snapshotPath is <dir>/<id>.json; topology IDs are validated to be
+// path-safe (see TopologyConfig.Validate).
+func snapshotPath(dir, id string) string {
+	return filepath.Join(dir, id+".json")
+}
+
+// writeSnapshot persists a committed Snapshot atomically (temp file +
+// rename), so a crash mid-write never corrupts the previous snapshot.
+// session is the full session fault set (see diskSnapshot.SessionFaults);
+// it is recorded only when it differs from the committed set.
+func writeSnapshot(dir string, t *topology, snap *Snapshot, session []int) (string, error) {
+	d := diskSnapshot{
+		Version:           snapshotVersion,
+		TopologyID:        t.cfg.ID,
+		D:                 t.host.Dims(),
+		Side:              t.host.Side(),
+		HostNodes:         t.host.HostNodes(),
+		Generation:        snap.Generation,
+		Faults:            snap.FaultNodes,
+		EmbeddingChecksum: fmt.Sprintf("%016x", snap.Checksum),
+	}
+	if !intsEqual(session, snap.FaultNodes) {
+		d.SessionFaults = session
+		if d.SessionFaults == nil {
+			d.SessionFaults = []int{} // nil means "same as Faults"
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.Marshal(&d)
+	if err != nil {
+		return "", err
+	}
+	path := snapshotPath(dir, t.cfg.ID)
+	tmp, err := os.CreateTemp(dir, t.cfg.ID+".tmp-*")
+	if err != nil {
+		return "", err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	return path, nil
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// loadSnapshot reads a topology's snapshot file; a missing file is not
+// an error (nil, nil) — the topology then starts fresh.
+func loadSnapshot(dir, id string) (*diskSnapshot, error) {
+	data, err := os.ReadFile(snapshotPath(dir, id))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var d diskSnapshot
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("snapshot %s: %v", snapshotPath(dir, id), err)
+	}
+	return &d, nil
+}

@@ -1,0 +1,393 @@
+// Package server implements ftnetd: a daemon hosting one long-lived
+// ftnet.Session per configured topology behind an HTTP/JSON wire
+// protocol (see routes in server.go).
+//
+// The ftnet.Session contract is single-writer, so each topology owns one
+// writer goroutine and a serialization queue. The queue coalesces: every
+// mutation that arrives while a Reembed is in flight is applied to the
+// session as soon as the writer frees up and covered by the *next*
+// evaluation, so a burst of k concurrent fault reports costs a small
+// constant number of Evals, not k (the acceptance contract of the race
+// test). Asynchronous mutations (?wait=0) accumulate until the batching
+// policy triggers: the accumulated footprint stops being small (>=
+// MaxBatchCols distinct host columns), a flush interval elapses, an
+// explicit POST .../reembed arrives, or a synchronous request joins the
+// batch. Readers never enter the queue: GET .../embedding is served from
+// an atomically swapped snapshot of the last committed embedding, so
+// reads never block on the writer.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+
+	"ftnet"
+)
+
+// Snapshot is one committed state of a topology: a verified embedding
+// and exactly the fault set it was committed with. Snapshots are
+// immutable; readers share them by pointer.
+type Snapshot struct {
+	// Generation counts successful commits (monotone; restored from the
+	// snapshot file across restarts).
+	Generation int64
+	// Emb is the verified embedding (stable: it does not alias the
+	// session).
+	Emb *ftnet.Embedding
+	// FaultNodes is the fault set Emb was committed against, increasing.
+	FaultNodes []int
+	// Checksum is the FNV-1a hash of Emb.Map (see MapChecksum).
+	Checksum uint64
+}
+
+// MapChecksum hashes an embedding map for snapshot integrity checks:
+// the pipeline is deterministic, so a restore that replays the fault set
+// must reproduce the map bit-identically.
+func MapChecksum(m []int) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range m {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// errShutdown is returned to requests caught by a daemon shutdown.
+var errShutdown = errors.New("server: shutting down")
+
+type reqKind uint8
+
+const (
+	reqAdd reqKind = iota
+	reqClear
+	reqFlush
+)
+
+// request is one unit of writer work. reply is buffered (capacity 1) so
+// the writer never blocks on an abandoned waiter.
+type request struct {
+	kind  reqKind
+	nodes []int
+	reply chan result // nil for fire-and-forget mutations
+}
+
+type result struct {
+	snap *Snapshot
+	err  error
+}
+
+// topology is one hosted instance: host graph, session, writer queue.
+type topology struct {
+	cfg     TopologyConfig
+	host    *ftnet.RandomFaultTorus
+	ses     *ftnet.Session
+	numCols int // host columns n^(d-1); column = node % numCols
+
+	reqs  chan request
+	stopc chan struct{}
+	done  chan struct{}
+
+	snap    atomic.Pointer[Snapshot]
+	metrics *topoMetrics
+	// curFaults is the session's full fault set — committed or not —
+	// republished by the writer after every applied batch, so snapshot
+	// writes can persist mutations whose evaluation failed (recorded
+	// reality never rolls back, and must survive a restart too).
+	curFaults atomic.Pointer[[]int]
+
+	// Writer-goroutine state: the batch accumulated since the last
+	// evaluation attempt.
+	pendingMuts  int
+	pendingNodes int
+	pendingCols  map[int]struct{}
+	waiters      []chan result
+
+	maxBatchCols int
+	flushEvery   time.Duration
+	evalDelay    atomic.Int64 // test hook (nanoseconds): stretches the eval window
+}
+
+// newTopology builds the host, optionally restores a disk snapshot, and
+// commits the initial state synchronously, so a constructed topology
+// always has a servable snapshot before its worker starts.
+func newTopology(cfg TopologyConfig, policy Config, restore *diskSnapshot) (*topology, error) {
+	host, err := ftnet.NewRandomFaultTorus(cfg.D, cfg.MinSide, cfg.MaxEps)
+	if err != nil {
+		return nil, fmt.Errorf("topology %s: %v", cfg.ID, err)
+	}
+	numCols := 1
+	for i := 1; i < host.Dims(); i++ {
+		numCols *= host.Side()
+	}
+	t := &topology{
+		cfg:          cfg,
+		host:         host,
+		ses:          host.NewSession(),
+		numCols:      numCols,
+		reqs:         make(chan request, 256),
+		stopc:        make(chan struct{}),
+		done:         make(chan struct{}),
+		metrics:      &topoMetrics{},
+		pendingCols:  make(map[int]struct{}),
+		maxBatchCols: policy.maxBatchCols(),
+		flushEvery:   policy.flushInterval(),
+	}
+	gen := int64(0)
+	if restore != nil {
+		if err := restore.check(cfg, host); err != nil {
+			return nil, err
+		}
+		if err := t.ses.AddFaultsChecked(restore.Faults...); err != nil {
+			return nil, fmt.Errorf("topology %s: restore: %v", cfg.ID, err)
+		}
+		gen = restore.Generation
+		t.metrics.restored.Store(1)
+	}
+	emb, err := t.ses.Reembed()
+	if err != nil {
+		return nil, fmt.Errorf("topology %s: initial reembed: %v", cfg.ID, err)
+	}
+	snap := &Snapshot{
+		Generation: gen,
+		Emb:        emb,
+		FaultNodes: t.ses.FaultNodes(),
+		Checksum:   MapChecksum(emb.Map),
+	}
+	if restore != nil && snap.Checksum != restore.checksum() {
+		return nil, fmt.Errorf("topology %s: restored embedding checksum %016x does not match snapshot %016x",
+			cfg.ID, snap.Checksum, restore.checksum())
+	}
+	t.snap.Store(snap)
+	t.metrics.reembedOK.Add(1)
+	t.metrics.faults.Store(int64(len(snap.FaultNodes)))
+	t.metrics.generation.Store(gen)
+	if restore != nil {
+		if err := t.restoreUncommitted(restore); err != nil {
+			return nil, err
+		}
+	}
+	t.publishFaults()
+	return t, nil
+}
+
+// restoreUncommitted replays the snapshot's session-level delta: the
+// mutations recorded after the last successful commit (adds beyond, and
+// clears of, the committed fault set). They are applied without
+// demanding a successful evaluation — the pre-restart state may well
+// have been beyond tolerance — and left pending for the batching policy,
+// exactly as they were before the restart.
+func (t *topology) restoreUncommitted(restore *diskSnapshot) error {
+	session := restore.SessionFaults
+	if session == nil {
+		return nil
+	}
+	adds, clears := sortedDiff(restore.Faults, session)
+	if len(adds)+len(clears) == 0 {
+		return nil
+	}
+	if err := t.ses.AddFaultsChecked(adds...); err != nil {
+		return fmt.Errorf("topology %s: restore uncommitted: %v", t.cfg.ID, err)
+	}
+	if err := t.ses.ClearFaultsChecked(clears...); err != nil {
+		return fmt.Errorf("topology %s: restore uncommitted: %v", t.cfg.ID, err)
+	}
+	t.pendingMuts = 1
+	t.pendingNodes = len(adds) + len(clears)
+	for _, v := range adds {
+		t.pendingCols[v%t.numCols] = struct{}{}
+	}
+	for _, v := range clears {
+		t.pendingCols[v%t.numCols] = struct{}{}
+	}
+	t.metrics.pendingRequests.Store(1)
+	return nil
+}
+
+// sortedDiff splits two increasing node lists into session-only (adds)
+// and committed-only (clears) elements.
+func sortedDiff(committed, session []int) (adds, clears []int) {
+	i, j := 0, 0
+	for i < len(committed) || j < len(session) {
+		switch {
+		case i == len(committed) || (j < len(session) && session[j] < committed[i]):
+			adds = append(adds, session[j])
+			j++
+		case j == len(session) || committed[i] < session[j]:
+			clears = append(clears, committed[i])
+			i++
+		default:
+			i++
+			j++
+		}
+	}
+	return adds, clears
+}
+
+// publishFaults republishes the session's full fault set for snapshot
+// writers. Called by the writer goroutine (and construction) only.
+func (t *topology) publishFaults() {
+	s := t.ses.FaultNodes()
+	t.curFaults.Store(&s)
+}
+
+// submit enqueues a request unless the daemon is stopping.
+func (t *topology) submit(req request) error {
+	select {
+	case t.reqs <- req:
+		return nil
+	case <-t.stopc:
+		return errShutdown
+	}
+}
+
+// run is the single-writer loop. Only this goroutine touches t.ses and
+// the pending-batch state.
+func (t *topology) run() {
+	defer close(t.done)
+	var tick <-chan time.Time
+	if t.flushEvery > 0 {
+		ticker := time.NewTicker(t.flushEvery)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case <-t.stopc:
+			t.shutdown()
+			return
+		case req := <-t.reqs:
+			force := t.apply(req)
+			// Coalesce everything already queued — this is where a burst
+			// that piled up behind an in-flight eval becomes one batch.
+		drain:
+			for {
+				select {
+				case more := <-t.reqs:
+					if t.apply(more) {
+						force = true
+					}
+				default:
+					break drain
+				}
+			}
+			t.publishFaults()
+			if force || len(t.waiters) > 0 || len(t.pendingCols) >= t.maxBatchCols {
+				t.eval()
+			}
+		case <-tick:
+			if t.pendingMuts > 0 {
+				t.eval()
+			}
+		}
+	}
+}
+
+// apply folds one request into the pending batch and reports whether it
+// forces an evaluation.
+func (t *topology) apply(req request) bool {
+	switch req.kind {
+	case reqFlush:
+		if req.reply != nil {
+			t.waiters = append(t.waiters, req.reply)
+		}
+		return true
+	case reqAdd, reqClear:
+		var err error
+		if req.kind == reqAdd {
+			err = t.ses.AddFaultsChecked(req.nodes...)
+		} else {
+			err = t.ses.ClearFaultsChecked(req.nodes...)
+		}
+		if err != nil {
+			// The handler validates indices before enqueueing, so this is
+			// an internal inconsistency; fail the request, not the batch.
+			if req.reply != nil {
+				req.reply <- result{err: err}
+			}
+			return false
+		}
+		t.pendingMuts++
+		t.pendingNodes += len(req.nodes)
+		for _, v := range req.nodes {
+			t.pendingCols[v%t.numCols] = struct{}{}
+		}
+		t.metrics.pendingRequests.Store(int64(t.pendingMuts))
+		if req.reply != nil {
+			t.waiters = append(t.waiters, req.reply)
+		}
+	}
+	return false
+}
+
+// eval evaluates the accumulated batch with one Reembed and publishes
+// the outcome: a fresh snapshot on success, the error to every waiter on
+// failure. A failed (ErrNotTolerated) evaluation leaves the previous
+// snapshot served and the session's pending churn intact — the engine
+// re-checks every mutated column once a later batch heals the state.
+func (t *topology) eval() {
+	muts, nodes := t.pendingMuts, t.pendingNodes
+	t.pendingMuts, t.pendingNodes = 0, 0
+	clear(t.pendingCols)
+	waiters := t.waiters
+	t.waiters = nil
+	t.metrics.pendingRequests.Store(0)
+
+	if d := t.evalDelay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	start := time.Now()
+	emb, err := t.ses.Reembed()
+	t.metrics.reembedNanos.Add(time.Since(start).Nanoseconds())
+	t.metrics.batchMutations.Add(int64(muts))
+	t.metrics.batchNodes.Add(int64(nodes))
+
+	var res result
+	switch {
+	case err == nil:
+		snap := &Snapshot{
+			Generation: t.snap.Load().Generation + 1,
+			Emb:        emb,
+			FaultNodes: t.ses.FaultNodes(),
+			Checksum:   MapChecksum(emb.Map),
+		}
+		t.snap.Store(snap)
+		t.metrics.reembedOK.Add(1)
+		t.metrics.faults.Store(int64(len(snap.FaultNodes)))
+		t.metrics.generation.Store(snap.Generation)
+		res = result{snap: snap}
+	case errors.Is(err, ftnet.ErrNotTolerated):
+		t.metrics.reembedNotTol.Add(1)
+		res = result{err: err}
+	default:
+		t.metrics.reembedErr.Add(1)
+		res = result{err: err}
+	}
+	for _, w := range waiters {
+		w <- res
+	}
+}
+
+// shutdown applies every request still queued (an asynchronous mutation
+// was already answered 202 Accepted, so dropping it would break that
+// promise) and flushes with a final eval, so a snapshot written at exit
+// reflects everything the daemon accepted. Remaining waiters get the
+// flush outcome; submit stops accepting once stopc is closed.
+func (t *topology) shutdown() {
+	for {
+		select {
+		case req := <-t.reqs:
+			t.apply(req)
+		default:
+			t.publishFaults()
+			if t.pendingMuts > 0 || len(t.waiters) > 0 {
+				t.eval()
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Package validate holds the numeric input validators shared by every
+// boundary that accepts untrusted numbers — the ftnetd daemon's Config,
+// the CLI's flag parsing, and the churn process rates. Float values
+// parsed off a command line or a config file can carry NaN, infinities,
+// or negative values; each of these would otherwise flow silently into
+// the Gillespie rate machinery or the batching policy and produce
+// garbage instead of an error.
+package validate
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rate validates a rate-like value: finite and >= 0.
+func Rate(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%s must be finite, got %v", name, v)
+	}
+	if v < 0 {
+		return fmt.Errorf("%s must be >= 0, got %v", name, v)
+	}
+	return nil
+}
+
+// Positive validates a strictly positive finite value (e.g. a time
+// horizon or an eps bound).
+func Positive(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%s must be finite, got %v", name, v)
+	}
+	if v <= 0 {
+		return fmt.Errorf("%s must be > 0, got %v", name, v)
+	}
+	return nil
+}
+
+// Min validates an integer lower bound (workers >= 0, trials >= 1,
+// burst size >= 1, ...).
+func Min(name string, v, min int) error {
+	if v < min {
+		return fmt.Errorf("%s must be >= %d, got %d", name, min, v)
+	}
+	return nil
+}

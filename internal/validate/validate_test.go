@@ -1,0 +1,31 @@
+package validate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHelpers(t *testing.T) {
+	if err := Rate("x", 0); err != nil {
+		t.Error(err)
+	}
+	for _, v := range []float64{-1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := Rate("x", v); err == nil {
+			t.Errorf("Rate accepted %v", v)
+		}
+	}
+	if err := Positive("x", 1); err != nil {
+		t.Error(err)
+	}
+	for _, v := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if err := Positive("x", v); err == nil {
+			t.Errorf("Positive accepted %v", v)
+		}
+	}
+	if err := Min("x", 0, 0); err != nil {
+		t.Error(err)
+	}
+	if err := Min("x", -1, 0); err == nil {
+		t.Error("Min accepted -1 >= 0")
+	}
+}
