@@ -1,0 +1,753 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftnet/internal/rng"
+	"ftnet/internal/server"
+	"ftnet/internal/validate"
+	"ftnet/internal/wire"
+)
+
+// runLoadgen benchmarks the ftnetd serve paths under synthetic
+// many-client load: it starts an in-process daemon on a loopback
+// listener, drives a churn process against it over the real HTTP wire,
+// and hammers the embedding endpoint with mixed reader fleets —
+// JSON-full pollers, binary-full pollers, binary-delta (?since=)
+// pollers, and /watch subscribers. It reports per-mode latency
+// quantiles and bytes-per-observed-update, the numbers behind
+// BENCH_pr6.json.
+func runLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	side := fs.Int("side", 64, "guest torus side")
+	dims := fs.Int("d", 2, "guest dimension")
+	eps := fs.Float64("eps", 0.5, "maximum node redundancy")
+	duration := fs.Duration("duration", 10*time.Second, "measurement window (excludes warmup)")
+	warmup := fs.Duration("warmup", 5*time.Second, "settle time before samples count: connection dials and bootstrap fetches measure startup, not the serve paths")
+	jsonClients := fs.Int("json-clients", 8, "JSON full-embedding pollers")
+	binFullClients := fs.Int("binfull-clients", 2, "binary full-embedding pollers")
+	deltaClients := fs.Int("delta-clients", 8, "binary delta (?since=) pollers")
+	watchClients := fs.Int("watch-clients", 2, "/watch stream subscribers")
+	pollInterval := fs.Duration("poll-interval", 50*time.Millisecond, "poller sleep between requests")
+	churnRate := fs.Float64("churn-rate", 50, "fault mutations per second driven against the topology")
+	churnNodes := fs.Int("churn-nodes", 4, "node indices per mutation batch")
+	deltaRing := fs.Int("delta-ring", server.DefaultDeltaRing, "delta ring length for the hosted topology")
+	seed := fs.Uint64("seed", 1, "churn placement seed")
+	out := fs.String("out", "", "write the JSON report to this file (default stdout)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the whole harness (server + fleet) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := validate.Positive("loadgen: -churn-rate", *churnRate); err != nil {
+		return err
+	}
+	if err := validate.Positive("loadgen: -duration (seconds)", duration.Seconds()); err != nil {
+		return err
+	}
+	if err := validate.Positive("loadgen: -poll-interval (seconds)", pollInterval.Seconds()); err != nil {
+		return err
+	}
+	if *warmup < 0 {
+		return fmt.Errorf("loadgen: -warmup must be >= 0, got %v", *warmup)
+	}
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"-json-clients", *jsonClients},
+		{"-binfull-clients", *binFullClients},
+		{"-delta-clients", *deltaClients},
+		{"-watch-clients", *watchClients},
+	} {
+		if err := validate.Min("loadgen: "+c.name, c.v, 0); err != nil {
+			return err
+		}
+	}
+	if err := validate.Min("loadgen: -churn-nodes", *churnNodes, 1); err != nil {
+		return err
+	}
+	if err := validate.Min("loadgen: -delta-ring", *deltaRing, 1); err != nil {
+		return err
+	}
+
+	cfg := server.Config{
+		Topologies: []server.TopologyConfig{{ID: "load", D: *dims, MinSide: *side, MaxEps: *eps}},
+		DeltaRing:  *deltaRing,
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	// The warmup clock starts as soon as the daemon is up: everything
+	// after this point (listener dials, bootstrap fetches) is the startup
+	// transient that warmup exists to absorb.
+	measureFrom := time.Now().Add(*warmup)
+	jsonStats := newModeStats(measureFrom)
+	binFullStats := newModeStats(measureFrom)
+	deltaStats := newModeStats(measureFrom)
+	watchStats := newModeStats(measureFrom)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: &serveTimer{
+		inner: srv.Handler(),
+		json:  jsonStats, binFull: binFullStats, delta: deltaStats,
+	}}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String() + "/v1/topologies/load"
+
+	totalClients := *jsonClients + *binFullClients + *deltaClients + *watchClients
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        totalClients + 8,
+		MaxIdleConnsPerHost: totalClients + 8,
+	}}
+
+	info := struct {
+		HostNodes int `json:"host_nodes"`
+	}{}
+	if err := getJSON(client, base, &info); err != nil {
+		return fmt.Errorf("loadgen: topology info: %v", err)
+	}
+	startGen, err := headGeneration(client, base)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *warmup+*duration)
+	defer cancel()
+	var wg sync.WaitGroup
+
+	churn := &churnDriver{
+		client: client, base: base,
+		hostNodes: info.HostNodes, batch: *churnNodes,
+		interval: time.Duration(float64(time.Second) / *churnRate),
+		rng:      rng.NewPCG(*seed, 7),
+	}
+	wg.Add(1)
+	go func() { defer wg.Done(); churn.run(ctx) }()
+
+	// Pollers start phase-staggered across the interval: a real fleet is
+	// unsynchronized, and a lockstep herd would measure queueing behind
+	// its own bursts instead of the serve paths.
+	stagger := func(i, n int) time.Duration {
+		return *pollInterval * time.Duration(i) / time.Duration(n)
+	}
+	for i := 0; i < *jsonClients; i++ {
+		wg.Add(1)
+		go func(d time.Duration) {
+			defer wg.Done()
+			if sleepCtx(ctx, d) {
+				pollFull(ctx, client, base, "", *pollInterval, jsonStats)
+			}
+		}(stagger(i, *jsonClients))
+	}
+	for i := 0; i < *binFullClients; i++ {
+		wg.Add(1)
+		go func(d time.Duration) {
+			defer wg.Done()
+			if sleepCtx(ctx, d) {
+				pollFull(ctx, client, base, wire.ContentType, *pollInterval, binFullStats)
+			}
+		}(stagger(i, *binFullClients))
+	}
+	for i := 0; i < *deltaClients; i++ {
+		wg.Add(1)
+		go func(d time.Duration) {
+			defer wg.Done()
+			if sleepCtx(ctx, d) {
+				pollDelta(ctx, client, base, *pollInterval, deltaStats)
+			}
+		}(stagger(i, *deltaClients))
+	}
+	for i := 0; i < *watchClients; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); watchStream(ctx, client, base, watchStats) }()
+	}
+
+	wg.Wait()
+	endGen, err := headGeneration(client, base)
+	if err != nil {
+		return err
+	}
+
+	report := buildReport(loadgenConfig{
+		Side: *side, Dims: *dims, Duration: duration.String(), Warmup: warmup.String(),
+		JSONClients: *jsonClients, BinFullClients: *binFullClients,
+		DeltaClients: *deltaClients, WatchClients: *watchClients,
+		PollInterval: pollInterval.String(), ChurnRate: *churnRate,
+		ChurnNodes: *churnNodes, DeltaRing: *deltaRing,
+	}, jsonStats, binFullStats, deltaStats, watchStats, churn, endGen-startGen)
+
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: %d clients, %d commits observed; report written to %s\n",
+		totalClients, endGen-startGen, *out)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Stats.
+
+// serveTimer is the harness's serve-path instrument: it wraps the
+// daemon's handler and times each embedding GET inside the server,
+// classified by response mode. Client-observed latencies in this
+// harness include the fleet's own scheduling — a thousand in-process
+// pollers share the host's cores with the daemon, so a client-side
+// stopwatch measures the harness queueing on itself as much as the
+// server. Handler duration is the cost the serve path actually pays
+// per request, which is what BENCH_pr6.json compares across modes.
+type serveTimer struct {
+	inner                http.Handler
+	json, binFull, delta *modeStats
+}
+
+func (t *serveTimer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var m *modeStats
+	if r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/embedding") {
+		wireAccept := r.Header.Get("Accept") == wire.ContentType
+		since := r.URL.Query().Has("since")
+		switch {
+		case wireAccept && since:
+			m = t.delta
+		case wireAccept:
+			m = t.binFull
+		case !since:
+			m = t.json
+		}
+	}
+	if m == nil {
+		t.inner.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	t.inner.ServeHTTP(w, r)
+	m.recordServe(time.Since(start))
+}
+
+type modeStats struct {
+	// Samples before measureFrom are dropped: they time the startup
+	// transient (dials, bootstrap decodes), not steady-state serving.
+	measureFrom time.Time
+
+	mu        sync.Mutex
+	lats      []float64 // seconds per request, client-observed
+	serveLats []float64 // seconds per request inside the handler (serveTimer)
+	bytes     int64
+	requests  int64
+	updates   int64 // responses that carried a not-yet-seen generation
+	resyncs   int64 // delta pollers: 410 responses answered with a full refetch
+	errors    int64
+	// Delta pollers: full-snapshot fetches (bootstrap and post-410
+	// refetch) and their bytes, kept out of the steady-state samples.
+	bootstraps     int64
+	bootstrapBytes int64
+}
+
+func newModeStats(measureFrom time.Time) *modeStats {
+	return &modeStats{measureFrom: measureFrom}
+}
+
+func (m *modeStats) record(lat time.Duration, n int, newGen bool) {
+	if time.Now().Before(m.measureFrom) {
+		return
+	}
+	m.mu.Lock()
+	m.lats = append(m.lats, lat.Seconds())
+	m.bytes += int64(n)
+	m.requests++
+	if newGen {
+		m.updates++
+	}
+	m.mu.Unlock()
+}
+
+func (m *modeStats) recordServe(lat time.Duration) {
+	if time.Now().Before(m.measureFrom) {
+		return
+	}
+	m.mu.Lock()
+	m.serveLats = append(m.serveLats, lat.Seconds())
+	m.mu.Unlock()
+}
+
+func (m *modeStats) fail() {
+	m.mu.Lock()
+	m.errors++
+	m.mu.Unlock()
+}
+
+func (m *modeStats) resync() {
+	m.mu.Lock()
+	m.resyncs++
+	m.mu.Unlock()
+}
+
+func (m *modeStats) bootstrap(n int) {
+	m.mu.Lock()
+	m.bootstraps++
+	m.bootstrapBytes += int64(n)
+	m.mu.Unlock()
+}
+
+type modeReport struct {
+	Clients        int     `json:"clients"`
+	Requests       int64   `json:"requests"`
+	Updates        int64   `json:"updates"`
+	Bytes          int64   `json:"bytes"`
+	BytesPerUpdate float64 `json:"bytes_per_update"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	ServeP50Ms     float64 `json:"serve_p50_ms"`
+	ServeP99Ms     float64 `json:"serve_p99_ms"`
+	Resyncs        int64   `json:"resyncs,omitempty"`
+	Errors         int64   `json:"errors,omitempty"`
+	Bootstraps     int64   `json:"bootstraps,omitempty"`
+	BootstrapBytes int64   `json:"bootstrap_bytes,omitempty"`
+}
+
+func (m *modeStats) report(clients int) modeReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r := modeReport{
+		Clients: clients, Requests: m.requests, Updates: m.updates,
+		Bytes: m.bytes, Resyncs: m.resyncs, Errors: m.errors,
+		Bootstraps: m.bootstraps, BootstrapBytes: m.bootstrapBytes,
+	}
+	if m.updates > 0 {
+		r.BytesPerUpdate = float64(m.bytes) / float64(m.updates)
+	}
+	if len(m.lats) > 0 {
+		sort.Float64s(m.lats)
+		r.P50Ms = quantile(m.lats, 0.50) * 1e3
+		r.P99Ms = quantile(m.lats, 0.99) * 1e3
+	}
+	if len(m.serveLats) > 0 {
+		sort.Float64s(m.serveLats)
+		r.ServeP50Ms = quantile(m.serveLats, 0.50) * 1e3
+		r.ServeP99Ms = quantile(m.serveLats, 0.99) * 1e3
+	}
+	return r
+}
+
+// quantile reads the q-quantile off sorted samples.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+type loadgenConfig struct {
+	Side           int     `json:"side"`
+	Dims           int     `json:"dims"`
+	Duration       string  `json:"duration"`
+	Warmup         string  `json:"warmup"`
+	JSONClients    int     `json:"json_clients"`
+	BinFullClients int     `json:"binfull_clients"`
+	DeltaClients   int     `json:"delta_clients"`
+	WatchClients   int     `json:"watch_clients"`
+	PollInterval   string  `json:"poll_interval"`
+	ChurnRate      float64 `json:"churn_rate"`
+	ChurnNodes     int     `json:"churn_nodes"`
+	DeltaRing      int     `json:"delta_ring"`
+}
+
+type loadgenReport struct {
+	Config loadgenConfig         `json:"config"`
+	Modes  map[string]modeReport `json:"modes"`
+	Churn  struct {
+		Mutations int64 `json:"mutations"`
+		Rejected  int64 `json:"rejected"`
+		Commits   int64 `json:"commits"`
+	} `json:"churn"`
+	Acceptance struct {
+		DeltaBytesPerUpdateRatio float64 `json:"delta_bytes_per_update_vs_json_full"`
+		DeltaServeP99Ms          float64 `json:"delta_serve_p99_ms"`
+		JSONFullServeP50Ms       float64 `json:"json_full_serve_p50_ms"`
+		DeltaP99BelowFullP50     bool    `json:"delta_p99_below_json_full_p50"`
+	} `json:"acceptance"`
+}
+
+func buildReport(cfg loadgenConfig, jsonStats, binFullStats, deltaStats, watchStats *modeStats,
+	churn *churnDriver, commits int64) loadgenReport {
+	rep := loadgenReport{Config: cfg, Modes: map[string]modeReport{
+		"json_full": jsonStats.report(cfg.JSONClients),
+		"bin_full":  binFullStats.report(cfg.BinFullClients),
+		"bin_delta": deltaStats.report(cfg.DeltaClients),
+		"watch":     watchStats.report(cfg.WatchClients),
+	}}
+	rep.Churn.Mutations = churn.mutations.Load()
+	rep.Churn.Rejected = churn.rejected.Load()
+	rep.Churn.Commits = commits
+	jf, bd := rep.Modes["json_full"], rep.Modes["bin_delta"]
+	if jf.BytesPerUpdate > 0 {
+		rep.Acceptance.DeltaBytesPerUpdateRatio = bd.BytesPerUpdate / jf.BytesPerUpdate
+	}
+	// The latency criterion compares serve-path quantiles (handler
+	// duration, see serveTimer): what each mode costs the daemon per
+	// request, independent of the in-process fleet queueing on itself.
+	rep.Acceptance.DeltaServeP99Ms = bd.ServeP99Ms
+	rep.Acceptance.JSONFullServeP50Ms = jf.ServeP50Ms
+	rep.Acceptance.DeltaP99BelowFullP50 = bd.ServeP99Ms > 0 && bd.ServeP99Ms < jf.ServeP50Ms
+	return rep
+}
+
+// ---------------------------------------------------------------------------
+// Client fleets.
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+func headGeneration(client *http.Client, base string) (int64, error) {
+	st := struct {
+		Generation int64 `json:"generation"`
+	}{}
+	if err := getJSON(client, base, &st); err != nil {
+		return 0, err
+	}
+	return st.Generation, nil
+}
+
+// pollFull is one full-embedding poller (JSON or binary by accept).
+func pollFull(ctx context.Context, client *http.Client, base, accept string, interval time.Duration, st *modeStats) {
+	lastGen := int64(-1)
+	for sleepCtx(ctx, interval) {
+		req, _ := http.NewRequestWithContext(ctx, "GET", base+"/embedding", nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		start := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() == nil {
+				st.fail()
+			}
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		lat := time.Since(start)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			if ctx.Err() == nil {
+				st.fail()
+			}
+			continue
+		}
+		gen := int64(-1)
+		if accept == wire.ContentType {
+			if s, err := wire.DecodeSnapshot(body); err == nil {
+				gen = s.Generation
+			}
+		} else {
+			// A full json.Unmarshal of the ~36k-entry map costs several
+			// milliseconds per poll; across a 1k-client fleet on few cores
+			// that client-side cost would dominate the serve-path latencies
+			// this harness exists to measure. The generation field is all
+			// the poller needs, so scan just for it.
+			gen = scanGeneration(body)
+		}
+		st.record(lat, len(body), gen > lastGen)
+		if gen > lastGen {
+			lastGen = gen
+		}
+	}
+}
+
+// pollDelta is one binary ?since= poller: it keeps a local snapshot
+// current by applying served deltas, resyncing from the full embedding
+// whenever the ring answers 410.
+func pollDelta(ctx context.Context, client *http.Client, base string, interval time.Duration, st *modeStats) {
+	var cur *wire.Snapshot
+	for sleepCtx(ctx, interval) {
+		url := base + "/embedding"
+		if cur != nil {
+			url = fmt.Sprintf("%s?since=%d", url, cur.Generation)
+		}
+		req, _ := http.NewRequestWithContext(ctx, "GET", url, nil)
+		req.Header.Set("Accept", wire.ContentType)
+		start := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() == nil {
+				st.fail()
+			}
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		lat := time.Since(start)
+		switch {
+		case err != nil:
+			if ctx.Err() == nil {
+				st.fail()
+			}
+		case resp.StatusCode == http.StatusGone:
+			// Evicted: drop local state and refetch the full embedding on
+			// the next loop turn. The 410 round trip still counts.
+			st.resync()
+			st.record(lat, len(body), false)
+			cur = nil
+		case resp.StatusCode != http.StatusOK:
+			st.fail()
+		case cur == nil:
+			snap, err := wire.DecodeSnapshot(body)
+			if err != nil {
+				st.fail()
+				continue
+			}
+			cur = snap
+			// A full-snapshot fetch only happens at bootstrap or right
+			// after a 410; it is the resync cost, not the steady-state
+			// delta serve path, so it is tallied separately.
+			st.bootstrap(len(body))
+		default:
+			d, err := wire.DecodeDelta(body)
+			if err != nil {
+				st.fail()
+				continue
+			}
+			if err := applyInPlace(cur, d); err != nil {
+				// Stale chain view; resync.
+				st.resync()
+				cur = nil
+				continue
+			}
+			st.record(lat, len(body), d.ToGeneration > d.FromGeneration)
+		}
+	}
+}
+
+// watchStream is one SSE subscriber: it counts streamed commit events
+// and their wire bytes (latency is not meaningful per event).
+func watchStream(ctx context.Context, client *http.Client, base string, st *modeStats) {
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/watch", nil)
+	if err != nil {
+		st.fail()
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			st.fail()
+		}
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		st.fail()
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	lastGen := int64(-1)
+	for sc.Scan() {
+		line := sc.Bytes()
+		n := len(line) + 1
+		if !bytes.HasPrefix(line, []byte("data: ")) {
+			if len(line) > 0 {
+				st.record(0, n, false)
+			}
+			continue
+		}
+		var ev struct {
+			Generation int64 `json:"generation"`
+		}
+		newGen := false
+		if json.Unmarshal(line[len("data: "):], &ev) == nil && ev.Generation > lastGen {
+			newGen = true
+			lastGen = ev.Generation
+		}
+		st.record(0, n, newGen)
+	}
+}
+
+// applyInPlace advances a client-owned snapshot by a delta without the
+// defensive clone wire.Apply makes. At fleet scale the clones dominate
+// the allocation rate (hundreds of MB/s across the delta clients) and
+// the resulting GC pauses would pollute the very latencies this harness
+// measures; correctness of Apply itself is pinned by the wire and
+// server test suites, not here.
+func applyInPlace(cur *wire.Snapshot, d *wire.Delta) error {
+	if d.Topology != cur.Topology || d.Side != cur.Side || d.Dims != cur.Dims ||
+		d.FromGeneration != cur.Generation {
+		return fmt.Errorf("loadgen: delta %d..%d does not extend generation %d",
+			d.FromGeneration, d.ToGeneration, cur.Generation)
+	}
+	nc := cur.NumCols()
+	for _, cu := range d.Cols {
+		for j, v := range cu.Vals {
+			cur.Map[j*nc+cu.Col] = v
+		}
+	}
+	cur.Generation = d.ToGeneration
+	cur.Faults = d.Faults
+	cur.Checksum = d.Checksum
+	return nil
+}
+
+// scanGeneration pulls the "generation" value out of an embedding or
+// delta JSON document without parsing the (large) rest; -1 if absent.
+func scanGeneration(body []byte) int64 {
+	const key = `"generation":`
+	i := bytes.Index(body, []byte(key))
+	if i < 0 {
+		return -1
+	}
+	gen := int64(-1)
+	for _, c := range body[i+len(key):] {
+		if c < '0' || c > '9' {
+			break
+		}
+		if gen < 0 {
+			gen = 0
+		}
+		gen = gen*10 + int64(c-'0')
+	}
+	return gen
+}
+
+// sleepCtx sleeps for d; false when the context expired instead.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Churn driver.
+
+// churnDriver keeps the topology's fault set moving over the real wire:
+// it alternates between reporting a fresh batch of random faults and
+// repairing the oldest outstanding batch, healing immediately whenever
+// the construction rejects a batch (422), so the topology keeps
+// committing fresh generations for the reader fleets to chase.
+type churnDriver struct {
+	client    *http.Client
+	base      string
+	hostNodes int
+	batch     int
+	interval  time.Duration
+	rng       *rng.PCG
+
+	mutations atomic.Int64
+	rejected  atomic.Int64
+}
+
+func (c *churnDriver) run(ctx context.Context) {
+	var window [][]int
+	const maxWindow = 8
+	for sleepCtx(ctx, c.interval) {
+		if len(window) >= maxWindow {
+			batch := window[0]
+			window = window[1:]
+			c.mutate(ctx, "DELETE", batch)
+			continue
+		}
+		batch := make([]int, c.batch)
+		for i := range batch {
+			batch[i] = c.rng.Intn(c.hostNodes)
+		}
+		if c.mutate(ctx, "POST", batch) {
+			window = append(window, batch)
+		} else {
+			// Rejected (422) or failed: repair immediately so the state
+			// heals instead of wedging every later eval.
+			c.mutate(ctx, "DELETE", batch)
+		}
+	}
+	// Leave the topology clean.
+	for _, batch := range window {
+		c.mutate(context.Background(), "DELETE", batch)
+	}
+}
+
+// mutate reports one batch synchronously; true means the evaluation
+// committed (200).
+func (c *churnDriver) mutate(ctx context.Context, method string, nodes []int) bool {
+	payload, _ := json.Marshal(struct {
+		Nodes []int `json:"nodes"`
+	}{nodes})
+	req, err := http.NewRequestWithContext(ctx, method, c.base+"/faults", strings.NewReader(string(payload)))
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	c.mutations.Add(1)
+	if resp.StatusCode == http.StatusUnprocessableEntity {
+		c.rejected.Add(1)
+		return false
+	}
+	return resp.StatusCode == http.StatusOK
+}

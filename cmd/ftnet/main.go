@@ -10,13 +10,18 @@
 //	ftnet simulate  -side 200 -faults 10 [-steps N] [-seed N]
 //	ftnet churn     -side 200 -arrival 2e-5 -repair 1 -horizon 20 [-trials N] [-workers N] [-independent]
 //	ftnet serve     -listen 127.0.0.1:8080 -topology id=main,d=2,side=200,eps=0.5 [-snapshot-dir DIR]
+//	ftnet loadgen   -side 64 -duration 10s -json-clients 8 -delta-clients 8 [-out BENCH.json]
+//	ftnet wire      -in payload.bin [-base full.bin]
 //
 // Each subcommand prints the host resources, the injected fault count,
 // and whether a fault-free torus was extracted (extraction is always
 // verified independently before being reported as a success). churn runs
 // lifetime trials of a dynamic fault process — Poisson per-node
 // arrivals, exponential per-fault repairs, optional adversarial bursts —
-// re-embedding incrementally after every event (internal/churn).
+// re-embedding incrementally after every event (internal/churn). loadgen
+// benchmarks the ftnetd serve paths (JSON-full vs binary-delta vs watch
+// streams) against a churning in-process daemon; wire decodes a binary
+// embedding payload to the canonical JSON document for offline diffing.
 package main
 
 import (
@@ -55,6 +60,10 @@ func main() {
 		err = runChurn(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
+	case "loadgen":
+		err = runLoadgen(os.Args[2:])
+	case "wire":
+		err = runWire(os.Args[2:])
 	default:
 		usage()
 	}
@@ -65,7 +74,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ftnet {random|clique|worstcase|health|simulate|churn|serve} [flags]   (run with -h for flags)")
+	fmt.Fprintln(os.Stderr, "usage: ftnet {random|clique|worstcase|health|simulate|churn|serve|loadgen|wire} [flags]   (run with -h for flags)")
 	os.Exit(2)
 }
 

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ftnet/internal/server"
+	"ftnet/internal/validate"
 )
 
 // runServe starts ftnetd: one long-lived ftnet.Session per configured
@@ -26,6 +27,8 @@ func runServe(args []string) error {
 		"evaluate pending async mutations once they touch this many distinct host columns")
 	flushInterval := fs.Duration("flush-interval", server.DefaultFlushInterval,
 		"periodic flush of pending async mutations (0 = disabled)")
+	deltaRing := fs.Int("delta-ring", server.DefaultDeltaRing,
+		"per-topology count of recent generation diffs kept for ?since= and /watch catch-up")
 	var topos topoSpecs
 	fs.Var(&topos, "topology", "hosted topology spec id=NAME,d=D,side=N,eps=E (repeatable; default id=default,d=2,side=64,eps=0.5)")
 	if err := fs.Parse(args); err != nil {
@@ -41,11 +44,15 @@ func runServe(args []string) error {
 	if *flushInterval < 0 {
 		return fmt.Errorf("serve: -flush-interval must be >= 0, got %v", *flushInterval)
 	}
+	if err := validate.Min("serve: -delta-ring", *deltaRing, 1); err != nil {
+		return err
+	}
 	cfg := server.Config{
 		Topologies:    topos.specs,
 		SnapshotDir:   *snapshotDir,
 		MaxBatchCols:  *maxBatchCols,
 		FlushInterval: *flushInterval, // 0 disables, same as the Config encoding
+		DeltaRing:     *deltaRing,
 	}
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -75,6 +82,9 @@ func runServe(args []string) error {
 	case <-ctx.Done():
 	}
 	fmt.Println("ftnetd: shutting down")
+	// Watch streams never end on their own; disconnect them or Shutdown
+	// waits out its whole timeout on every connected subscriber.
+	srv.DisconnectWatchers()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

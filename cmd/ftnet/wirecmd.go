@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"ftnet/internal/server"
+	"ftnet/internal/wire"
+)
+
+// runWire decodes a binary embedding payload — a full snapshot, or a
+// delta applied to a -base full snapshot — and prints the canonical
+// JSON embedding document to stdout, byte-identical to what GET
+// .../embedding serves for the same state. The smoke script diffs this
+// output against the JSON wire to prove both encodings carry the same
+// bits.
+func runWire(args []string) error {
+	fs := flag.NewFlagSet("wire", flag.ExitOnError)
+	in := fs.String("in", "", "binary payload file (full snapshot or delta)")
+	base := fs.String("base", "", "full-snapshot payload a delta applies to (required when -in is a delta)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("wire: -in is required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	kind, err := wire.Kind(data)
+	if err != nil {
+		return err
+	}
+	var snap *wire.Snapshot
+	switch kind {
+	case wire.KindFull:
+		if snap, err = wire.DecodeSnapshot(data); err != nil {
+			return err
+		}
+	case wire.KindDelta:
+		if *base == "" {
+			return fmt.Errorf("wire: %s is a delta; -base FULL.bin is required to apply it", *in)
+		}
+		baseData, err := os.ReadFile(*base)
+		if err != nil {
+			return err
+		}
+		baseSnap, err := wire.DecodeSnapshot(baseData)
+		if err != nil {
+			return fmt.Errorf("wire: decode %s: %v", *base, err)
+		}
+		d, err := wire.DecodeDelta(data)
+		if err != nil {
+			return err
+		}
+		if snap, err = wire.Apply(baseSnap, d); err != nil {
+			return err
+		}
+	}
+	w := bufio.NewWriter(os.Stdout)
+	if err := server.RenderEmbeddingJSON(w, snap); err != nil {
+		return err
+	}
+	return w.Flush()
+}

@@ -1,7 +1,10 @@
 // Command daemon is a minimal ftnetd client: it reports a burst of
 // faults to a running daemon, reads back the committed embedding
-// snapshot, verifies its checksum locally, repairs the faults, and
-// prints the daemon's batching metrics.
+// snapshot, verifies its checksum locally, then exercises the fleet
+// wire layer — a binary snapshot, a /watch subscription, and a
+// ?since= delta that it applies and verifies against the watched
+// commit — before repairing the faults and printing the daemon's
+// batching metrics.
 //
 // Start a daemon first:
 //
@@ -13,15 +16,19 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"time"
 
 	"ftnet/internal/server"
+	"ftnet/internal/wire"
 )
 
 func main() {
@@ -68,9 +75,70 @@ func main() {
 		log.Fatalf("served checksum does not match served map")
 	}
 
-	// Repair everything.
+	// Fleet wire layer: fetch the same embedding as a compact binary
+	// snapshot; this is the base the delta below applies to.
+	snap, err := wire.DecodeSnapshot(mustWire("GET", base+"/embedding"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("binary snapshot: generation %d, checksum %016x\n",
+		snap.Generation, snap.Checksum)
+
+	// Subscribe to /watch before mutating: the stream opens with a
+	// baseline "commit" for the current head, then pushes one event per
+	// committed generation — no polling.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	watchReq, err := http.NewRequestWithContext(ctx, "GET", base+"/watch", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	watchResp, err := http.DefaultClient.Do(watchReq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer watchResp.Body.Close()
+	events := bufio.NewScanner(watchResp.Body)
+
+	// Repair everything; the commit shows up on the watch stream.
 	mustJSON("DELETE", base+"/faults", map[string]any{"nodes": nodes}, &state)
 	fmt.Printf("repaired -> generation %d (%d standing faults)\n", state.Generation, state.FaultCount)
+	for events.Scan() {
+		line := events.Bytes()
+		if !bytes.HasPrefix(line, []byte("data: ")) {
+			continue
+		}
+		var ev struct {
+			Generation  int64 `json:"generation"`
+			ChangedCols int   `json:"changed_cols"`
+		}
+		if err := json.Unmarshal(line[len("data: "):], &ev); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("watch: commit generation %d (%d columns changed)\n",
+			ev.Generation, ev.ChangedCols)
+		if ev.Generation >= state.Generation {
+			break
+		}
+	}
+	cancel()
+
+	// Catch up from the pre-repair snapshot with a delta: only the
+	// columns changed since its generation, applied and verified
+	// against the head checksum. A 410 here would mean the generation
+	// fell off the delta ring and the client must refetch in full.
+	deltaBody := mustWire("GET", fmt.Sprintf("%s/embedding?since=%d", base, snap.Generation))
+	delta, err := wire.DecodeDelta(deltaBody)
+	if err != nil {
+		log.Fatal(err)
+	}
+	head, err := wire.Apply(snap, delta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("delta %d..%d: %d columns, %d bytes -> checksum %016x verified\n",
+		delta.FromGeneration, delta.ToGeneration, len(delta.Cols),
+		len(deltaBody), head.Checksum)
 
 	// Show the daemon's view of the batching.
 	resp, err := http.Get(*addr + "/metrics")
@@ -85,6 +153,28 @@ func main() {
 			fmt.Println(string(line))
 		}
 	}
+}
+
+// mustWire fetches a binary-protocol payload (Accept negotiation).
+func mustWire(method, url string) []byte {
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Accept", wire.ContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s %s: %d: %s", method, url, resp.StatusCode, data)
+	}
+	return data
 }
 
 func mustJSON(method, url string, body any, out any) {

@@ -331,6 +331,42 @@ func (s *Session) Reembed() (*Embedding, error) {
 	return wrapEmbedding(inner, s.t.Side(), s.t.Dims()), nil
 }
 
+// EmbeddingDelta describes how an embedding differs from the previous
+// successful Reembed, in guest-column granularity (guest nodes j*C+z
+// share column z, where C = Side^(Dims-1)).
+type EmbeddingDelta struct {
+	// Cols lists, sorted and deduplicated, the guest columns whose map
+	// entries may have changed — a superset of the truly changed columns
+	// (compare maps to filter exactly). Nil when Full is set.
+	Cols []int
+	// Full marks a non-incremental rewrite (first Reembed, or an engine
+	// fallback that rebuilt the whole embedding): every column may have
+	// changed.
+	Full bool
+}
+
+// ReembedDelta is Reembed plus change accounting: it additionally
+// reports which guest columns of the returned embedding may differ from
+// the previous *successful* ReembedDelta/Reembed result. The accounting
+// spans failed Reembeds in between — columns touched while evaluating a
+// rejected fault set are included — so the delta is always sufficient to
+// patch the previously returned embedding into the new one.
+func (s *Session) ReembedDelta() (*Embedding, *EmbeddingDelta, error) {
+	emb, err := s.Reembed()
+	if err != nil {
+		return nil, nil, err
+	}
+	cols32, full := s.ses.DrainDelta()
+	d := &EmbeddingDelta{Full: full}
+	if !full {
+		d.Cols = make([]int, len(cols32))
+		for i, z := range cols32 {
+			d.Cols[i] = int(z)
+		}
+	}
+	return emb, d, nil
+}
+
 // ---------------------------------------------------------------------------
 // CliqueTorus: Theorem 1.
 

@@ -483,3 +483,80 @@ func TestSessionFailHealReembed(t *testing.T) {
 		}
 	}
 }
+
+// TestReembedDelta pins the change-accounting contract: the delta
+// returned alongside each successful reembed must cover every guest map
+// entry that differs from the previous successful reembed — including
+// changes made while evaluating fault sets that were rejected with
+// ErrNotTolerated in between.
+func TestReembedDelta(t *testing.T) {
+	host, err := NewRandomFaultTorus(2, 64, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := host.NewSession()
+	side := host.Side()
+	rows := host.HostNodes() / side // d=2: numCols == side
+	numCols := side                 // guest columns (d=2)
+
+	emb, d, err := ses.ReembedDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Full {
+		t.Fatalf("first reembed delta = %+v, want Full", d)
+	}
+	prev := append([]int(nil), emb.Map...)
+
+	step := func(label string) {
+		t.Helper()
+		emb, d, err := ses.ReembedDelta()
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if d.Full {
+			prev = append(prev[:0], emb.Map...)
+			return
+		}
+		changed := make(map[int]bool, len(d.Cols))
+		last := -1
+		for _, z := range d.Cols {
+			if z <= last || z >= numCols {
+				t.Fatalf("%s: delta cols %v not sorted/deduped in range", label, d.Cols)
+			}
+			last = z
+			changed[z] = true
+		}
+		for i := range emb.Map {
+			if emb.Map[i] != prev[i] && !changed[i%numCols] {
+				t.Fatalf("%s: guest node %d (column %d) changed but column not in delta %v",
+					label, i, i%numCols, d.Cols)
+			}
+		}
+		prev = append(prev[:0], emb.Map...)
+	}
+
+	ses.AddFaults(17, 40*side+9)
+	step("grown")
+	ses.ClearFaults(17)
+	step("repaired")
+
+	// A failed episode in between: kill a whole host column (rejected),
+	// then heal it and mutate elsewhere. The accounting must span the
+	// failed evals, whose extractions already rewrote embedding columns.
+	col := side / 2
+	killer := make([]int, rows)
+	for r := range killer {
+		killer[r] = r*side + col
+	}
+	ses.AddFaults(killer...)
+	if _, _, err := ses.ReembedDelta(); !errors.Is(err, ErrNotTolerated) {
+		t.Fatalf("expected ErrNotTolerated, got %v", err)
+	}
+	ses.ClearFaults(killer...)
+	ses.AddFaults(13*side + 3)
+	step("recovered-across-failure")
+
+	ses.ClearFaults(ses.FaultNodes()...)
+	step("healed")
+}

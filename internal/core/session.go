@@ -54,6 +54,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"ftnet/internal/bands"
 	"ftnet/internal/fault"
@@ -86,6 +87,14 @@ type Session struct {
 
 	touched   []int32 // columns re-derived at any Eval since Reset (== sc.prevDirty)
 	churnCols []int32 // columns whose fault membership changed since the last successful Eval
+
+	// Wire-delta accounting (DrainDelta): every embedding write since the
+	// previous drain is covered either by a column in deltaCand or by
+	// deltaFull. Failed Evals accumulate too — extraction can write
+	// embedding entries before verification rejects the state, and those
+	// columns may not be re-derived by the next successful Eval.
+	deltaCand []int32
+	deltaFull bool
 
 	// Box-level placement diff: the previous successful Eval's box list
 	// and the per-box classification buffers of the current one (see
@@ -160,6 +169,7 @@ func (s *Session) NoteCleared(cleared []int) {
 func (s *Session) Eval(faults *fault.Set) (*Result, error) {
 	g, sc := s.g, s.sc
 	if s.opts.Dense || sc == nil {
+		s.deltaFull = true
 		return g.ContainTorus(faults, s.opts)
 	}
 	tpl, err := g.template()
@@ -167,6 +177,7 @@ func (s *Session) Eval(faults *fault.Set) (*Result, error) {
 		// No usable template (e.g. ablated edge classes): every Eval runs
 		// the standalone pipeline, which reports such failures on its own
 		// terms.
+		s.deltaFull = true
 		return g.ContainTorus(faults, s.opts)
 	}
 	s.ensureBuffers()
@@ -395,6 +406,7 @@ func (s *Session) ensureBuffers() {
 // fast-path state, marks the session warm for the next Eval.
 func (s *Session) evalCold(bs *bands.Set, boxes []*faultBox, faults *fault.Set, tpl *template, res *Result) (*Result, error) {
 	g, sc := s.g, s.sc
+	s.deltaFull = true // extractFast rebuilds the whole embedding
 	if err := bs.ValidateDirty(); err != nil {
 		return nil, fmt.Errorf("core: placed bands invalid: %w", err)
 	}
@@ -428,6 +440,27 @@ func (s *Session) commit(bs *bands.Set, boxes []*faultBox) {
 		s.recomp = s.recomp[:0]
 		s.oldDev = s.oldDev[:0]
 	}
+}
+
+// DrainDelta reports which embedding columns may have been rewritten
+// since the previous drain, accumulated across every Eval in between —
+// including failed ones, whose extractions can write embedding entries
+// before verification rejects the state. full reports that a
+// non-incremental rewrite happened (cold start, dense mode, template
+// fallback); cols is then nil and the caller must treat every column as
+// changed. Otherwise cols is sorted, deduplicated, caller-owned, and a
+// superset of the truly changed columns (callers comparing maps filter
+// it exactly). Draining resets the accumulator.
+func (s *Session) DrainDelta() (cols []int32, full bool) {
+	full = s.deltaFull
+	s.deltaFull = false
+	cand := s.deltaCand
+	s.deltaCand = cand[:0]
+	if full || len(cand) == 0 {
+		return nil, full
+	}
+	slices.Sort(cand)
+	return slices.Clone(slices.Compact(cand)), false
 }
 
 // extractIncremental re-derives row vectors for exactly the columns that
@@ -599,10 +632,12 @@ func (s *Session) extractIncremental(bs *bands.Set, tpl *template) error {
 			for j := 0; j < n; j++ {
 				e.Map[j*numCols+z] = int(rows[j])*numCols + z
 			}
+			s.deltaCand = append(s.deltaCand, z32)
 		case s.oldDev[i]:
 			for j := 0; j < n; j++ {
 				e.Map[j*numCols+z] = int(base[j])*numCols + z
 			}
+			s.deltaCand = append(s.deltaCand, z32)
 		}
 	}
 	// Extend the inter-trial restore set: anything re-derived this Eval

@@ -92,14 +92,20 @@ type Config struct {
 	// request. The CLI flag defaults to DefaultFlushInterval; callers
 	// constructing a Config directly must opt in explicitly.
 	FlushInterval time.Duration
+	// DeltaRing bounds each topology's chain of per-commit column diffs:
+	// GET .../embedding?since=g is answerable while head-g <= DeltaRing
+	// (older generations get 410 Gone and resync from the full
+	// embedding). 0 means the default of 64; negative is invalid.
+	DeltaRing int
 }
 
-// Defaults for the batching policy. DefaultFlushInterval is applied by
-// the serve subcommand's flag default, not by Config (whose zero value
-// means "no flush timer").
+// Defaults for the batching policy and the delta ring.
+// DefaultFlushInterval is applied by the serve subcommand's flag
+// default, not by Config (whose zero value means "no flush timer").
 const (
 	DefaultMaxBatchCols  = 64
 	DefaultFlushInterval = 250 * time.Millisecond
+	DefaultDeltaRing     = 64
 )
 
 // Validate checks the whole daemon configuration, using the same helpers
@@ -121,6 +127,9 @@ func (c Config) Validate() error {
 	if err := validate.Min("server: max batch columns", c.MaxBatchCols, 0); err != nil {
 		return err
 	}
+	if err := validate.Min("server: delta ring", c.DeltaRing, 0); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -138,4 +147,12 @@ func (c Config) flushInterval() time.Duration {
 		return 0
 	}
 	return c.FlushInterval
+}
+
+// deltaRing resolves the delta chain bound's default.
+func (c Config) deltaRing() int {
+	if c.DeltaRing <= 0 {
+		return DefaultDeltaRing
+	}
+	return c.DeltaRing
 }

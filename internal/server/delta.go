@@ -1,0 +1,221 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"ftnet"
+	"ftnet/internal/wire"
+)
+
+// errDeltaEvicted answers a ?since= generation that fell off the delta
+// ring (or predates a full rewrite): the requested diff no longer
+// exists, and serving anything else would hand the client stale state.
+// Handlers map it to 410 Gone; the client resyncs from the full
+// embedding.
+var errDeltaEvicted = errors.New("server: generation evicted from the delta ring; resync from the full embedding")
+
+// deltaRec is one commit's entry in the per-topology delta ring: the
+// guest columns whose map entries changed versus the previous
+// generation, plus enough committed state (checksum, fault set) to emit
+// watch events and build delta responses for that generation. Records
+// are immutable once published; prev links form a chain bounded to the
+// topology's DeltaRing length, trimmed by the single writer and walked
+// lock-free by readers (prev is atomic so a trim racing a walk is just
+// an early end-of-chain, which reads as eviction — safe, never stale).
+type deltaRec struct {
+	gen      int64
+	checksum uint64
+	faults   []int
+	// cols lists, sorted, the columns changed vs gen-1; nil when full.
+	cols []int32
+	// full marks a resync boundary: initial commit, restart, or an
+	// engine fallback that rewrote the whole embedding. Walks that need
+	// to cross it fail with errDeltaEvicted.
+	full bool
+	prev atomic.Pointer[deltaRec]
+	// Rendered SSE "commit" event, built on first demand. Every caught-up
+	// watch subscriber streams the same bytes for a commit; rendering per
+	// subscriber would turn each commit into a subscribers×marshal CPU
+	// burst that stalls the other serve paths.
+	eventOnce sync.Once
+	eventData []byte
+}
+
+// commitEvent returns the record's cached SSE "commit" event bytes.
+func (rec *deltaRec) commitEvent(topology string) []byte {
+	rec.eventOnce.Do(func() {
+		changed := len(rec.cols)
+		if rec.full {
+			changed = -1
+		}
+		rec.eventData = renderWatchEvent("commit", watchEvent{
+			Topology:    topology,
+			Generation:  rec.gen,
+			Checksum:    fmt.Sprintf("%016x", rec.checksum),
+			Faults:      rec.faults,
+			ChangedCols: changed,
+		})
+	})
+	return rec.eventData
+}
+
+// linkDelta attaches snap's delta record, chaining to the previous
+// snapshot's and trimming the chain to the ring bound. Called by the
+// topology writer (or construction) before snap is published, so
+// readers never observe a snapshot without its record.
+func (t *topology) linkDelta(prevSnap, snap *Snapshot, d *ftnet.EmbeddingDelta) {
+	rec := &deltaRec{
+		gen:      snap.Generation,
+		checksum: snap.Checksum,
+		faults:   snap.FaultNodes,
+	}
+	if d == nil || d.Full || prevSnap == nil || prevSnap.delta == nil ||
+		prevSnap.Generation+1 != snap.Generation {
+		rec.full = true
+	} else {
+		rec.cols = changedColumns(prevSnap.Emb.Map, snap.Emb.Map, d.Cols, t.numCols)
+		rec.prev.Store(prevSnap.delta)
+	}
+	snap.delta = rec
+	trimDeltaChain(rec, t.deltaRing)
+}
+
+// changedColumns filters the engine's candidate columns (a superset, see
+// ftnet.EmbeddingDelta) down to the columns whose map entries actually
+// differ between the two committed embeddings. cand is sorted, so the
+// result is too.
+func changedColumns(oldMap, newMap []int, cand []int, numCols int) []int32 {
+	side := len(newMap) / numCols
+	var out []int32
+	for _, z := range cand {
+		for j := 0; j < side; j++ {
+			if oldMap[j*numCols+z] != newMap[j*numCols+z] {
+				out = append(out, int32(z))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// trimDeltaChain bounds the chain to ring records (head included),
+// unlinking everything older for the collector.
+func trimDeltaChain(head *deltaRec, ring int) {
+	rec := head
+	for i := 1; i < ring; i++ {
+		next := rec.prev.Load()
+		if next == nil {
+			return
+		}
+		rec = next
+	}
+	rec.prev.Store(nil)
+}
+
+// deltaSince merges the per-commit column diffs covering (since, head]
+// into one sorted column list. It fails with errDeltaEvicted when the
+// chain no longer reaches since: the ring evicted the record, or a full
+// rewrite stands in between. The caller guarantees 0 <= since <=
+// head generation.
+func deltaSince(snap *Snapshot, since int64) ([]int32, error) {
+	if since == snap.Generation {
+		return nil, nil
+	}
+	var out []int32
+	for rec := snap.delta; rec.gen > since; {
+		if rec.full {
+			return nil, errDeltaEvicted
+		}
+		out = append(out, rec.cols...)
+		if rec.gen == since+1 {
+			break
+		}
+		next := rec.prev.Load()
+		if next == nil {
+			return nil, errDeltaEvicted
+		}
+		rec = next
+	}
+	slices.Sort(out)
+	return slices.Compact(out), nil
+}
+
+// wireSnapshot is the snapshot's binary-protocol view.
+func (s *Snapshot) wireSnapshot(topology string) *wire.Snapshot {
+	return &wire.Snapshot{
+		Topology:   topology,
+		Generation: s.Generation,
+		Side:       s.Emb.Side,
+		Dims:       s.Emb.Dims,
+		Faults:     s.FaultNodes,
+		Map:        s.Emb.Map,
+		Checksum:   s.Checksum,
+	}
+}
+
+// wireFull returns the snapshot's binary full encoding, rendered once
+// and cached — under fleet load every client of a generation shares one
+// encoding pass.
+func (s *Snapshot) wireFull(topology string) ([]byte, error) {
+	s.binOnce.Do(func() {
+		s.binData, s.binErr = wire.EncodeSnapshot(s.wireSnapshot(topology))
+	})
+	return s.binData, s.binErr
+}
+
+// wireDeltaEncoded returns the encoded binary delta for (since, head],
+// cached on the head snapshot: a fleet of clients chasing the head all
+// hold one of a handful of recent generations, so without the cache
+// every poll would rebuild and re-encode an identical payload —
+// profiled as the dominant serve-path cost under thousand-client load.
+// The cache dies with the snapshot and holds at most DeltaRing entries
+// (older sinces answer 410 before reaching here).
+func (t *topology) wireDeltaEncoded(snap *Snapshot, since int64, cols []int32) ([]byte, error) {
+	snap.deltaMu.Lock()
+	if b, ok := snap.deltaCache[since]; ok {
+		snap.deltaMu.Unlock()
+		return b, nil
+	}
+	snap.deltaMu.Unlock()
+	b, err := wire.EncodeDelta(t.wireDelta(snap, since, cols))
+	if err != nil {
+		return nil, err
+	}
+	snap.deltaMu.Lock()
+	if snap.deltaCache == nil {
+		snap.deltaCache = make(map[int64][]byte)
+	}
+	snap.deltaCache[since] = b
+	snap.deltaMu.Unlock()
+	return b, nil
+}
+
+// wireDelta builds the delta payload for (since, head]: the merged
+// changed columns carrying their head-generation values, the head fault
+// set, and the head checksum (so wire.Apply can verify the patch).
+func (t *topology) wireDelta(snap *Snapshot, since int64, cols []int32) *wire.Delta {
+	nc := t.numCols
+	side := snap.Emb.Side
+	cus := make([]wire.ColumnUpdate, len(cols))
+	for i, z := range cols {
+		vals := make([]int, side)
+		for j := 0; j < side; j++ {
+			vals[j] = snap.Emb.Map[j*nc+int(z)]
+		}
+		cus[i] = wire.ColumnUpdate{Col: int(z), Vals: vals}
+	}
+	return &wire.Delta{
+		Topology:       t.cfg.ID,
+		FromGeneration: since,
+		ToGeneration:   snap.Generation,
+		Side:           side,
+		Dims:           snap.Emb.Dims,
+		Faults:         snap.FaultNodes,
+		Cols:           cus,
+		Checksum:       snap.Checksum,
+	}
+}

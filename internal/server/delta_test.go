@@ -1,0 +1,325 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ftnet/internal/rng"
+	"ftnet/internal/wire"
+)
+
+// wireGet fetches url with the binary wire Accept header.
+func wireGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", wire.ContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func fetchFullWire(t *testing.T, base string) *wire.Snapshot {
+	t.Helper()
+	code, body := wireGet(t, base+"/embedding")
+	if code != 200 {
+		t.Fatalf("GET embedding (wire): %d %s", code, body)
+	}
+	snap, err := wire.DecodeSnapshot(body)
+	if err != nil {
+		t.Fatalf("decode full snapshot: %v", err)
+	}
+	return snap
+}
+
+// expectDeltaServed mirrors deltaSince's reachability rule on the live
+// record chain: a ?since=g request is answerable exactly when every
+// generation in (g, head] is covered by a non-full record.
+func expectDeltaServed(snap *Snapshot, since int64) bool {
+	if since == snap.Generation {
+		return true
+	}
+	for rec := snap.delta; rec.gen > since; {
+		if rec.full {
+			return false
+		}
+		if rec.gen == since+1 {
+			return true
+		}
+		next := rec.prev.Load()
+		if next == nil {
+			return false
+		}
+		rec = next
+	}
+	return true
+}
+
+// TestDeltaChainEquivalence is the delta-protocol property test: under
+// seeded random fault churn — including rejected (422) evaluations and
+// their heals — a client holding ANY previously served generation g
+// either gets a delta whose application yields exactly the head
+// snapshot, or a 410 telling it to resync; never a silently stale or
+// wrong view. The expected 200/410 boundary is computed from the live
+// ring chain, so eviction behavior is pinned exactly, not just
+// "either works".
+func TestDeltaChainEquivalence(t *testing.T) {
+	const ring = 5
+	srv, ts := startServer(t, testConfig(t, func(c *Config) { c.DeltaRing = ring }))
+	topo := srv.topos["main"]
+	base := ts.URL + "/v1/topologies/main"
+	r := rng.NewPCG(1994, 42)
+
+	side := topo.host.Side()
+	numCols := topo.numCols
+	rows := topo.host.HostNodes() / numCols
+
+	history := map[int64]*wire.Snapshot{}
+	head := fetchFullWire(t, base)
+	history[head.Generation] = head
+
+	probe := func(stepLabel string) {
+		t.Helper()
+		headSnap := topo.snap.Load()
+		head = fetchFullWire(t, base)
+		if head.Generation != headSnap.Generation {
+			t.Fatalf("%s: head moved during probe", stepLabel)
+		}
+		history[head.Generation] = head
+		for g, baseSnap := range history {
+			served := expectDeltaServed(headSnap, g)
+			code, body := wireGet(t, fmt.Sprintf("%s/embedding?since=%d", base, g))
+			switch {
+			case served && code == 200:
+				d, err := wire.DecodeDelta(body)
+				if err != nil {
+					t.Fatalf("%s since=%d: decode delta: %v", stepLabel, g, err)
+				}
+				if d.FromGeneration != g || d.ToGeneration != head.Generation {
+					t.Fatalf("%s since=%d: delta spans %d..%d, head %d",
+						stepLabel, g, d.FromGeneration, d.ToGeneration, head.Generation)
+				}
+				got, err := wire.Apply(baseSnap, d)
+				if err != nil {
+					t.Fatalf("%s since=%d: apply: %v", stepLabel, g, err)
+				}
+				if !reflect.DeepEqual(got, head) {
+					t.Fatalf("%s since=%d: delta chain does not reproduce head %d",
+						stepLabel, g, head.Generation)
+				}
+			case !served && code == http.StatusGone:
+				// Evicted: the client must be told to resync, and the resync
+				// must land on the exact head.
+				if !bytes.Contains(body, []byte("resync")) {
+					t.Fatalf("%s since=%d: 410 body %q lacks resync hint", stepLabel, g, body)
+				}
+			default:
+				t.Fatalf("%s since=%d: status %d, ring expected served=%v",
+					stepLabel, g, code, served)
+			}
+		}
+		// Generations older than everything the ring can hold must be gone.
+		if old := head.Generation - int64(ring) - 1; old >= 0 {
+			if code, _ := wireGet(t, fmt.Sprintf("%s/embedding?since=%d", base, old)); code != http.StatusGone {
+				t.Fatalf("%s: since=%d (beyond ring) -> %d, want 410", stepLabel, old, code)
+			}
+		}
+	}
+
+	var live [][]int
+	used := map[int]bool{}
+	for step := 0; step < 24; step++ {
+		switch {
+		case step == 8 || step == 16:
+			// Poison: an entire dead host column is never tolerable. The
+			// failed evaluation must not commit a generation, and the heal
+			// right after must resume the delta chain correctly even though
+			// the session's embedding scratch churned through the failure.
+			col := (side/2 + step) % numCols
+			killer := make([]int, 0, rows)
+			for rr := 0; rr < rows; rr++ {
+				if n := rr*numCols + col; !used[n] {
+					killer = append(killer, n)
+				}
+			}
+			before := topo.snap.Load().Generation
+			code, _ := doJSON(t, "POST", base+"/faults", mutationRequest{Nodes: killer}, nil)
+			if code != 422 {
+				t.Fatalf("step %d: column kill -> %d, want 422", step, code)
+			}
+			if got := topo.snap.Load().Generation; got != before {
+				t.Fatalf("step %d: failed eval committed generation %d", step, got)
+			}
+			probe(fmt.Sprintf("step %d (after 422)", step))
+			if code, _ := doJSON(t, "DELETE", base+"/faults", mutationRequest{Nodes: killer}, nil); code != 200 {
+				t.Fatalf("step %d: heal -> %d", step, code)
+			}
+		case len(live) > 4 || (len(live) > 0 && r.Intn(3) == 0):
+			batch := live[0]
+			live = live[1:]
+			if code, _ := doJSON(t, "DELETE", base+"/faults", mutationRequest{Nodes: batch}, nil); code != 200 {
+				t.Fatalf("step %d: repair -> %d", step, code)
+			}
+			for _, n := range batch {
+				delete(used, n)
+			}
+		default:
+			batch := make([]int, 0, 3)
+			for len(batch) < 1+r.Intn(3) {
+				if n := r.Intn(topo.host.HostNodes()); !used[n] {
+					used[n] = true
+					batch = append(batch, n)
+				}
+			}
+			code, _ := doJSON(t, "POST", base+"/faults", mutationRequest{Nodes: batch}, nil)
+			switch code {
+			case 200:
+				live = append(live, batch)
+			case 422:
+				if code, _ := doJSON(t, "DELETE", base+"/faults", mutationRequest{Nodes: batch}, nil); code != 200 {
+					t.Fatalf("step %d: heal rejected batch -> %d", step, code)
+				}
+				for _, n := range batch {
+					delete(used, n)
+				}
+			default:
+				t.Fatalf("step %d: add -> %d", step, code)
+			}
+		}
+		probe(fmt.Sprintf("step %d", step))
+	}
+
+	// since == head: an empty delta that applies to the identity.
+	code, body := wireGet(t, fmt.Sprintf("%s/embedding?since=%d", base, head.Generation))
+	if code != 200 {
+		t.Fatalf("since=head: %d", code)
+	}
+	d, err := wire.DecodeDelta(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cols) != 0 || d.FromGeneration != head.Generation || d.ToGeneration != head.Generation {
+		t.Fatalf("since=head delta: %d cols, %d..%d", len(d.Cols), d.FromGeneration, d.ToGeneration)
+	}
+	if got, err := wire.Apply(head, d); err != nil || !reflect.DeepEqual(got, head) {
+		t.Fatalf("since=head apply: %v", err)
+	}
+
+	// The JSON rendering of a served delta agrees with the binary one.
+	if g := head.Generation - 1; expectDeltaServed(topo.snap.Load(), g) {
+		_, wireBody := wireGet(t, fmt.Sprintf("%s/embedding?since=%d", base, g))
+		wd, err := wire.DecodeDelta(wireBody)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jd deltaResponse
+		if code, _ := doJSON(t, "GET", fmt.Sprintf("%s/embedding?since=%d", base, g), nil, &jd); code != 200 {
+			t.Fatalf("JSON delta: %d", code)
+		}
+		if jd.FromGeneration != wd.FromGeneration || jd.Generation != wd.ToGeneration ||
+			len(jd.Cols) != len(wd.Cols) || jd.Checksum != fmt.Sprintf("%016x", wd.Checksum) {
+			t.Fatalf("JSON delta disagrees with wire delta: %+v vs %+v", jd, wd)
+		}
+		for i, cu := range wd.Cols {
+			if jd.Cols[i].Col != cu.Col || !reflect.DeepEqual(jd.Cols[i].Vals, cu.Vals) {
+				t.Fatalf("JSON delta column %d disagrees", cu.Col)
+			}
+		}
+	}
+
+	// Boundary statuses: a future generation, a negative one, and
+	// unparsable input are caller errors, not resyncs.
+	for _, since := range []string{
+		fmt.Sprint(head.Generation + 1),
+		"-1",
+		"abc",
+		"1.5",
+	} {
+		if code, body := wireGet(t, base+"/embedding?since="+since); code != 400 {
+			t.Errorf("since=%s: status %d (%s), want 400", since, code, body)
+		}
+	}
+
+	// The delta traffic drove both outcome counters and they are exposed.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	for _, want := range []string{
+		`ftnetd_delta_requests_total{topology="main",outcome="served"}`,
+		`ftnetd_delta_requests_total{topology="main",outcome="resync"}`,
+		`ftnetd_watchers{topology="main"} 0`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if topo.metrics.deltaServed.Load() == 0 || topo.metrics.deltaResync.Load() == 0 {
+		t.Errorf("delta outcome counters: served=%d resync=%d, want both > 0",
+			topo.metrics.deltaServed.Load(), topo.metrics.deltaResync.Load())
+	}
+}
+
+// TestDeltaRingConfig pins the DeltaRing boundary semantics: negative
+// rejected, zero resolved to the default, positive passed through.
+func TestDeltaRingConfig(t *testing.T) {
+	base := Config{Topologies: []TopologyConfig{{ID: "a", D: 2, MinSide: 64, MaxEps: 0.5}}}
+
+	bad := base
+	bad.DeltaRing = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("DeltaRing=-1 accepted")
+	}
+	zero := base
+	if err := zero.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := zero.deltaRing(); got != DefaultDeltaRing {
+		t.Errorf("deltaRing() with zero config = %d, want %d", got, DefaultDeltaRing)
+	}
+	one := base
+	one.DeltaRing = 1
+	if err := one.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := one.deltaRing(); got != 1 {
+		t.Errorf("deltaRing() = %d, want 1", got)
+	}
+}
+
+// TestDeltaRingOne is the smallest eviction case: with a single-record
+// ring only since=head-1 (and the trivial since=head) are answerable.
+func TestDeltaRingOne(t *testing.T) {
+	_, ts := startServer(t, testConfig(t, func(c *Config) { c.DeltaRing = 1 }))
+	base := ts.URL + "/v1/topologies/main"
+
+	for _, n := range []int{3, 5, 9} {
+		if code, _ := doJSON(t, "POST", base+"/faults", mutationRequest{Nodes: []int{n}}, nil); code != 200 {
+			t.Fatalf("add %d: %d", n, code)
+		}
+	}
+	head := fetchFullWire(t, base)
+	if code, _ := wireGet(t, fmt.Sprintf("%s/embedding?since=%d", base, head.Generation-1)); code != 200 {
+		t.Errorf("since=head-1 with ring 1: %d, want 200", code)
+	}
+	if code, _ := wireGet(t, fmt.Sprintf("%s/embedding?since=%d", base, head.Generation-2)); code != http.StatusGone {
+		t.Errorf("since=head-2 with ring 1: %d, want 410", code)
+	}
+}

@@ -20,6 +20,10 @@ type topoMetrics struct {
 	pendingRequests atomic.Int64 // gauge: mutations applied but not yet evaluated
 	generation      atomic.Int64 // gauge: committed embedding generation
 	restored        atomic.Int64 // gauge: 1 when state came from a snapshot file
+	watchers        atomic.Int64 // gauge: connected watch subscribers
+	watchEvents     atomic.Int64 // events streamed to watch subscribers
+	deltaServed     atomic.Int64 // ?since= requests answered with a diff
+	deltaResync     atomic.Int64 // ?since= requests refused with 410 (evicted)
 }
 
 func (m *topoMetrics) evals() int64 {
@@ -67,6 +71,17 @@ func writeMetrics(b *strings.Builder, topos map[string]*topology) {
 		fmt.Fprintf(b, "ftnetd_batch_nodes_count{topology=%q} %d\n", id, m.evals())
 	}
 
+	fmt.Fprintf(b, "# HELP ftnetd_delta_requests_total Embedding ?since= requests by outcome.\n# TYPE ftnetd_delta_requests_total counter\n")
+	for _, id := range ids {
+		m := topos[id].metrics
+		fmt.Fprintf(b, "ftnetd_delta_requests_total{topology=%q,outcome=\"served\"} %d\n", id, m.deltaServed.Load())
+		fmt.Fprintf(b, "ftnetd_delta_requests_total{topology=%q,outcome=\"resync\"} %d\n", id, m.deltaResync.Load())
+	}
+	fmt.Fprintf(b, "# HELP ftnetd_watch_events_total Events streamed to watch subscribers.\n# TYPE ftnetd_watch_events_total counter\n")
+	for _, id := range ids {
+		fmt.Fprintf(b, "ftnetd_watch_events_total{topology=%q} %d\n", id, topos[id].metrics.watchEvents.Load())
+	}
+
 	gauge := func(name, help string, val func(*topoMetrics) int64) {
 		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
 		for _, id := range ids {
@@ -81,4 +96,6 @@ func writeMetrics(b *strings.Builder, topos map[string]*topology) {
 		func(m *topoMetrics) int64 { return m.generation.Load() })
 	gauge("ftnetd_restored_from_snapshot", "1 when the topology state was restored from a snapshot file at startup.",
 		func(m *topoMetrics) int64 { return m.restored.Load() })
+	gauge("ftnetd_watchers", "Connected watch subscribers.",
+		func(m *topoMetrics) int64 { return m.watchers.Load() })
 }

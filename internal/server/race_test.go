@@ -1,32 +1,45 @@
 package server
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"ftnet"
 	"ftnet/internal/rng"
+	"ftnet/internal/wire"
 )
 
 // TestServeConcurrencyContract is the daemon's -race contract test: N
 // goroutines hammer fault POSTs, repair DELETEs and embedding GETs on
-// one topology while the writer batches. Every embedding snapshot any
-// reader observes must verify bit-identically against a from-scratch
-// Extract of exactly the fault set it reports it was committed with —
-// the wire-level restatement of the engine's golden equivalence
-// guarantee.
+// one topology while the writer batches, and the PR-6 read paths ride
+// along: binary ?since= delta chasers that reconstruct the head by
+// wire.Apply, and /watch SSE subscribers. Every embedding snapshot any
+// reader observes — full, delta-reconstructed, or streamed as an event
+// — must verify bit-identically against a from-scratch Extract of
+// exactly the fault set it reports it was committed with — the
+// wire-level restatement of the engine's golden equivalence guarantee.
+// Per watch subscriber, commit generations must arrive contiguously:
+// none skipped, none duplicated, gaps only ever declared by an explicit
+// resync event.
 func TestServeConcurrencyContract(t *testing.T) {
 	srv, ts := startServer(t, testConfig(t, nil))
 	topo := srv.topos["main"]
 	hostNodes := topo.host.HostNodes()
 
 	const (
-		writers   = 6
-		readers   = 4
-		writerOps = 25
-		readerOps = 25
+		writers      = 6
+		readers      = 4
+		deltaReaders = 3
+		watchSubs    = 3
+		writerOps    = 25
+		readerOps    = 25
 	)
 	type observed struct {
 		faults   []int
@@ -55,6 +68,109 @@ func TestServeConcurrencyContract(t *testing.T) {
 			m:        emb.Map,
 		}
 	}
+	// noteWire records a state reconstructed over the binary wire.
+	noteWire := func(s *wire.Snapshot) {
+		mu.Lock()
+		defer mu.Unlock()
+		checksum := fmt.Sprintf("%016x", s.Checksum)
+		if prev, ok := seen[s.Generation]; ok {
+			if prev.checksum != checksum {
+				t.Errorf("generation %d served with two checksums: %s vs %s", s.Generation, prev.checksum, checksum)
+			}
+			return
+		}
+		seen[s.Generation] = observed{
+			faults:   s.Faults,
+			mapHash:  wire.Checksum(s.Map),
+			checksum: checksum,
+			m:        s.Map,
+		}
+	}
+	// noteMeta records a generation known only by checksum + fault set
+	// (a watch event); the final sweep re-derives its map from scratch.
+	noteMeta := func(gen int64, checksum string, faults []int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if prev, ok := seen[gen]; ok {
+			if prev.checksum != checksum {
+				t.Errorf("generation %d served with two checksums: %s vs %s", gen, prev.checksum, checksum)
+			}
+			return
+		}
+		var h uint64
+		if _, err := fmt.Sscanf(checksum, "%016x", &h); err != nil {
+			t.Errorf("generation %d: unparsable checksum %q", gen, checksum)
+			return
+		}
+		seen[gen] = observed{faults: faults, mapHash: h, checksum: checksum}
+	}
+
+	// Watch subscribers connect before any churn so the baseline is
+	// cheap, and stay connected until the writers are done and the head
+	// has been streamed to everyone.
+	type watchEv struct {
+		name string
+		ev   watchEvent
+	}
+	var (
+		watchMu     sync.Mutex
+		watchEvents = make([][]watchEv, watchSubs)
+	)
+	watchCtx, cancelWatch := context.WithCancel(context.Background())
+	defer cancelWatch()
+	var watchWg sync.WaitGroup
+	for s := 0; s < watchSubs; s++ {
+		watchWg.Add(1)
+		go func(s int) {
+			defer watchWg.Done()
+			req, err := http.NewRequestWithContext(watchCtx, "GET", ts.URL+"/v1/topologies/main/watch", nil)
+			if err != nil {
+				t.Errorf("watch %d: %v", s, err)
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Errorf("watch %d: connect: %v", s, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != 200 || resp.Header.Get("Content-Type") != "text/event-stream" {
+				t.Errorf("watch %d: %d %s", s, resp.StatusCode, resp.Header.Get("Content-Type"))
+				return
+			}
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			var name string
+			for sc.Scan() {
+				line := sc.Text()
+				switch {
+				case strings.HasPrefix(line, "event: "):
+					name = strings.TrimPrefix(line, "event: ")
+				case strings.HasPrefix(line, "data: "):
+					var ev watchEvent
+					if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+						t.Errorf("watch %d: bad event payload: %v", s, err)
+						return
+					}
+					watchMu.Lock()
+					watchEvents[s] = append(watchEvents[s], watchEv{name, ev})
+					watchMu.Unlock()
+				}
+			}
+		}(s)
+	}
+	// All subscribers must deliver their baseline before churn starts,
+	// so "first event is a commit for generation 0" is deterministic.
+	waitFor(t, "watch baselines", func() bool {
+		watchMu.Lock()
+		defer watchMu.Unlock()
+		for _, evs := range watchEvents {
+			if len(evs) == 0 {
+				return false
+			}
+		}
+		return true
+	})
 
 	var wg sync.WaitGroup
 	for w := 0; w < writers; w++ {
@@ -108,9 +224,100 @@ func TestServeConcurrencyContract(t *testing.T) {
 			}
 		}(rd)
 	}
+	for rd := 0; rd < deltaReaders; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			// A delta chaser: holds the last reconstructed snapshot and
+			// advances it by ?since= deltas, refetching the full state on
+			// 410. Every reconstructed state goes through the same golden
+			// verification as the full-read observations.
+			var cur *wire.Snapshot
+			for i := 0; i < readerOps; i++ {
+				url := ts.URL + "/v1/topologies/main/embedding"
+				if cur != nil {
+					url = fmt.Sprintf("%s?since=%d", url, cur.Generation)
+				}
+				code, body := wireGet(t, url)
+				switch {
+				case code == http.StatusGone:
+					cur = nil // evicted: resync from full on the next turn
+				case code != 200:
+					t.Errorf("delta reader %d: GET: %d %s", rd, code, body)
+					return
+				case cur == nil:
+					snap, err := wire.DecodeSnapshot(body)
+					if err != nil {
+						t.Errorf("delta reader %d: decode full: %v", rd, err)
+						return
+					}
+					cur = snap
+					noteWire(cur)
+				default:
+					d, err := wire.DecodeDelta(body)
+					if err != nil {
+						t.Errorf("delta reader %d: decode delta: %v", rd, err)
+						return
+					}
+					next, err := wire.Apply(cur, d)
+					if err != nil {
+						t.Errorf("delta reader %d: apply %d..%d: %v",
+							rd, d.FromGeneration, d.ToGeneration, err)
+						return
+					}
+					cur = next
+					noteWire(cur)
+				}
+			}
+		}(rd)
+	}
 	wg.Wait()
 	if t.Failed() {
 		return
+	}
+
+	// Let every watch subscriber catch up to the final head, then
+	// disconnect them and audit their streams.
+	finalGen := topo.snap.Load().Generation
+	waitFor(t, "watch streams reaching final head", func() bool {
+		watchMu.Lock()
+		defer watchMu.Unlock()
+		for _, evs := range watchEvents {
+			if len(evs) == 0 || evs[len(evs)-1].ev.Generation < finalGen {
+				return false
+			}
+		}
+		return true
+	})
+	cancelWatch()
+	watchWg.Wait()
+	for s, evs := range watchEvents {
+		if evs[0].name != "commit" || evs[0].ev.Generation != 0 {
+			t.Fatalf("watch %d: baseline = %s gen %d, want commit gen 0", s, evs[0].name, evs[0].ev.Generation)
+		}
+		last := evs[0].ev.Generation
+		noteMeta(last, evs[0].ev.Checksum, evs[0].ev.Faults)
+		for _, e := range evs[1:] {
+			switch e.name {
+			case "commit":
+				// No generation skipped, none repeated: commits advance by
+				// exactly one unless an explicit resync declared the gap.
+				if e.ev.Generation != last+1 {
+					t.Fatalf("watch %d: commit jumped %d -> %d", s, last, e.ev.Generation)
+				}
+			case "resync":
+				if e.ev.Generation <= last {
+					t.Fatalf("watch %d: resync moved backwards %d -> %d", s, last, e.ev.Generation)
+				}
+			default:
+				t.Fatalf("watch %d: unknown event %q", s, e.name)
+			}
+			last = e.ev.Generation
+			noteMeta(e.ev.Generation, e.ev.Checksum, e.ev.Faults)
+		}
+		if last != finalGen {
+			t.Fatalf("watch %d: stream ended at generation %d, head %d", s, last, finalGen)
+		}
 	}
 	// Final state too, so at least one nontrivial generation is checked
 	// even if the readers raced ahead of the writers.
@@ -140,12 +347,13 @@ func TestServeConcurrencyContract(t *testing.T) {
 		}
 		if got := MapChecksum(want.Map); got != obs.mapHash {
 			for i := range want.Map {
-				if want.Map[i] != obs.m[i] {
+				if obs.m != nil && want.Map[i] != obs.m[i] {
 					t.Fatalf("generation %d: served embedding differs from from-scratch Extract at guest node %d (%d faults)",
 						gen, i, faults.Count())
 				}
 			}
-			t.Fatalf("generation %d: map hash mismatch yet maps equal?", gen)
+			t.Fatalf("generation %d: observed checksum does not match from-scratch Extract (%d faults)",
+				gen, faults.Count())
 		}
 		if want := fmt.Sprintf("%016x", obs.mapHash); want != obs.checksum {
 			t.Fatalf("generation %d: served checksum %s does not match served map %s", gen, obs.checksum, want)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 	"sync"
 
 	"ftnet"
+	"ftnet/internal/wire"
 )
 
 // maxBodyBytes bounds a mutation request body (a batch of node indices).
@@ -29,17 +31,29 @@ const maxBodyBytes = 32 << 20
 //	DELETE /v1/topologies/{id}/faults      report repairs {"nodes":[...]}
 //	POST   /v1/topologies/{id}/reembed     flush pending mutations, evaluate now
 //	GET    /v1/topologies/{id}/embedding   last committed embedding snapshot
+//	GET    /v1/topologies/{id}/watch       SSE stream of generation commits
 //	POST   /v1/topologies/{id}/snapshot    persist session state to disk
 //
 // Mutations default to synchronous (the response carries the outcome of
 // the evaluation that covered the batch); ?wait=0 returns 202 Accepted
 // and leaves evaluation to the batching policy.
+//
+// GET .../embedding speaks two encodings, negotiated via the Accept
+// header: JSON (default) and the compact binary wire format (Accept:
+// application/x-ftnet-wire, see internal/wire). With ?since=g it
+// answers a delta — only the columns changed in (g, head] — or 410 Gone
+// when g fell off the delta ring, telling the client to resync from the
+// full embedding.
 type Server struct {
 	cfg    Config
 	topos  map[string]*topology
 	mux    *http.ServeMux
 	snapMu sync.Mutex // serializes snapshot file writes
 
+	// watchc, when closed, disconnects every watch stream; see
+	// DisconnectWatchers.
+	watchc    chan struct{}
+	watchOnce sync.Once
 	closeOnce sync.Once
 }
 
@@ -50,7 +64,11 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, topos: make(map[string]*topology, len(cfg.Topologies))}
+	s := &Server{
+		cfg:    cfg,
+		topos:  make(map[string]*topology, len(cfg.Topologies)),
+		watchc: make(chan struct{}),
+	}
 	for _, tc := range cfg.Topologies {
 		var restore *diskSnapshot
 		if cfg.SnapshotDir != "" {
@@ -74,12 +92,21 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// DisconnectWatchers ends every active watch stream. An SSE handler
+// never returns on its own, so an http.Server.Shutdown would wait for
+// them forever; call this first (the serve command does), then drain,
+// then Close.
+func (s *Server) DisconnectWatchers() {
+	s.watchOnce.Do(func() { close(s.watchc) })
+}
+
 // Close stops every topology worker (flushing applied mutations) and,
 // when snapshots are configured, persists each topology's final
 // committed state. Callers should drain the HTTP server first.
 func (s *Server) Close() error {
 	var firstErr error
 	s.closeOnce.Do(func() {
+		s.DisconnectWatchers()
 		for _, t := range s.topos {
 			close(t.stopc)
 		}
@@ -130,6 +157,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/topologies/{id}/faults", s.mutationHandler(reqClear))
 	s.mux.HandleFunc("POST /v1/topologies/{id}/reembed", s.handleReembed)
 	s.mux.HandleFunc("GET /v1/topologies/{id}/embedding", s.handleEmbedding)
+	s.mux.HandleFunc("GET /v1/topologies/{id}/watch", s.handleWatch)
 	s.mux.HandleFunc("POST /v1/topologies/{id}/snapshot", s.handleSnapshot)
 }
 
@@ -173,6 +201,41 @@ type embeddingResponse struct {
 	Checksum   string `json:"checksum"`
 	Faults     []int  `json:"faults"`
 	Map        []int  `json:"map"`
+}
+
+type columnUpdateJSON struct {
+	Col  int   `json:"col"`
+	Vals []int `json:"vals"`
+}
+
+// deltaResponse is the JSON form of a ?since= answer: the columns
+// changed in (from_generation, generation], carrying their
+// head-generation values, plus the head fault set and checksum.
+type deltaResponse struct {
+	Topology       string             `json:"topology"`
+	FromGeneration int64              `json:"from_generation"`
+	Generation     int64              `json:"generation"`
+	Side           int                `json:"side"`
+	Dims           int                `json:"dims"`
+	Checksum       string             `json:"checksum"`
+	Faults         []int              `json:"faults"`
+	Cols           []columnUpdateJSON `json:"cols"`
+}
+
+// RenderEmbeddingJSON writes the canonical JSON embedding document for
+// s — byte-identical to what GET .../embedding serves for the same
+// state — so offline tooling (cmd/ftnet wire) can diff a decoded binary
+// payload against the JSON wire bit for bit.
+func RenderEmbeddingJSON(w io.Writer, s *wire.Snapshot) error {
+	return json.NewEncoder(w).Encode(embeddingResponse{
+		Topology:   s.Topology,
+		Generation: s.Generation,
+		Side:       s.Side,
+		Dims:       s.Dims,
+		Checksum:   fmt.Sprintf("%016x", s.Checksum),
+		Faults:     s.Faults,
+		Map:        s.Map,
+	})
 }
 
 type mutationRequest struct {
@@ -369,20 +432,82 @@ func (s *Server) replyState(w http.ResponseWriter, r *http.Request, t *topology,
 	}
 }
 
+// wantsWire reports whether the client negotiated the binary encoding.
+func wantsWire(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), wire.ContentType)
+}
+
+func writeWire(w http.ResponseWriter, b []byte) {
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
 func (s *Server) handleEmbedding(w http.ResponseWriter, r *http.Request) {
 	t := s.topo(w, r)
 	if t == nil {
 		return
 	}
 	snap := t.snap.Load()
-	writeJSON(w, http.StatusOK, embeddingResponse{
-		Topology:   t.cfg.ID,
-		Generation: snap.Generation,
-		Side:       snap.Emb.Side,
-		Dims:       snap.Emb.Dims,
-		Checksum:   fmt.Sprintf("%016x", snap.Checksum),
-		Faults:     snap.FaultNodes,
-		Map:        snap.Emb.Map,
+	binary := wantsWire(r)
+
+	raw := r.URL.Query().Get("since")
+	if raw == "" {
+		if binary {
+			b, err := snap.wireFull(t.cfg.ID)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, "encode embedding: %v", err)
+				return
+			}
+			writeWire(w, b)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		RenderEmbeddingJSON(w, snap.wireSnapshot(t.cfg.ID))
+		return
+	}
+
+	since, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || since < 0 {
+		writeError(w, http.StatusBadRequest, "bad since parameter %q (want a non-negative generation)", raw)
+		return
+	}
+	if since > snap.Generation {
+		writeError(w, http.StatusBadRequest, "since generation %d is ahead of head generation %d", since, snap.Generation)
+		return
+	}
+	cols, err := deltaSince(snap, since)
+	if err != nil {
+		// The requested diff no longer exists; never serve a stale guess.
+		t.metrics.deltaResync.Add(1)
+		writeError(w, http.StatusGone, "%v", err)
+		return
+	}
+	t.metrics.deltaServed.Add(1)
+	if binary {
+		b, err := t.wireDeltaEncoded(snap, since, cols)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "encode delta: %v", err)
+			return
+		}
+		writeWire(w, b)
+		return
+	}
+	d := t.wireDelta(snap, since, cols)
+	cus := make([]columnUpdateJSON, len(d.Cols))
+	for i, cu := range d.Cols {
+		cus[i] = columnUpdateJSON{Col: cu.Col, Vals: cu.Vals}
+	}
+	writeJSON(w, http.StatusOK, deltaResponse{
+		Topology:       d.Topology,
+		FromGeneration: d.FromGeneration,
+		Generation:     d.ToGeneration,
+		Side:           d.Side,
+		Dims:           d.Dims,
+		Checksum:       fmt.Sprintf("%016x", d.Checksum),
+		Faults:         d.Faults,
+		Cols:           cus,
 	})
 }
 

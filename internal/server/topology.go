@@ -18,19 +18,20 @@
 package server
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"ftnet"
+	"ftnet/internal/wire"
 )
 
 // Snapshot is one committed state of a topology: a verified embedding
 // and exactly the fault set it was committed with. Snapshots are
-// immutable; readers share them by pointer.
+// immutable (never copy one by value: the binary-encoding cache is a
+// sync.Once); readers share them by pointer.
 type Snapshot struct {
 	// Generation counts successful commits (monotone; restored from the
 	// snapshot file across restarts).
@@ -42,20 +43,26 @@ type Snapshot struct {
 	FaultNodes []int
 	// Checksum is the FNV-1a hash of Emb.Map (see MapChecksum).
 	Checksum uint64
+
+	// delta is this generation's entry in the topology's bounded diff
+	// chain (set before the snapshot is published).
+	delta *deltaRec
+	// Lazy binary full encoding, shared by every reader of this
+	// generation (see wireFull).
+	binOnce sync.Once
+	binData []byte
+	binErr  error
+	// Encoded binary delta responses keyed by since generation,
+	// filled on first demand (see wireDeltaEncoded).
+	deltaMu    sync.Mutex
+	deltaCache map[int64][]byte
 }
 
 // MapChecksum hashes an embedding map for snapshot integrity checks:
 // the pipeline is deterministic, so a restore that replays the fault set
-// must reproduce the map bit-identically.
-func MapChecksum(m []int) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	for _, v := range m {
-		binary.LittleEndian.PutUint64(buf[:], uint64(v))
-		h.Write(buf[:])
-	}
-	return h.Sum64()
-}
+// must reproduce the map bit-identically. It is the binary protocol's
+// checksum too (wire.Checksum is the same function).
+func MapChecksum(m []int) uint64 { return wire.Checksum(m) }
 
 // errShutdown is returned to requests caught by a daemon shutdown.
 var errShutdown = errors.New("server: shutting down")
@@ -109,7 +116,49 @@ type topology struct {
 
 	maxBatchCols int
 	flushEvery   time.Duration
+	deltaRing    int          // bound on the delta chain length
 	evalDelay    atomic.Int64 // test hook (nanoseconds): stretches the eval window
+
+	// Watch subscribers: each holds a capacity-1 signal channel the
+	// writer pokes (non-blocking) after every commit. Handlers read the
+	// published snapshot themselves, so the writer never carries data to
+	// a subscriber and never blocks on one.
+	watchMu  sync.Mutex
+	watchers map[chan struct{}]struct{}
+}
+
+// subscribe registers a commit-signal channel for a watch stream.
+func (t *topology) subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	t.watchMu.Lock()
+	t.watchers[ch] = struct{}{}
+	n := len(t.watchers)
+	t.watchMu.Unlock()
+	t.metrics.watchers.Store(int64(n))
+	return ch
+}
+
+func (t *topology) unsubscribe(ch chan struct{}) {
+	t.watchMu.Lock()
+	delete(t.watchers, ch)
+	n := len(t.watchers)
+	t.watchMu.Unlock()
+	t.metrics.watchers.Store(int64(n))
+}
+
+// notifyWatchers signals every subscriber that a new snapshot is
+// published. Sends are non-blocking: a subscriber that has not drained
+// its previous signal already owes itself a snapshot load, which will
+// observe this commit too.
+func (t *topology) notifyWatchers() {
+	t.watchMu.Lock()
+	for ch := range t.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	t.watchMu.Unlock()
 }
 
 // newTopology builds the host, optionally restores a disk snapshot, and
@@ -136,6 +185,8 @@ func newTopology(cfg TopologyConfig, policy Config, restore *diskSnapshot) (*top
 		pendingCols:  make(map[int]struct{}),
 		maxBatchCols: policy.maxBatchCols(),
 		flushEvery:   policy.flushInterval(),
+		deltaRing:    policy.deltaRing(),
+		watchers:     make(map[chan struct{}]struct{}),
 	}
 	gen := int64(0)
 	if restore != nil {
@@ -162,6 +213,9 @@ func newTopology(cfg TopologyConfig, policy Config, restore *diskSnapshot) (*top
 		return nil, fmt.Errorf("topology %s: restored embedding checksum %016x does not match snapshot %016x",
 			cfg.ID, snap.Checksum, restore.checksum())
 	}
+	// The initial commit is a resync boundary: no diff exists to anything
+	// older (in particular not across a restart).
+	t.linkDelta(nil, snap, nil)
 	t.snap.Store(snap)
 	t.metrics.reembedOK.Add(1)
 	t.metrics.faults.Store(int64(len(snap.FaultNodes)))
@@ -341,7 +395,7 @@ func (t *topology) eval() {
 		time.Sleep(time.Duration(d))
 	}
 	start := time.Now()
-	emb, err := t.ses.Reembed()
+	emb, d, err := t.ses.ReembedDelta()
 	t.metrics.reembedNanos.Add(time.Since(start).Nanoseconds())
 	t.metrics.batchMutations.Add(int64(muts))
 	t.metrics.batchNodes.Add(int64(nodes))
@@ -349,16 +403,19 @@ func (t *topology) eval() {
 	var res result
 	switch {
 	case err == nil:
+		prev := t.snap.Load()
 		snap := &Snapshot{
-			Generation: t.snap.Load().Generation + 1,
+			Generation: prev.Generation + 1,
 			Emb:        emb,
 			FaultNodes: t.ses.FaultNodes(),
 			Checksum:   MapChecksum(emb.Map),
 		}
+		t.linkDelta(prev, snap, d)
 		t.snap.Store(snap)
 		t.metrics.reembedOK.Add(1)
 		t.metrics.faults.Store(int64(len(snap.FaultNodes)))
 		t.metrics.generation.Store(snap.Generation)
+		t.notifyWatchers()
 		res = result{snap: snap}
 	case errors.Is(err, ftnet.ErrNotTolerated):
 		t.metrics.reembedNotTol.Add(1)

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// watchEvent is the payload of one SSE event on .../watch. Every event
+// describes a committed, served snapshot: its generation, map checksum,
+// and exact fault set (enough for a client to audit the stream against
+// the serve path).
+type watchEvent struct {
+	Topology   string `json:"topology"`
+	Generation int64  `json:"generation"`
+	Checksum   string `json:"checksum"`
+	Faults     []int  `json:"faults"`
+	// ChangedCols counts the columns this generation changed; -1 when
+	// unknown (the event bridges a gap — see the resync event type).
+	ChangedCols int `json:"changed_cols"`
+}
+
+// renderWatchEvent renders one SSE frame. Marshalling a watchEvent
+// cannot fail (plain ints, strings and an int slice), so errors are
+// impossible by construction.
+func renderWatchEvent(name string, ev watchEvent) []byte {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		panic(err)
+	}
+	return []byte(fmt.Sprintf("event: %s\ndata: %s\n\n", name, data))
+}
+
+// handleWatch streams generation commits as server-sent events
+// (text/event-stream). The protocol:
+//
+//   - On subscribe, one "commit" event for the current head establishes
+//     the baseline.
+//   - Each later commit produces one "commit" event per generation, in
+//     order, with no generation skipped or duplicated — the per-commit
+//     records of the delta ring let a slow subscriber catch up
+//     generation by generation even when the writer raced ahead.
+//   - When the ring no longer covers the gap (subscriber slower than
+//     DeltaRing commits, or a full rewrite in between), a single
+//     "resync" event carries the head state instead; the client
+//     re-fetches the full embedding, exactly like a 410 on ?since=.
+//
+// The writer never blocks on subscribers: it pokes a capacity-1 signal
+// channel and moves on; this handler reads published snapshots on its
+// own time. The stream ends when the client disconnects or the daemon
+// shuts down (DisconnectWatchers).
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	t := s.topo(w, r)
+	if t == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	ch := t.subscribe()
+	defer t.unsubscribe(ch)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	// emitRaw writes pre-rendered event bytes; emit renders ad hoc (for
+	// the subscribe-time baseline and resync events, which are rare —
+	// per-commit events stream the bytes cached on the delta record).
+	emitRaw := func(data []byte) bool {
+		if _, err := w.Write(data); err != nil {
+			return false
+		}
+		fl.Flush()
+		t.metrics.watchEvents.Add(1)
+		return true
+	}
+	emit := func(name string, ev watchEvent) bool {
+		return emitRaw(renderWatchEvent(name, ev))
+	}
+
+	// Baseline: the head at subscribe time.
+	snap := t.snap.Load()
+	last := snap.Generation
+	if !emit("commit", watchEvent{
+		Topology:    t.cfg.ID,
+		Generation:  snap.Generation,
+		Checksum:    fmt.Sprintf("%016x", snap.Checksum),
+		Faults:      snap.FaultNodes,
+		ChangedCols: -1,
+	}) {
+		return
+	}
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-t.stopc:
+			return
+		case <-s.watchc:
+			return
+		case <-ch:
+		}
+		snap := t.snap.Load()
+		if snap.Generation <= last {
+			continue // stale signal: this commit was already covered
+		}
+		// Collect the per-generation records bridging (last, head],
+		// oldest-first. A nil or full record inside the gap means the ring
+		// evicted part of it: resync.
+		recs := make([]*deltaRec, 0, snap.Generation-last)
+		gapped := false
+		for rec := snap.delta; ; {
+			if rec == nil {
+				gapped = true
+				break
+			}
+			recs = append(recs, rec)
+			if rec.gen == last+1 {
+				break
+			}
+			if rec.full {
+				gapped = true
+				break
+			}
+			rec = rec.prev.Load()
+		}
+		if gapped {
+			if !emit("resync", watchEvent{
+				Topology:    t.cfg.ID,
+				Generation:  snap.Generation,
+				Checksum:    fmt.Sprintf("%016x", snap.Checksum),
+				Faults:      snap.FaultNodes,
+				ChangedCols: -1,
+			}) {
+				return
+			}
+			last = snap.Generation
+			continue
+		}
+		for i := len(recs) - 1; i >= 0; i-- {
+			if !emitRaw(recs[i].commitEvent(t.cfg.ID)) {
+				return
+			}
+		}
+		last = snap.Generation
+	}
+}

@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"ftnet/internal/rng"
+)
+
+// FuzzWireCodec drives both decoders with arbitrary bytes and, when the
+// input parses as valid fuzz parameters, a structured
+// build-encode-decode cycle. Invariants, in order of importance:
+//
+//  1. Decoding never panics and never allocates beyond the payload size
+//     class — any failure is a typed ErrCorrupt.
+//  2. If raw bytes decode successfully, re-encoding the result
+//     reproduces them bit for bit (canonical encoding).
+//  3. decode(encode(snapshot)) is the identity for every structurally
+//     valid snapshot the parameters can describe.
+//
+// Wired into the CI fuzz-smoke job alongside FuzzSession.
+func FuzzWireCodec(f *testing.F) {
+	seedSnap, _ := EncodeSnapshot(&Snapshot{
+		Topology: "main", Generation: 3, Side: 4, Dims: 2,
+		Faults: []int{1, 9}, Map: identity(16),
+	})
+	seedDelta, _ := EncodeDelta(&Delta{
+		Topology: "main", FromGeneration: 3, ToGeneration: 5, Side: 4, Dims: 2,
+		Faults: []int{2}, Checksum: Checksum(identity(16)),
+		Cols: []ColumnUpdate{{Col: 1, Vals: []int{1, 5, 9, 13}}},
+	})
+	f.Add(seedSnap, uint64(1), 4, 2)
+	f.Add(seedDelta, uint64(2), 5, 3)
+	f.Add([]byte("FTW1"), uint64(3), 1, 1)
+	f.Add([]byte(nil), uint64(4), 64, 2)
+
+	f.Fuzz(func(t *testing.T, raw []byte, seed uint64, side, dims int) {
+		// Invariants 1+2: raw decoding is total and canonical.
+		if s, err := DecodeSnapshot(raw); err == nil {
+			b, err := EncodeSnapshot(s)
+			if err != nil {
+				t.Fatalf("decoded snapshot does not re-encode: %v", err)
+			}
+			if string(b) != string(raw) {
+				t.Fatalf("snapshot encoding not canonical:\n in  %x\n out %x", raw, b)
+			}
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("DecodeSnapshot error is not ErrCorrupt: %v", err)
+		}
+		if d, err := DecodeDelta(raw); err == nil {
+			b, err := EncodeDelta(d)
+			if err != nil {
+				t.Fatalf("decoded delta does not re-encode: %v", err)
+			}
+			if string(b) != string(raw) {
+				t.Fatalf("delta encoding not canonical:\n in  %x\n out %x", raw, b)
+			}
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("DecodeDelta error is not ErrCorrupt: %v", err)
+		}
+
+		// Invariant 3: structured round trip for a snapshot derived from
+		// the fuzzed parameters.
+		if side < 1 || side > 32 || dims < 1 || dims > 3 {
+			return
+		}
+		s := randomSnapshot(rng.NewPCG(seed, 99), side, dims)
+		b, err := EncodeSnapshot(s)
+		if err != nil {
+			t.Fatalf("encode(%d^%d): %v", side, dims, err)
+		}
+		got, err := DecodeSnapshot(b)
+		if err != nil {
+			t.Fatalf("decode(encode): %v", err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+		}
+	})
+}
+
+func identity(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}

@@ -64,7 +64,52 @@ if ! cmp -s "$WORK/emb_before.json" "$WORK/emb_after.json"; then
   exit 1
 fi
 
-echo "== batching metrics =="
-curl -fsS "http://$ADDR/metrics" | grep -E 'ftnetd_(reembed_total|batch_mutations)' || true
+echo "== binary wire: full snapshot decodes to the same JSON =="
+WIRE_ACCEPT='Accept: application/x-ftnet-wire'
+curl -fsS -H "$WIRE_ACCEPT" "$BASE/embedding" -o "$WORK/full.bin"
+"$BIN" wire -in "$WORK/full.bin" >"$WORK/full_decoded.json"
+if ! cmp -s "$WORK/emb_after.json" "$WORK/full_decoded.json"; then
+  echo "binary full snapshot decodes differently from the JSON embedding:" >&2
+  ls -l "$WORK/emb_after.json" "$WORK/full_decoded.json" >&2
+  exit 1
+fi
 
-echo "daemon smoke: OK (embedding survived the restart bit-identically)"
+echo "== evicted generation answers 410 Gone, never stale data =="
+# The delta ring does not survive a restart: any generation older than
+# the restored head must be told to resync, not silently served.
+GEN="$(sed -n 's/.*"generation":\([0-9]*\).*/\1/p' "$WORK/emb_after.json")"
+STATUS="$(curl -sS -o /dev/null -w '%{http_code}' -H "$WIRE_ACCEPT" "$BASE/embedding?since=$((GEN-1))" || true)"
+if [ "$STATUS" != "410" ]; then
+  echo "since=$((GEN-1)) after restart returned $STATUS, want 410" >&2
+  exit 1
+fi
+
+echo "== binary wire: delta since the pre-mutation generation =="
+# The first post-restart evaluation is a cold rebuild (a resync
+# boundary in the ring), so warm the session with one mutation, take
+# the full baseline there, then mutate again and fetch the delta.
+curl -fsS -X POST "$BASE/faults" -d '{"nodes":[40404]}'; echo
+curl -fsS "$BASE/embedding" -o "$WORK/emb_mid.json"
+curl -fsS -H "$WIRE_ACCEPT" "$BASE/embedding" -o "$WORK/full_mid.bin"
+GEN_MID="$(sed -n 's/.*"generation":\([0-9]*\).*/\1/p' "$WORK/emb_mid.json")"
+curl -fsS -X POST "$BASE/faults" -d '{"nodes":[41414]}'; echo
+curl -fsS "$BASE/embedding" -o "$WORK/emb_head.json"
+curl -fsS -H "$WIRE_ACCEPT" "$BASE/embedding?since=$GEN_MID" -o "$WORK/delta.bin"
+"$BIN" wire -in "$WORK/delta.bin" -base "$WORK/full_mid.bin" >"$WORK/delta_decoded.json"
+if ! cmp -s "$WORK/emb_head.json" "$WORK/delta_decoded.json"; then
+  echo "delta-applied embedding differs from the served head JSON:" >&2
+  ls -l "$WORK/emb_head.json" "$WORK/delta_decoded.json" >&2
+  exit 1
+fi
+
+echo "== malformed since is a caller error =="
+STATUS="$(curl -sS -o /dev/null -w '%{http_code}' -H "$WIRE_ACCEPT" "$BASE/embedding?since=-1" || true)"
+if [ "$STATUS" != "400" ]; then
+  echo "since=-1 returned $STATUS, want 400" >&2
+  exit 1
+fi
+
+echo "== batching + delta metrics =="
+curl -fsS "http://$ADDR/metrics" | grep -E 'ftnetd_(reembed_total|batch_mutations|delta_requests)' || true
+
+echo "daemon smoke: OK (embedding survived the restart bit-identically; binary full and delta wires agree with JSON)"

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Fleet-scale serve-path benchmark: run `ftnet loadgen` with a
+# 1000-client mixed fleet (JSON-full pollers, binary-full pollers,
+# binary-delta ?since= chasers, /watch subscribers) against an
+# in-process ftnetd under standing fault churn, and write the
+# BENCH_pr6.json report with per-mode latency quantiles and
+# bytes-per-update. Run by the CI "loadgen" job (report-only).
+#
+# Client mix, duration, and churn are env-overridable:
+#   LOADGEN_JSON_CLIENTS=100 LOADGEN_DELTA_CLIENTS=850 ... scripts/loadgen.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${LOADGEN_OUT:-BENCH_pr6.json}"
+SIDE="${LOADGEN_SIDE:-64}"
+JSON_CLIENTS="${LOADGEN_JSON_CLIENTS:-250}"
+BINFULL_CLIENTS="${LOADGEN_BINFULL_CLIENTS:-50}"
+DELTA_CLIENTS="${LOADGEN_DELTA_CLIENTS:-500}"
+WATCH_CLIENTS="${LOADGEN_WATCH_CLIENTS:-200}"
+POLL_INTERVAL="${LOADGEN_POLL_INTERVAL:-2s}"
+CHURN_RATE="${LOADGEN_CHURN_RATE:-0.75}"
+CHURN_NODES="${LOADGEN_CHURN_NODES:-1}"
+DURATION="${LOADGEN_DURATION:-30s}"
+WARMUP="${LOADGEN_WARMUP:-8s}"
+
+go run ./cmd/ftnet loadgen \
+  -side "$SIDE" \
+  -duration "$DURATION" \
+  -warmup "$WARMUP" \
+  -json-clients "$JSON_CLIENTS" \
+  -binfull-clients "$BINFULL_CLIENTS" \
+  -delta-clients "$DELTA_CLIENTS" \
+  -watch-clients "$WATCH_CLIENTS" \
+  -poll-interval "$POLL_INTERVAL" \
+  -churn-rate "$CHURN_RATE" \
+  -churn-nodes "$CHURN_NODES" \
+  -seed 1 \
+  -out "$OUT"
+
+echo "== acceptance summary =="
+sed -n '/"acceptance"/,$p' "$OUT"
