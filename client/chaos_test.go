@@ -1,0 +1,249 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ftnet/internal/fterr"
+	"ftnet/internal/server"
+	"ftnet/internal/wire"
+)
+
+// TestChaosConvergence is the end-to-end resilience proof: a daemon
+// with every chaos injection enabled (latency, 5xx bursts, dropped
+// connections mid-body, corrupted wire payloads, forced ring evictions
+// — on top of a tiny real delta ring) serves a mutating workload, and
+// the SDK must still converge to an embedding bit-identical to a
+// from-scratch Extract of the final committed fault set, with zero
+// stale reads and bounded retries. Run under -race in CI.
+func TestChaosConvergence(t *testing.T) {
+	srv, err := server.New(server.Config{
+		Topologies: []server.TopologyConfig{{ID: "main", D: 2, MinSide: 64, MaxEps: 0.5}},
+		DeltaRing:  4, // small enough that the churn below evicts for real
+		Chaos: server.ChaosConfig{
+			LatencyP: 0.2,
+			Latency:  2 * time.Millisecond,
+			ErrorP:   0.15,
+			DropP:    0.1,
+			CorruptP: 0.3,
+			EvictP:   0.2,
+			Seed:     42,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { ts.Close(); srv.Close() })
+
+	c, err := New(Options{
+		BaseURL:     ts.URL,
+		Topology:    "main",
+		MaxRetries:  16,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  30 * time.Millisecond,
+		Seed:        99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// A second client watches the commit stream throughout, recording
+	// every event for the continuity audit below.
+	watcher, err := New(Options{
+		BaseURL: ts.URL, Topology: "main",
+		MaxRetries: 16, BackoffBase: time.Millisecond, BackoffMax: 30 * time.Millisecond, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evMu sync.Mutex
+	var events []Event
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	watchDone := make(chan error, 1)
+	go func() {
+		watchDone <- watcher.Watch(watchCtx, func(ev Event) error {
+			evMu.Lock()
+			events = append(events, ev)
+			evMu.Unlock()
+			return nil
+		})
+	}()
+
+	// The workload: interleaved fault churn and incremental syncs, every
+	// request running the chaos gauntlet. Nodes are spread with a large
+	// odd stride so the fault population stays tolerable.
+	info, err := c.Info(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var added []int
+	node := func(i int) int { return (i * 9973) % info.HostNodes }
+	for round := 0; round < 12; round++ {
+		batch := []int{node(3*round + 1), node(3*round + 2)}
+		switch _, err := c.AddFaults(ctx, batch...); {
+		case fterr.Is(err, fterr.NotTolerated):
+			// The daemon recorded the batch but the pattern broke the
+			// tolerance guarantee: it keeps serving the last good state
+			// (the typed 422 path). Heal and move on.
+			if _, err := c.ClearFaults(ctx, batch...); err != nil {
+				t.Fatalf("round %d: heal %v: %v", round, batch, err)
+			}
+		case err != nil:
+			t.Fatalf("round %d: add %v: %v", round, batch, err)
+		default:
+			added = append(added, batch...)
+		}
+		if len(added) > 12 {
+			if _, err := c.ClearFaults(ctx, added[0], added[1]); err != nil {
+				t.Fatalf("round %d: clear: %v", round, err)
+			}
+			added = added[2:]
+		}
+		if _, err := c.Sync(ctx); err != nil {
+			t.Fatalf("round %d: sync: %v", round, err)
+		}
+	}
+	st, err := c.Reembed(ctx)
+	if err != nil {
+		t.Fatalf("final reembed: %v", err)
+	}
+
+	// Converge on the final committed generation, chaos still firing.
+	var snap = mustSyncTo(t, ctx, c, st.Generation)
+
+	// The convergence oracle: a from-scratch Extract over the committed
+	// fault set, computed inside the daemon with no wire in between.
+	scratch, err := srv.ScratchExtract("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Generation != scratch.Generation {
+		t.Fatalf("synced generation %d, committed head %d", snap.Generation, scratch.Generation)
+	}
+	if snap.Checksum != scratch.Checksum {
+		t.Fatalf("synced checksum %016x, scratch %016x", snap.Checksum, scratch.Checksum)
+	}
+	if len(snap.Map) != len(scratch.Map) {
+		t.Fatalf("synced map has %d entries, scratch %d", len(snap.Map), len(scratch.Map))
+	}
+	for i := range snap.Map {
+		if snap.Map[i] != scratch.Map[i] {
+			t.Fatalf("synced map differs from scratch extract at guest node %d: %d vs %d",
+				i, snap.Map[i], scratch.Map[i])
+		}
+	}
+	if len(snap.Faults) != len(scratch.Faults) {
+		t.Fatalf("synced %d faults, committed %d", len(snap.Faults), len(scratch.Faults))
+	}
+	for i := range snap.Faults {
+		if snap.Faults[i] != scratch.Faults[i] {
+			t.Fatalf("fault set differs at %d: %d vs %d", i, snap.Faults[i], scratch.Faults[i])
+		}
+	}
+
+	stats := c.Stats()
+	if stats.StaleReads != 0 {
+		t.Fatalf("observed %d stale reads under chaos", stats.StaleReads)
+	}
+	if stats.Retries == 0 && stats.Resyncs == 0 {
+		t.Fatalf("chaos never bit: %+v (injection probabilities too low?)", stats)
+	}
+	// Bounded retries: every operation above returned, and no operation
+	// may consume more than MaxRetries+1 attempts; a run-away retry loop
+	// would show up as requests growing far beyond operations*(1+retries).
+	if stats.Requests > 64*(1+16) {
+		t.Fatalf("retry volume implausible for this workload: %+v", stats)
+	}
+
+	// Stop the watcher and audit the stream: generations must be
+	// strictly increasing (no duplicates, no regressions), and every
+	// step either continues the sequence or is an explicit resync event
+	// — a silent skip is a protocol violation.
+	stopWatch()
+	if err := <-watchDone; !fterr.Is(err, fterr.Unavailable) {
+		t.Fatalf("watcher exit: %v", err)
+	}
+	evMu.Lock()
+	defer evMu.Unlock()
+	if len(events) == 0 {
+		t.Fatal("watcher saw no events")
+	}
+	for i := 1; i < len(events); i++ {
+		prev, ev := events[i-1], events[i]
+		if ev.Generation <= prev.Generation {
+			t.Fatalf("watch event %d: generation %d after %d", i, ev.Generation, prev.Generation)
+		}
+		if !ev.Resync && ev.Generation != prev.Generation+1 {
+			t.Fatalf("watch event %d: silent gap %d -> %d without a resync event",
+				i, prev.Generation, ev.Generation)
+		}
+	}
+	if last := events[len(events)-1].Generation; last != scratch.Generation {
+		t.Fatalf("watch stream ended at generation %d, head is %d", last, scratch.Generation)
+	}
+
+	// The injection counters prove the gauntlet actually fired; /metrics
+	// is chaos-exempt by design so this read is reliable.
+	metrics := getMetrics(t, ts.URL)
+	for _, kind := range []string{"latency", "error", "drop", "corrupt", "evict"} {
+		if !injected(metrics, kind) {
+			t.Errorf("chaos kind %q never fired", kind)
+		}
+	}
+	if !strings.Contains(metrics, `ftnetd_errors_total{code="unavailable"}`) {
+		t.Error("ftnetd_errors_total{code=\"unavailable\"} series missing")
+	}
+}
+
+// mustSyncTo syncs until the client holds at least generation gen.
+func mustSyncTo(t *testing.T, ctx context.Context, c *Client, gen int64) *wire.Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		s, err := c.Sync(ctx)
+		if err != nil {
+			t.Fatalf("sync toward generation %d: %v", gen, err)
+		}
+		if s.Generation >= gen {
+			return s
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("never reached generation %d", gen)
+	return nil
+}
+
+func getMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// injected reports whether the chaos counter for kind is positive.
+func injected(metrics, kind string) bool {
+	needle := fmt.Sprintf("ftnetd_chaos_injections_total{kind=%q} ", kind)
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, needle) {
+			return strings.TrimPrefix(line, needle) != "0"
+		}
+	}
+	return false
+}

@@ -1,0 +1,44 @@
+package client
+
+import (
+	"testing"
+
+	"ftnet/internal/fterr"
+)
+
+// FuzzDecodeError pins the SDK's error-decode contract: arbitrary
+// response bytes under any status always produce a coded, non-nil
+// error — never a panic — and a code outside this build's taxonomy
+// degrades to a non-retryable class regardless of what the body's
+// retryable flag claims (a client must never blind-retry on a future
+// server's say-so).
+func FuzzDecodeError(f *testing.F) {
+	f.Add(503, []byte(`{"code":"unavailable","message":"busy","retryable":true}`))
+	f.Add(410, []byte(`{"code":"resync_required","message":"gone","retryable":true,"resync_from":12}`))
+	f.Add(400, []byte(`{"code":"quota_exceeded_v9","retryable":true}`))
+	f.Add(500, []byte(`<html>gateway error</html>`))
+	f.Add(404, []byte{})
+	f.Add(418, []byte(`{"code":""}`))
+	f.Add(200, []byte(`{"code":4}`))
+	f.Add(-7, []byte("\xff\xfe"))
+	known := make(map[fterr.Code]bool)
+	for _, c := range fterr.AllCodes() {
+		known[c] = true
+	}
+	f.Fuzz(func(t *testing.T, status int, body []byte) {
+		err := ParseErrorBody(status, body)
+		if err == nil {
+			t.Fatalf("status %d body %q: decoded to nil error", status, body)
+		}
+		code := fterr.CodeOf(err)
+		if code == "" {
+			t.Fatalf("status %d body %q: error %v has no code", status, body, err)
+		}
+		if !known[code] && fterr.Retryable(err) {
+			t.Fatalf("status %d body %q: unknown code %q classified retryable", status, body, code)
+		}
+		if err.Error() == "" {
+			t.Fatalf("status %d body %q: empty error message", status, body)
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"ftnet/internal/fterr"
+)
+
+// Event is one notification from the daemon's commit stream.
+type Event struct {
+	// Resync is true when the stream could not bridge a generation gap
+	// (subscriber outpaced the delta ring, or the daemon restarted): the
+	// event carries the head state, and any incrementally maintained
+	// copy must be refetched (Sync does this automatically).
+	Resync      bool
+	Generation  int64
+	Checksum    string
+	Faults      []int
+	ChangedCols int
+}
+
+// watchFrame mirrors the server's SSE payload shape.
+type watchFrame struct {
+	Topology    string `json:"topology"`
+	Generation  int64  `json:"generation"`
+	Checksum    string `json:"checksum"`
+	Faults      []int  `json:"faults"`
+	ChangedCols int    `json:"changed_cols"`
+}
+
+// callbackError marks an error returned by the caller's handler, which
+// must stop the watch rather than trigger a reconnect.
+type callbackError struct{ err error }
+
+func (e *callbackError) Error() string { return e.err.Error() }
+func (e *callbackError) Unwrap() error { return e.err }
+
+// Watch follows the daemon's commit stream, delivering every committed
+// generation to fn in order, exactly once, across connection failures:
+// each reconnect passes the last delivered generation (?since=g) so the
+// daemon replays exactly the commits this client missed. A gap the
+// daemon cannot bridge arrives as a single Resync event — never as
+// silently skipped commits. fn returning an error stops the watch and
+// returns that error; otherwise Watch runs until ctx is done (returning
+// a coded wrap of ctx.Err()) or MaxRetries consecutive reconnection
+// attempts fail without a single delivered event.
+func (c *Client) Watch(ctx context.Context, fn func(Event) error) error {
+	last := int64(-1)
+	fails := 0
+	for {
+		if ctx.Err() != nil {
+			return fterr.Wrap(fterr.Unavailable, "client.watch", ctx.Err())
+		}
+		delivered, err := c.watchOnce(ctx, &last, fn)
+		var cb *callbackError
+		if errors.As(err, &cb) {
+			return cb.err
+		}
+		if ctx.Err() != nil {
+			return fterr.Wrap(fterr.Unavailable, "client.watch", ctx.Err())
+		}
+		if err != nil && fterr.ClassOf(err) == fterr.ClassTerminal {
+			return err // e.g. topology not found: reconnecting cannot help
+		}
+		if delivered > 0 {
+			fails = 0 // progress was made; the failure budget resets
+		} else {
+			fails++
+			if fails > c.retries {
+				return fterr.Wrapf(fterr.Unavailable, "client.watch", err,
+					"giving up after %d reconnects without progress", fails-1)
+			}
+		}
+		c.reconnects.Add(1)
+		if serr := c.sleepBackoff(ctx, fails); serr != nil {
+			return serr
+		}
+	}
+}
+
+// watchOnce runs one stream connection: subscribe (with ?since= after
+// the first delivery), then deliver events until the stream breaks.
+// Returns how many events were delivered on this connection.
+func (c *Client) watchOnce(ctx context.Context, last *int64, fn func(Event) error) (int, error) {
+	url := c.topoURL("/watch")
+	if *last >= 0 {
+		url = fmt.Sprintf("%s?since=%d", url, *last)
+	}
+	c.requests.Add(1)
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return 0, fterr.Wrap(fterr.Invalid, "client.watch", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return 0, fterr.Wrap(fterr.Unavailable, "client.watch", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body := make([]byte, 0, 512)
+		buf := make([]byte, 512)
+		if n, _ := resp.Body.Read(buf); n > 0 {
+			body = buf[:n]
+		}
+		return 0, ParseErrorBody(resp.StatusCode, body)
+	}
+
+	delivered := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var eventName string
+	for sc.Scan() {
+		line := sc.Text()
+		c.bytesRead.Add(int64(len(line)) + 1)
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			eventName = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var f watchFrame
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &f); err != nil {
+				// An undecodable frame poisons the stream position; the
+				// reconnect replays from the last delivered generation.
+				return delivered, fterr.Wrapf(fterr.Unavailable, "client.watch", err, "undecodable %s frame", eventName)
+			}
+			ev := Event{
+				Resync:      eventName == "resync",
+				Generation:  f.Generation,
+				Checksum:    f.Checksum,
+				Faults:      f.Faults,
+				ChangedCols: f.ChangedCols,
+			}
+			switch {
+			case ev.Resync:
+				// An explicit gap: accept the head unconditionally.
+			case *last < 0:
+				// Baseline commit on a fresh subscribe.
+			case ev.Generation <= *last:
+				continue // duplicate; already delivered
+			case ev.Generation != *last+1:
+				// A skipped commit would violate the continuity contract;
+				// reconnecting with ?since= makes the daemon replay it.
+				return delivered, fterr.New(fterr.Unavailable, "client.watch",
+					"commit gap: got generation %d after %d", ev.Generation, *last)
+			}
+			c.noteGeneration(ev.Generation)
+			*last = ev.Generation
+			delivered++
+			if err := fn(ev); err != nil {
+				return delivered, &callbackError{err: err}
+			}
+			eventName = ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return delivered, fterr.Wrap(fterr.Unavailable, "client.watch", err)
+	}
+	// Clean EOF: the daemon shut the stream (e.g. restart); reconnect.
+	return delivered, fterr.New(fterr.Unavailable, "client.watch", "stream closed by daemon")
+}

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -19,6 +18,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ftnet"
+	"ftnet/client"
 	"ftnet/internal/rng"
 	"ftnet/internal/server"
 	"ftnet/internal/validate"
@@ -129,10 +130,11 @@ func runLoadgen(args []string) error {
 	}}
 	go httpSrv.Serve(ln)
 	defer httpSrv.Close()
-	base := "http://" + ln.Addr().String() + "/v1/topologies/load"
+	rootURL := "http://" + ln.Addr().String()
+	base := rootURL + "/v1/topologies/load"
 
 	totalClients := *jsonClients + *binFullClients + *deltaClients + *watchClients
-	client := &http.Client{Transport: &http.Transport{
+	httpClient := &http.Client{Transport: &http.Transport{
 		MaxIdleConns:        totalClients + 8,
 		MaxIdleConnsPerHost: totalClients + 8,
 	}}
@@ -140,10 +142,10 @@ func runLoadgen(args []string) error {
 	info := struct {
 		HostNodes int `json:"host_nodes"`
 	}{}
-	if err := getJSON(client, base, &info); err != nil {
+	if err := getJSON(httpClient, base, &info); err != nil {
 		return fmt.Errorf("loadgen: topology info: %v", err)
 	}
-	startGen, err := headGeneration(client, base)
+	startGen, err := headGeneration(httpClient, base)
 	if err != nil {
 		return err
 	}
@@ -152,8 +154,25 @@ func runLoadgen(args []string) error {
 	defer cancel()
 	var wg sync.WaitGroup
 
+	// The SDK-backed fleet members (churn, delta pollers, watchers) share
+	// the harness transport but carry their own retry state; a distinct
+	// jitter seed per member keeps their backoff sequences decorrelated.
+	newSDK := func(stream uint64) (*client.Client, error) {
+		return client.New(client.Options{
+			BaseURL:  rootURL,
+			Topology: "load", HTTPClient: httpClient,
+			MaxRetries:  3,
+			BackoffBase: 5 * time.Millisecond,
+			BackoffMax:  100 * time.Millisecond,
+			Seed:        *seed ^ (stream+1)*0x9e3779b97f4a7c15,
+		})
+	}
+	churnSDK, err := newSDK(0)
+	if err != nil {
+		return err
+	}
 	churn := &churnDriver{
-		client: client, base: base,
+		sdk:       churnSDK,
 		hostNodes: info.HostNodes, batch: *churnNodes,
 		interval: time.Duration(float64(time.Second) / *churnRate),
 		rng:      rng.NewPCG(*seed, 7),
@@ -172,7 +191,7 @@ func runLoadgen(args []string) error {
 		go func(d time.Duration) {
 			defer wg.Done()
 			if sleepCtx(ctx, d) {
-				pollFull(ctx, client, base, "", *pollInterval, jsonStats)
+				pollFull(ctx, httpClient, base, "", *pollInterval, jsonStats)
 			}
 		}(stagger(i, *jsonClients))
 	}
@@ -181,26 +200,34 @@ func runLoadgen(args []string) error {
 		go func(d time.Duration) {
 			defer wg.Done()
 			if sleepCtx(ctx, d) {
-				pollFull(ctx, client, base, wire.ContentType, *pollInterval, binFullStats)
+				pollFull(ctx, httpClient, base, wire.ContentType, *pollInterval, binFullStats)
 			}
 		}(stagger(i, *binFullClients))
 	}
 	for i := 0; i < *deltaClients; i++ {
+		sdk, err := newSDK(uint64(i) + 1)
+		if err != nil {
+			return err
+		}
 		wg.Add(1)
-		go func(d time.Duration) {
+		go func(sdk *client.Client, d time.Duration) {
 			defer wg.Done()
 			if sleepCtx(ctx, d) {
-				pollDelta(ctx, client, base, *pollInterval, deltaStats)
+				pollDelta(ctx, sdk, *pollInterval, deltaStats)
 			}
-		}(stagger(i, *deltaClients))
+		}(sdk, stagger(i, *deltaClients))
 	}
 	for i := 0; i < *watchClients; i++ {
+		sdk, err := newSDK(uint64(*deltaClients+i) + 1)
+		if err != nil {
+			return err
+		}
 		wg.Add(1)
-		go func() { defer wg.Done(); watchStream(ctx, client, base, watchStats) }()
+		go func(sdk *client.Client) { defer wg.Done(); watchStream(ctx, sdk, watchStats) }(sdk)
 	}
 
 	wg.Wait()
-	endGen, err := headGeneration(client, base)
+	endGen, err := headGeneration(httpClient, base)
 	if err != nil {
 		return err
 	}
@@ -518,135 +545,60 @@ func pollFull(ctx context.Context, client *http.Client, base, accept string, int
 	}
 }
 
-// pollDelta is one binary ?since= poller: it keeps a local snapshot
-// current by applying served deltas, resyncing from the full embedding
-// whenever the ring answers 410.
-func pollDelta(ctx context.Context, client *http.Client, base string, interval time.Duration, st *modeStats) {
-	var cur *wire.Snapshot
+// pollDelta is one binary ?since= poller, rewired on the resilient SDK:
+// Sync keeps a local snapshot current by applying served deltas (in
+// place, checksum re-verified), transparently resyncing from the full
+// embedding whenever the ring answers 410. The SDK's counters are
+// differenced around each call to keep the harness's per-mode
+// accounting (updates, resync costs, bytes) intact.
+func pollDelta(ctx context.Context, sdk *client.Client, interval time.Duration, st *modeStats) {
+	prev := sdk.Stats()
 	for sleepCtx(ctx, interval) {
-		url := base + "/embedding"
-		if cur != nil {
-			url = fmt.Sprintf("%s?since=%d", url, cur.Generation)
-		}
-		req, _ := http.NewRequestWithContext(ctx, "GET", url, nil)
-		req.Header.Set("Accept", wire.ContentType)
 		start := time.Now()
-		resp, err := client.Do(req)
-		if err != nil {
-			if ctx.Err() == nil {
-				st.fail()
-			}
-			continue
-		}
-		body, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
+		_, err := sdk.Sync(ctx)
 		lat := time.Since(start)
+		cur := sdk.Stats()
+		n := int(cur.BytesRead - prev.BytesRead)
 		switch {
 		case err != nil:
 			if ctx.Err() == nil {
 				st.fail()
 			}
-		case resp.StatusCode == http.StatusGone:
-			// Evicted: drop local state and refetch the full embedding on
-			// the next loop turn. The 410 round trip still counts.
-			st.resync()
-			st.record(lat, len(body), false)
-			cur = nil
-		case resp.StatusCode != http.StatusOK:
-			st.fail()
-		case cur == nil:
-			snap, err := wire.DecodeSnapshot(body)
-			if err != nil {
-				st.fail()
-				continue
-			}
-			cur = snap
+		case cur.FullFetches > prev.FullFetches:
 			// A full-snapshot fetch only happens at bootstrap or right
-			// after a 410; it is the resync cost, not the steady-state
-			// delta serve path, so it is tallied separately.
-			st.bootstrap(len(body))
-		default:
-			d, err := wire.DecodeDelta(body)
-			if err != nil {
-				st.fail()
-				continue
-			}
-			if err := applyInPlace(cur, d); err != nil {
-				// Stale chain view; resync.
+			// after an eviction/corruption resync; it is the resync cost,
+			// not the steady-state delta serve path, so it is tallied
+			// separately.
+			if cur.Resyncs > prev.Resyncs {
 				st.resync()
-				cur = nil
-				continue
 			}
-			st.record(lat, len(body), d.ToGeneration > d.FromGeneration)
+			st.bootstrap(n)
+		default:
+			st.record(lat, n, cur.DeltaApplies > prev.DeltaApplies)
 		}
+		prev = cur
 	}
 }
 
-// watchStream is one SSE subscriber: it counts streamed commit events
-// and their wire bytes (latency is not meaningful per event).
-func watchStream(ctx context.Context, client *http.Client, base string, st *modeStats) {
-	req, err := http.NewRequestWithContext(ctx, "GET", base+"/watch", nil)
-	if err != nil {
-		st.fail()
-		return
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		if ctx.Err() == nil {
-			st.fail()
-		}
-		return
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		st.fail()
-		return
-	}
-	sc := bufio.NewScanner(resp.Body)
+// watchStream is one subscriber on the SDK's reconnecting commit
+// stream: it counts delivered events and their wire bytes (latency is
+// not meaningful per event).
+func watchStream(ctx context.Context, sdk *client.Client, st *modeStats) {
 	lastGen := int64(-1)
-	for sc.Scan() {
-		line := sc.Bytes()
-		n := len(line) + 1
-		if !bytes.HasPrefix(line, []byte("data: ")) {
-			if len(line) > 0 {
-				st.record(0, n, false)
-			}
-			continue
-		}
-		var ev struct {
-			Generation int64 `json:"generation"`
-		}
-		newGen := false
-		if json.Unmarshal(line[len("data: "):], &ev) == nil && ev.Generation > lastGen {
-			newGen = true
+	var prevBytes int64
+	err := sdk.Watch(ctx, func(ev client.Event) error {
+		cur := sdk.Stats().BytesRead
+		newGen := ev.Generation > lastGen
+		if newGen {
 			lastGen = ev.Generation
 		}
-		st.record(0, n, newGen)
+		st.record(0, int(cur-prevBytes), newGen)
+		prevBytes = cur
+		return nil
+	})
+	if ctx.Err() == nil && err != nil {
+		st.fail()
 	}
-}
-
-// applyInPlace advances a client-owned snapshot by a delta without the
-// defensive clone wire.Apply makes. At fleet scale the clones dominate
-// the allocation rate (hundreds of MB/s across the delta clients) and
-// the resulting GC pauses would pollute the very latencies this harness
-// measures; correctness of Apply itself is pinned by the wire and
-// server test suites, not here.
-func applyInPlace(cur *wire.Snapshot, d *wire.Delta) error {
-	if d.Topology != cur.Topology || d.Side != cur.Side || d.Dims != cur.Dims ||
-		d.FromGeneration != cur.Generation {
-		return fmt.Errorf("loadgen: delta %d..%d does not extend generation %d",
-			d.FromGeneration, d.ToGeneration, cur.Generation)
-	}
-	nc := cur.NumCols()
-	for _, cu := range d.Cols {
-		for j, v := range cu.Vals {
-			cur.Map[j*nc+cu.Col] = v
-		}
-	}
-	cur.Generation = d.ToGeneration
-	cur.Faults = d.Faults
-	cur.Checksum = d.Checksum
-	return nil
 }
 
 // scanGeneration pulls the "generation" value out of an embedding or
@@ -689,8 +641,7 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 // the construction rejects a batch (422), so the topology keeps
 // committing fresh generations for the reader fleets to chase.
 type churnDriver struct {
-	client    *http.Client
-	base      string
+	sdk       *client.Client
 	hostNodes int
 	batch     int
 	interval  time.Duration
@@ -707,47 +658,40 @@ func (c *churnDriver) run(ctx context.Context) {
 		if len(window) >= maxWindow {
 			batch := window[0]
 			window = window[1:]
-			c.mutate(ctx, "DELETE", batch)
+			c.mutate(ctx, true, batch)
 			continue
 		}
 		batch := make([]int, c.batch)
 		for i := range batch {
 			batch[i] = c.rng.Intn(c.hostNodes)
 		}
-		if c.mutate(ctx, "POST", batch) {
+		if c.mutate(ctx, false, batch) {
 			window = append(window, batch)
 		} else {
-			// Rejected (422) or failed: repair immediately so the state
-			// heals instead of wedging every later eval.
-			c.mutate(ctx, "DELETE", batch)
+			// Rejected (not_tolerated) or failed: repair immediately so
+			// the state heals instead of wedging every later eval.
+			c.mutate(ctx, true, batch)
 		}
 	}
 	// Leave the topology clean.
 	for _, batch := range window {
-		c.mutate(context.Background(), "DELETE", batch)
+		c.mutate(context.Background(), true, batch)
 	}
 }
 
-// mutate reports one batch synchronously; true means the evaluation
-// committed (200).
-func (c *churnDriver) mutate(ctx context.Context, method string, nodes []int) bool {
-	payload, _ := json.Marshal(struct {
-		Nodes []int `json:"nodes"`
-	}{nodes})
-	req, err := http.NewRequestWithContext(ctx, method, c.base+"/faults", strings.NewReader(string(payload)))
-	if err != nil {
-		return false
+// mutate reports one batch synchronously through the SDK (clear=true
+// repairs, otherwise reports); true means the evaluation committed.
+func (c *churnDriver) mutate(ctx context.Context, clear bool, nodes []int) bool {
+	var err error
+	if clear {
+		_, err = c.sdk.ClearFaults(ctx, nodes...)
+	} else {
+		_, err = c.sdk.AddFaults(ctx, nodes...)
 	}
-	resp, err := c.client.Do(req)
-	if err != nil {
-		return false
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
 	c.mutations.Add(1)
-	if resp.StatusCode == http.StatusUnprocessableEntity {
+	if ftnet.IsCode(err, ftnet.CodeNotTolerated) {
 		c.rejected.Add(1)
 		return false
 	}
-	return resp.StatusCode == http.StatusOK
+	return err == nil
 }

@@ -69,7 +69,14 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ftnet:", err)
-		os.Exit(1)
+		// Scripted callers branch on the exit code, mirroring the error
+		// taxonomy's retry classes: 2 = terminal (fix the input or state),
+		// 3 = retryable/resync (acting again may succeed). Usage errors
+		// exit 2 via usage() below.
+		if ftnet.Retryable(err) {
+			os.Exit(3)
+		}
+		os.Exit(2)
 	}
 }
 

@@ -29,6 +29,8 @@ func runServe(args []string) error {
 		"periodic flush of pending async mutations (0 = disabled)")
 	deltaRing := fs.Int("delta-ring", server.DefaultDeltaRing,
 		"per-topology count of recent generation diffs kept for ?since= and /watch catch-up")
+	chaosSpec := fs.String("chaos", os.Getenv("FTNET_CHAOS"),
+		"fault-injection spec key=value[,...]: latency-p, latency, error-p, drop-p, corrupt-p, evict-p, seed (default $FTNET_CHAOS; empty = disabled)")
 	var topos topoSpecs
 	fs.Var(&topos, "topology", "hosted topology spec id=NAME,d=D,side=N,eps=E (repeatable; default id=default,d=2,side=64,eps=0.5)")
 	if err := fs.Parse(args); err != nil {
@@ -47,12 +49,17 @@ func runServe(args []string) error {
 	if err := validate.Min("serve: -delta-ring", *deltaRing, 1); err != nil {
 		return err
 	}
+	chaos, err := server.ParseChaos(*chaosSpec)
+	if err != nil {
+		return fmt.Errorf("serve: -chaos: %w", err)
+	}
 	cfg := server.Config{
 		Topologies:    topos.specs,
 		SnapshotDir:   *snapshotDir,
 		MaxBatchCols:  *maxBatchCols,
 		FlushInterval: *flushInterval, // 0 disables, same as the Config encoding
 		DeltaRing:     *deltaRing,
+		Chaos:         chaos,
 	}
 	if err := cfg.Validate(); err != nil {
 		return err
@@ -69,6 +76,9 @@ func runServe(args []string) error {
 	errc := make(chan error, 1)
 	go func() {
 		fmt.Printf("ftnetd: serving %d topologies on %s\n", len(cfg.Topologies), *listen)
+		if cfg.Chaos.Enabled() {
+			fmt.Printf("  chaos injection ON: %+v\n", cfg.Chaos)
+		}
 		for _, tc := range cfg.Topologies {
 			fmt.Printf("  /v1/topologies/%s  (d=%d minSide=%d eps=%g)\n", tc.ID, tc.D, tc.MinSide, tc.MaxEps)
 		}

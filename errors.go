@@ -1,0 +1,58 @@
+package ftnet
+
+import "ftnet/internal/fterr"
+
+// Code is the stable error code attached to every failure this module
+// returns across a public boundary (the ftnet API, the ftnetd HTTP
+// wire, the client SDK). Codes — not error strings — are the contract:
+// each code carries a fixed retryability class and a fixed HTTP status,
+// so programs branch on CodeOf(err) and stay correct as messages evolve.
+type Code = fterr.Code
+
+// The taxonomy. See the ARCHITECTURE "Errors & resilience" section for
+// the full code -> class -> status table.
+const (
+	// CodeInvalid: malformed input (out-of-range node index, bad
+	// parameter, undecodable body). Terminal.
+	CodeInvalid = fterr.Invalid
+	// CodeNotFound: the addressed resource does not exist. Terminal.
+	CodeNotFound = fterr.NotFound
+	// CodeNotTolerated: the fault pattern exceeds the construction's
+	// tolerance (errors.Is(err, ErrNotTolerated) also reports it).
+	// Terminal until the fault state heals.
+	CodeNotTolerated = fterr.NotTolerated
+	// CodeResyncRequired: incremental state can no longer be bridged
+	// (delta-ring eviction, stale base). Recover with a full refetch.
+	CodeResyncRequired = fterr.ResyncRequired
+	// CodeConflict: the operation is valid but the current state or
+	// configuration refuses it. Terminal.
+	CodeConflict = fterr.Conflict
+	// CodeUnavailable: transient condition (shutdown, overload). Retry
+	// with backoff.
+	CodeUnavailable = fterr.Unavailable
+	// CodeInternal: a server-side invariant broke. Retry with backoff,
+	// bounded.
+	CodeInternal = fterr.Internal
+	// CodeCorrupt: a payload failed integrity verification. Recover
+	// with a full refetch.
+	CodeCorrupt = fterr.Corrupt
+	// CodeUnknown: no code information. Terminal (conservative).
+	CodeUnknown = fterr.Unknown
+)
+
+// AllCodes lists every code in the taxonomy.
+func AllCodes() []Code { return fterr.AllCodes() }
+
+// CodeOf extracts the code from an error returned by this module: the
+// outermost coded wrapper on the chain. Errors without a code report
+// CodeUnknown; CodeOf(nil) is "".
+func CodeOf(err error) Code { return fterr.CodeOf(err) }
+
+// Retryable reports whether err's code permits acting again without new
+// input — a plain retry (CodeUnavailable, CodeInternal) or a
+// resync-then-retry (CodeResyncRequired, CodeCorrupt). Uncoded errors
+// are not retryable.
+func Retryable(err error) bool { return fterr.Retryable(err) }
+
+// IsCode reports whether err carries the given code.
+func IsCode(err error, code Code) bool { return fterr.Is(err, code) }

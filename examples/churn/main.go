@@ -12,7 +12,6 @@
 package main
 
 import (
-	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -47,14 +46,17 @@ func main() {
 		}
 
 		emb, err := ses.Reembed()
-		if errors.Is(err, ftnet.ErrNotTolerated) {
+		if ftnet.IsCode(err, ftnet.CodeNotTolerated) {
+			// The typed outcome: terminal, but with a prescribed recovery —
+			// the state must heal (repair faults) before a re-evaluation
+			// can commit. The session keeps serving the last good state.
 			fmt.Printf("step %d: %3d faults -> NOT tolerated (repair and retry)\n", step, ses.FaultCount())
 			ses.ClearFaults(alive...)
 			alive = alive[:0]
 			continue
 		}
 		if err != nil {
-			log.Fatal(err)
+			log.Fatalf("%v (code %s, retryable %v)", err, ftnet.CodeOf(err), ftnet.Retryable(err))
 		}
 		h00, _ := emb.HostOf(0, 0)
 		fmt.Printf("step %d: %3d faults -> verified torus, guest (0,0) at host %d\n",

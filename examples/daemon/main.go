@@ -1,10 +1,10 @@
-// Command daemon is a minimal ftnetd client: it reports a burst of
-// faults to a running daemon, reads back the committed embedding
-// snapshot, verifies its checksum locally, then exercises the fleet
-// wire layer — a binary snapshot, a /watch subscription, and a
-// ?since= delta that it applies and verifies against the watched
-// commit — before repairing the faults and printing the daemon's
-// batching metrics.
+// Command daemon is a minimal ftnetd client built on the resilient SDK
+// (ftnet/client): it reports a burst of faults, syncs the committed
+// embedding (full fetch once, checksum-verified column deltas after),
+// follows the /watch commit stream, repairs the faults, and prints the
+// daemon's batching metrics and the SDK's recovery counters. Every
+// request runs under the SDK's typed-error retry policy, so the example
+// behaves correctly even against a daemon started with -chaos.
 //
 // Start a daemon first:
 //
@@ -16,10 +16,8 @@
 package main
 
 import (
-	"bufio"
 	"bytes"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,8 +25,8 @@ import (
 	"net/http"
 	"time"
 
-	"ftnet/internal/server"
-	"ftnet/internal/wire"
+	"ftnet"
+	"ftnet/client"
 )
 
 func main() {
@@ -36,109 +34,87 @@ func main() {
 	topo := flag.String("topology", "main", "topology id")
 	flag.Parse()
 
-	base := *addr + "/v1/topologies/" + *topo
+	c, err := client.New(client.Options{BaseURL: *addr, Topology: *topo})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 
 	// Host parameters.
-	var info struct {
-		Side      int `json:"side"`
-		Dims      int `json:"dims"`
-		HostNodes int `json:"host_nodes"`
+	info, err := c.Info(ctx)
+	if err != nil {
+		log.Fatalf("info: %v (is ftnetd running? start it with: ftnet serve)", err)
 	}
-	mustJSON("GET", base, nil, &info)
 	fmt.Printf("topology %s: %d-dimensional side-%d torus on %d host nodes\n",
 		*topo, info.Dims, info.Side, info.HostNodes)
 
-	// Report a burst of well-separated faults; the response tells us
-	// which committed generation covers them.
+	// Report a burst of well-separated faults; the returned state names
+	// the committed generation that covers them. Errors are typed: a
+	// not_tolerated outcome is a distinct, non-retryable code, not a
+	// string to parse.
 	nodes := []int{17, 5000, 20011, 33333}
-	var state struct {
-		Generation int64  `json:"generation"`
-		FaultCount int    `json:"fault_count"`
-		Checksum   string `json:"checksum"`
+	state, err := c.AddFaults(ctx, nodes...)
+	if ftnet.IsCode(err, ftnet.CodeNotTolerated) {
+		log.Fatalf("fault pattern exceeded the tolerance guarantee: %v", err)
+	} else if err != nil {
+		log.Fatalf("add faults: %v (code %s, retryable %v)", err, ftnet.CodeOf(err), ftnet.Retryable(err))
 	}
-	mustJSON("POST", base+"/faults", map[string]any{"nodes": nodes}, &state)
 	fmt.Printf("reported %d faults -> generation %d (%d standing faults)\n",
 		len(nodes), state.Generation, state.FaultCount)
 
-	// Read the served embedding and verify its checksum locally.
-	var emb struct {
-		Generation int64  `json:"generation"`
-		Checksum   string `json:"checksum"`
-		Faults     []int  `json:"faults"`
-		Map        []int  `json:"map"`
+	// Sync the committed embedding. The SDK fetches the compact binary
+	// snapshot and verifies its checksum before handing it over.
+	snap, err := c.Sync(ctx)
+	if err != nil {
+		log.Fatal(err)
 	}
-	mustJSON("GET", base+"/embedding", nil, &emb)
-	local := fmt.Sprintf("%016x", server.MapChecksum(emb.Map))
-	fmt.Printf("embedding generation %d: %d guest nodes, %d faults avoided, checksum %s (local %s)\n",
-		emb.Generation, len(emb.Map), len(emb.Faults), emb.Checksum, local)
-	if local != emb.Checksum {
-		log.Fatalf("served checksum does not match served map")
-	}
+	fmt.Printf("embedding generation %d: %d guest nodes, %d faults avoided, checksum %016x verified\n",
+		snap.Generation, len(snap.Map), len(snap.Faults), snap.Checksum)
 
-	// Fleet wire layer: fetch the same embedding as a compact binary
-	// snapshot; this is the base the delta below applies to.
-	snap, err := wire.DecodeSnapshot(mustWire("GET", base+"/embedding"))
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("binary snapshot: generation %d, checksum %016x\n",
-		snap.Generation, snap.Checksum)
-
-	// Subscribe to /watch before mutating: the stream opens with a
-	// baseline "commit" for the current head, then pushes one event per
-	// committed generation — no polling.
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	watchReq, err := http.NewRequestWithContext(ctx, "GET", base+"/watch", nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	watchResp, err := http.DefaultClient.Do(watchReq)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer watchResp.Body.Close()
-	events := bufio.NewScanner(watchResp.Body)
+	// Subscribe to the commit stream before mutating: the watch opens
+	// with a baseline commit, then pushes one event per committed
+	// generation — reconnecting automatically if the connection drops.
+	events := make(chan client.Event, 16)
+	watchCtx, stopWatch := context.WithCancel(ctx)
+	watchDone := make(chan error, 1)
+	go func() {
+		watchDone <- c.Watch(watchCtx, func(ev client.Event) error {
+			events <- ev
+			return nil
+		})
+	}()
 
 	// Repair everything; the commit shows up on the watch stream.
-	mustJSON("DELETE", base+"/faults", map[string]any{"nodes": nodes}, &state)
+	state, err = c.ClearFaults(ctx, nodes...)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("repaired -> generation %d (%d standing faults)\n", state.Generation, state.FaultCount)
-	for events.Scan() {
-		line := events.Bytes()
-		if !bytes.HasPrefix(line, []byte("data: ")) {
-			continue
+	for ev := range events {
+		kind := "commit"
+		if ev.Resync {
+			kind = "resync"
 		}
-		var ev struct {
-			Generation  int64 `json:"generation"`
-			ChangedCols int   `json:"changed_cols"`
-		}
-		if err := json.Unmarshal(line[len("data: "):], &ev); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("watch: commit generation %d (%d columns changed)\n",
-			ev.Generation, ev.ChangedCols)
+		fmt.Printf("watch: %s generation %d (%d columns changed)\n", kind, ev.Generation, ev.ChangedCols)
 		if ev.Generation >= state.Generation {
 			break
 		}
 	}
-	cancel()
+	stopWatch()
+	<-watchDone
 
-	// Catch up from the pre-repair snapshot with a delta: only the
-	// columns changed since its generation, applied and verified
-	// against the head checksum. A 410 here would mean the generation
-	// fell off the delta ring and the client must refetch in full.
-	deltaBody := mustWire("GET", fmt.Sprintf("%s/embedding?since=%d", base, snap.Generation))
-	delta, err := wire.DecodeDelta(deltaBody)
+	// Catch up incrementally: Sync now requests only the columns changed
+	// since the held generation, applies them in place, and re-verifies
+	// the map against the head checksum. A 410 (delta ring eviction)
+	// would transparently fall back to a full refetch.
+	head, err := c.Sync(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	head, err := wire.Apply(snap, delta)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("delta %d..%d: %d columns, %d bytes -> checksum %016x verified\n",
-		delta.FromGeneration, delta.ToGeneration, len(delta.Cols),
-		len(deltaBody), head.Checksum)
+	stats := c.Stats()
+	fmt.Printf("delta sync -> generation %d, checksum %016x (%d delta applies, %d full fetches, %d retries, %d resyncs)\n",
+		head.Generation, head.Checksum, stats.DeltaApplies, stats.FullFetches, stats.Retries, stats.Resyncs)
 
 	// Show the daemon's view of the batching.
 	resp, err := http.Get(*addr + "/metrics")
@@ -152,60 +128,5 @@ func main() {
 			bytes.HasPrefix(line, []byte("ftnetd_batch_mutations")) {
 			fmt.Println(string(line))
 		}
-	}
-}
-
-// mustWire fetches a binary-protocol payload (Accept negotiation).
-func mustWire(method, url string) []byte {
-	req, err := http.NewRequest(method, url, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	req.Header.Set("Accept", wire.ContentType)
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("%s %s: %d: %s", method, url, resp.StatusCode, data)
-	}
-	return data
-}
-
-func mustJSON(method, url string, body any, out any) {
-	var rd io.Reader
-	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rd = bytes.NewReader(data)
-	}
-	req, err := http.NewRequest(method, url, rd)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		log.Fatalf("%s %s: %v (is ftnetd running? start it with: ftnet serve)", method, url, err)
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		log.Fatalf("%s %s: %d: %s", method, url, resp.StatusCode, data)
-	}
-	if err := json.Unmarshal(data, out); err != nil {
-		log.Fatalf("%s %s: %v", method, url, err)
 	}
 }

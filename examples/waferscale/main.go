@@ -13,7 +13,6 @@
 package main
 
 import (
-	"errors"
 	"fmt"
 	"log"
 
@@ -43,10 +42,13 @@ func main() {
 		case err == nil:
 			good++
 			fmt.Printf("wafer %d: reconfigured OK (%d logical nodes mapped)\n", wafer, len(emb.Map))
-		case errors.Is(err, ftnet.ErrNotTolerated):
+		case ftnet.IsCode(err, ftnet.CodeNotTolerated):
+			// The typed outcome: a distinct, terminal error code — the
+			// defect pattern broke the tolerance guarantee, this wafer
+			// cannot be reconfigured. Not a bug, not retryable: scrap it.
 			fmt.Printf("wafer %d: defect pattern not reconfigurable (scrap)\n", wafer)
 		default:
-			log.Fatalf("wafer %d: %v", wafer, err)
+			log.Fatalf("wafer %d: %v (code %s, retryable %v)", wafer, err, ftnet.CodeOf(err), ftnet.Retryable(err))
 		}
 	}
 	fmt.Printf("yield: %d/%d wafers at %.0f%% defect rate\n", good, wafers, defectRate*100)

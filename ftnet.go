@@ -7,6 +7,7 @@ import (
 	"ftnet/internal/core"
 	"ftnet/internal/embed"
 	"ftnet/internal/fault"
+	"ftnet/internal/fterr"
 	"ftnet/internal/rng"
 	"ftnet/internal/supernode"
 	"ftnet/internal/worstcase"
@@ -32,7 +33,7 @@ func (f *Faults) Has(v int) bool { return f.set.Has(v) }
 // the padding of the last word is silently absorbed, corrupting Count.
 func checkNode(v, n int) error {
 	if v < 0 || v >= n {
-		return fmt.Errorf("ftnet: host node %d out of range [0, %d)", v, n)
+		return fterr.New(fterr.Invalid, "ftnet", "host node %d out of range [0, %d)", v, n)
 	}
 	return nil
 }
@@ -76,12 +77,12 @@ type Embedding struct {
 // coordinates (each in [0, Side)).
 func (e *Embedding) HostOf(coord ...int) (int, error) {
 	if len(coord) != e.Dims {
-		return 0, fmt.Errorf("ftnet: %d coordinates for a %d-dimensional guest", len(coord), e.Dims)
+		return 0, fterr.New(fterr.Invalid, "ftnet.HostOf", "%d coordinates for a %d-dimensional guest", len(coord), e.Dims)
 	}
 	idx := 0
 	for _, c := range coord {
 		if c < 0 || c >= e.Side {
-			return 0, fmt.Errorf("ftnet: coordinate %d out of [0,%d)", c, e.Side)
+			return 0, fterr.New(fterr.Invalid, "ftnet.HostOf", "coordinate %d out of [0,%d)", c, e.Side)
 		}
 		idx = idx*e.Side + c
 	}
@@ -106,8 +107,11 @@ func (e *Embedding) Mesh() (*Embedding, error) {
 // ErrNotTolerated reports that a fault pattern exceeded what the
 // construction tolerates. For the random-fault constructions this is the
 // low-probability failure event of Theorems 1-2; for the worst-case
-// construction it means the fault budget k was exceeded.
-var ErrNotTolerated = errors.New("ftnet: fault pattern not tolerated")
+// construction it means the fault budget k was exceeded. It is a coded
+// sentinel: errors.Is identifies it through wrapping, and CodeOf reads
+// CodeNotTolerated off the same chain (terminal — the state must heal
+// before a retry can succeed).
+var ErrNotTolerated error = &fterr.E{Code: fterr.NotTolerated, Op: "ftnet", Msg: "fault pattern not tolerated"}
 
 func classify(err error) error {
 	if err == nil {

@@ -25,10 +25,10 @@
 package churn
 
 import (
-	"fmt"
 	"math"
 
 	"ftnet/internal/fault"
+	"ftnet/internal/fterr"
 	"ftnet/internal/grid"
 	"ftnet/internal/rng"
 	"ftnet/internal/validate"
@@ -66,10 +66,10 @@ func (p Process) Validate() error {
 		return err
 	}
 	if p.Arrival == 0 && p.Repair == 0 && p.BurstRate == 0 {
-		return fmt.Errorf("churn: all rates zero; the process has no events")
+		return fterr.New(fterr.Invalid, "churn.Validate", "all rates zero; the process has no events")
 	}
 	if p.BurstRate > 0 && p.BurstSize < 0 {
-		return fmt.Errorf("churn: negative burst size %d", p.BurstSize)
+		return fterr.New(fterr.Invalid, "churn.Validate", "negative burst size %d", p.BurstSize)
 	}
 	return nil
 }
@@ -127,7 +127,7 @@ func (gen *Generator) Next(r rng.Source, faults *fault.Set) (Event, error) {
 	rateRepair := gen.proc.Repair * float64(count)
 	total := rateArrival + rateRepair + gen.proc.BurstRate
 	if total <= 0 {
-		return Event{}, fmt.Errorf("churn: no event possible (%d/%d nodes faulty, rates %+v)", count, n, gen.proc)
+		return Event{}, fterr.New(fterr.Conflict, "churn.Next", "no event possible (%d/%d nodes faulty, rates %+v)", count, n, gen.proc)
 	}
 	// Exponential waiting time; 1-U keeps the argument in (0, 1].
 	gen.now += -math.Log(1-r.Float64()) / total
@@ -151,7 +151,7 @@ func (gen *Generator) Next(r rng.Source, faults *fault.Set) (Event, error) {
 	default:
 		burst, err := fault.Adversarial(gen.proc.BurstPattern, gen.shape, gen.proc.BurstSize, 2, r)
 		if err != nil {
-			return Event{}, fmt.Errorf("churn: burst: %w", err)
+			return Event{}, fterr.Wrap(fterr.Invalid, "churn.burst", err)
 		}
 		burst.ForEach(func(v int) {
 			if !faults.Has(v) {

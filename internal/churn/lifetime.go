@@ -2,9 +2,9 @@ package churn
 
 import (
 	"errors"
-	"fmt"
 
 	"ftnet/internal/core"
+	"ftnet/internal/fterr"
 	"ftnet/internal/parallel"
 	"ftnet/internal/rng"
 )
@@ -114,7 +114,7 @@ type trialState struct {
 // bit-identical for every worker count.
 func Simulate(g *core.Graph, proc Process, trials int, seed uint64, opts Options) (Result, error) {
 	if opts.Horizon <= 0 {
-		return Result{}, fmt.Errorf("churn: horizon %v <= 0", opts.Horizon)
+		return Result{}, fterr.New(fterr.Invalid, "churn.Simulate", "horizon %v <= 0", opts.Horizon)
 	}
 	if err := proc.Validate(); err != nil {
 		return Result{}, err
@@ -171,7 +171,7 @@ func lifetimeTrial(g *core.Graph, ts *trialState, stream *rng.PCG, horizon float
 		if events >= maxEvents {
 			// Refusing to report is better than silently crediting the
 			// unsimulated tail of the horizon as up-time.
-			return fmt.Errorf("churn: trial exceeded MaxEvents=%d at t=%.3g of horizon %.3g; raise Options.MaxEvents or shorten the horizon", maxEvents, now, horizon)
+			return fterr.New(fterr.Conflict, "churn.lifetimeTrial", "trial exceeded MaxEvents=%d at t=%.3g of horizon %.3g; raise Options.MaxEvents or shorten the horizon", maxEvents, now, horizon)
 		}
 		ev, err := ts.gen.Next(stream, faults)
 		if err != nil {

@@ -15,6 +15,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"ftnet/internal/fterr"
 )
 
 // Params fixes an exactly divisible instantiation of B^d_n.
@@ -43,31 +45,31 @@ type Params struct {
 // validated receiver.
 func (p Params) Validate() error {
 	if p.D < 2 {
-		return fmt.Errorf("core: dimension %d < 2 (Theorem 2 requires d >= 2)", p.D)
+		return fterr.New(fterr.Invalid, "core", "dimension %d < 2 (Theorem 2 requires d >= 2)", p.D)
 	}
 	if p.W < 4 {
-		return fmt.Errorf("core: band width %d < 4", p.W)
+		return fterr.New(fterr.Invalid, "core", "band width %d < 4", p.W)
 	}
 	if p.Pitch < 2*p.W+2 {
-		return fmt.Errorf("core: pitch %d < 2W+2 = %d (bands would not fit untouching)", p.Pitch, 2*p.W+2)
+		return fterr.New(fterr.Invalid, "core", "pitch %d < 2W+2 = %d (bands would not fit untouching)", p.Pitch, 2*p.W+2)
 	}
 	if (p.W*p.W)%p.Pitch != 0 {
-		return fmt.Errorf("core: pitch %d does not divide W^2 = %d", p.Pitch, p.W*p.W)
+		return fterr.New(fterr.Invalid, "core", "pitch %d does not divide W^2 = %d", p.Pitch, p.W*p.W)
 	}
 	if p.Scale < 1 {
-		return fmt.Errorf("core: scale %d < 1", p.Scale)
+		return fterr.New(fterr.Invalid, "core", "scale %d < 1", p.Scale)
 	}
 	per := p.PerSlab()
 	// Default band positions W, W+spread, ... must fit below W^2-W-1 with
 	// gaps >= W+1 so that untouching holds across slab boundaries.
 	if p.W+(per-1)*(p.W+1) > p.W*p.W-p.W-1 {
-		return fmt.Errorf("core: %d bands per slab cannot fit in a %d-row slab with width %d", per, p.W*p.W, p.W)
+		return fterr.New(fterr.Invalid, "core", "%d bands per slab cannot fit in a %d-row slab with width %d", per, p.W*p.W, p.W)
 	}
 	if p.ColTiles() < 5 {
-		return fmt.Errorf("core: only %d column tiles per dimension; need >= 5 for fault isolation", p.ColTiles())
+		return fterr.New(fterr.Invalid, "core", "only %d column tiles per dimension; need >= 5 for fault isolation", p.ColTiles())
 	}
 	if p.NumSlabs() < 5 {
-		return fmt.Errorf("core: only %d slabs; need >= 5 for fault isolation", p.NumSlabs())
+		return fterr.New(fterr.Invalid, "core", "only %d slabs; need >= 5 for fault isolation", p.NumSlabs())
 	}
 	return nil
 }
@@ -149,7 +151,7 @@ func FitParams(d, minSide int, maxEps float64) (Params, error) {
 		minSide = 16
 	}
 	if maxEps <= 0 {
-		return Params{}, fmt.Errorf("core: maxEps must be positive")
+		return Params{}, fterr.New(fterr.Invalid, "core", "maxEps must be positive")
 	}
 	// Policy: the paper wants b ~ log2(n), but a large b forces n up to a
 	// multiple of b^2(pitch-b). Among candidate widths, prefer the largest
@@ -188,7 +190,7 @@ func FitParams(d, minSide int, maxEps float64) (Params, error) {
 		return bestPreferred, nil
 	}
 	if !found {
-		return Params{}, fmt.Errorf("core: no parameters fit d=%d minSide=%d maxEps=%g", d, minSide, maxEps)
+		return Params{}, fterr.New(fterr.Invalid, "core", "no parameters fit d=%d minSide=%d maxEps=%g", d, minSide, maxEps)
 	}
 	return best, nil
 }

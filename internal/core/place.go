@@ -8,6 +8,7 @@ import (
 
 	"ftnet/internal/bands"
 	"ftnet/internal/fault"
+	"ftnet/internal/fterr"
 	"ftnet/internal/grid"
 	"ftnet/internal/multilinear"
 )
@@ -22,6 +23,11 @@ type UnhealthyError struct {
 }
 
 func (e *UnhealthyError) Error() string { return "core: unhealthy fault pattern: " + e.Reason }
+
+// FtCode marks UnhealthyError as fterr.NotTolerated (the fterr.Coder
+// interface), so fterr.CodeOf classifies it without the public package
+// having to re-wrap — the state must heal before a retry can succeed.
+func (e *UnhealthyError) FtCode() fterr.Code { return fterr.NotTolerated }
 
 func unhealthy(format string, args ...any) error {
 	return &UnhealthyError{Reason: fmt.Sprintf(format, args...)}

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ftnet/internal/fterr"
+	"ftnet/internal/rng"
+	"ftnet/internal/validate"
+	"ftnet/internal/wire"
+)
+
+// ChaosConfig parameterizes the daemon's fault-injection middleware —
+// the harness that lets the resilience layer be tested against the
+// failures it claims to absorb, on a real serve path instead of mocks.
+// All probabilities are per-request in [0, 1]; zero disables that
+// injection. The zero value disables everything.
+type ChaosConfig struct {
+	// LatencyP injects Latency of added delay before the handler runs.
+	LatencyP float64
+	// Latency is the injected delay (default 50ms when LatencyP > 0).
+	Latency time.Duration
+	// ErrorP replaces the response with an injected 503 burst error.
+	ErrorP float64
+	// DropP severs the connection midway through the response body: the
+	// client sees a truncated read, not a clean status.
+	DropP float64
+	// CorruptP flips one byte of a binary wire payload (JSON responses
+	// are left alone: corruption targets the checksum-verified path).
+	CorruptP float64
+	// EvictP answers a ?since= delta request with an injected 410, as if
+	// the generation had fallen off the delta ring.
+	EvictP float64
+	// Seed makes the injection sequence reproducible (0 picks 1).
+	Seed uint64
+}
+
+// Enabled reports whether any injection can fire.
+func (c ChaosConfig) Enabled() bool {
+	return c.LatencyP > 0 || c.ErrorP > 0 || c.DropP > 0 || c.CorruptP > 0 || c.EvictP > 0
+}
+
+// Validate bounds every probability.
+func (c ChaosConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"chaos latency-p", c.LatencyP},
+		{"chaos error-p", c.ErrorP},
+		{"chaos drop-p", c.DropP},
+		{"chaos corrupt-p", c.CorruptP},
+		{"chaos evict-p", c.EvictP},
+	} {
+		if err := validate.Rate(p.name, p.v); err != nil {
+			return err
+		}
+		if p.v > 1 {
+			return fterr.New(fterr.Invalid, "server.chaos", "%s must be <= 1, got %v", p.name, p.v)
+		}
+	}
+	if c.Latency < 0 {
+		return fterr.New(fterr.Invalid, "server.chaos", "chaos latency must be >= 0, got %v", c.Latency)
+	}
+	return nil
+}
+
+// ParseChaos parses the -chaos flag / FTNET_CHAOS env form: a comma
+// list of key=value pairs, e.g.
+//
+//	latency-p=0.2,latency=30ms,error-p=0.1,drop-p=0.05,corrupt-p=0.05,evict-p=0.1,seed=7
+//
+// An empty spec returns the disabled zero config.
+func ParseChaos(spec string) (ChaosConfig, error) {
+	var c ChaosConfig
+	if strings.TrimSpace(spec) == "" {
+		return c, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return c, fterr.New(fterr.Invalid, "server.chaos", "chaos spec %q: %q is not key=value", spec, part)
+		}
+		var err error
+		switch key {
+		case "latency-p":
+			c.LatencyP, err = strconv.ParseFloat(val, 64)
+		case "latency":
+			c.Latency, err = time.ParseDuration(val)
+		case "error-p":
+			c.ErrorP, err = strconv.ParseFloat(val, 64)
+		case "drop-p":
+			c.DropP, err = strconv.ParseFloat(val, 64)
+		case "corrupt-p":
+			c.CorruptP, err = strconv.ParseFloat(val, 64)
+		case "evict-p":
+			c.EvictP, err = strconv.ParseFloat(val, 64)
+		case "seed":
+			c.Seed, err = strconv.ParseUint(val, 10, 64)
+		default:
+			return c, fterr.New(fterr.Invalid, "server.chaos", "chaos spec %q: unknown key %q (want latency-p, latency, error-p, drop-p, corrupt-p, evict-p, seed)", spec, key)
+		}
+		if err != nil {
+			return c, fterr.New(fterr.Invalid, "server.chaos", "chaos spec %q: bad %s: %v", spec, key, err)
+		}
+	}
+	if c.LatencyP > 0 && c.Latency == 0 {
+		c.Latency = 50 * time.Millisecond
+	}
+	return c, c.Validate()
+}
+
+// chaosInjector is the middleware state: a seeded, mutex-guarded PCG
+// (deterministic injection sequences for a given request order) and one
+// counter per injection kind, exposed on /metrics so a test or smoke
+// script can assert that faults actually fired.
+type chaosInjector struct {
+	cfg ChaosConfig
+
+	mu  sync.Mutex
+	rng *rng.PCG
+
+	latency  atomic.Int64
+	errors   atomic.Int64
+	drops    atomic.Int64
+	corrupts atomic.Int64
+	evicts   atomic.Int64
+}
+
+func newChaosInjector(cfg ChaosConfig) *chaosInjector {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &chaosInjector{cfg: cfg, rng: rng.NewPCG(seed, 0)}
+}
+
+// roll draws one Bernoulli per injection decision.
+func (c *chaosInjector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	hit := c.rng.Bernoulli(p)
+	c.mu.Unlock()
+	return hit
+}
+
+func (c *chaosInjector) writeMetrics(b *strings.Builder) {
+	kinds := []struct {
+		kind string
+		n    *atomic.Int64
+	}{
+		{"latency", &c.latency},
+		{"error", &c.errors},
+		{"drop", &c.drops},
+		{"corrupt", &c.corrupts},
+		{"evict", &c.evicts},
+	}
+	b.WriteString("# HELP ftnetd_chaos_injections_total Faults injected by the chaos middleware.\n# TYPE ftnetd_chaos_injections_total counter\n")
+	for _, k := range kinds {
+		b.WriteString("ftnetd_chaos_injections_total{kind=\"" + k.kind + "\"} " + strconv.FormatInt(k.n.Load(), 10) + "\n")
+	}
+}
+
+// chaosRecorder buffers a response so the middleware can truncate or
+// corrupt it after the handler ran.
+type chaosRecorder struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (r *chaosRecorder) Header() http.Header { return r.header }
+func (r *chaosRecorder) WriteHeader(s int) {
+	if r.status == 0 {
+		r.status = s
+	}
+}
+func (r *chaosRecorder) Write(b []byte) (int, error) {
+	r.WriteHeader(http.StatusOK)
+	return r.body.Write(b)
+}
+
+// wrap returns the handler behind the fault-injection middleware.
+//
+// Injections apply only to /v1/ API requests — /healthz and /metrics
+// stay reliable so orchestration and assertions keep working — and the
+// /watch SSE stream is exempt from drop/corrupt/buffering (an infinite
+// stream cannot be buffered; its failure modes are covered by dropping
+// the polls around it and by server restarts).
+func (c *chaosInjector) wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if c.roll(c.cfg.LatencyP) {
+			c.latency.Add(1)
+			time.Sleep(c.cfg.Latency)
+		}
+		if c.roll(c.cfg.ErrorP) {
+			c.errors.Add(1)
+			err := fterr.New(fterr.Unavailable, "server.chaos", "injected fault: unavailable")
+			writeJSON(w, fterr.Unavailable.HTTPStatus(), errBody(err, 0))
+			return
+		}
+		if r.URL.Query().Get("since") != "" && c.roll(c.cfg.EvictP) {
+			c.evicts.Add(1)
+			err := fterr.New(fterr.ResyncRequired, "server.chaos", "injected fault: generation evicted")
+			writeJSON(w, fterr.ResyncRequired.HTTPStatus(), errBody(err, 0))
+			return
+		}
+		stream := strings.HasSuffix(r.URL.Path, "/watch")
+		if stream || (c.cfg.DropP <= 0 && c.cfg.CorruptP <= 0) {
+			next.ServeHTTP(w, r)
+			return
+		}
+
+		rec := &chaosRecorder{header: w.Header().Clone()}
+		next.ServeHTTP(rec, r)
+		body := rec.body.Bytes()
+
+		if c.roll(c.cfg.DropP) {
+			c.drops.Add(1)
+			// Flush a partial body, then abort the connection: the client
+			// observes a truncated read mid-payload, the dirtiest failure
+			// an HTTP server can hand it short of byte corruption.
+			for k, v := range rec.header {
+				w.Header()[k] = v
+			}
+			w.Header().Del("Content-Length")
+			w.WriteHeader(rec.status)
+			w.Write(body[:len(body)/2])
+			if fl, ok := w.(http.Flusher); ok {
+				fl.Flush()
+			}
+			panic(http.ErrAbortHandler)
+		}
+		if rec.header.Get("Content-Type") == wire.ContentType && len(body) > 0 && c.roll(c.cfg.CorruptP) {
+			c.corrupts.Add(1)
+			// Flip one byte somewhere in the payload; the binary codec's
+			// strict decode or checksum verification must catch it.
+			c.mu.Lock()
+			i := c.rng.Intn(len(body))
+			c.mu.Unlock()
+			body = append([]byte(nil), body...)
+			body[i] ^= 0x20
+		}
+		for k, v := range rec.header {
+			w.Header()[k] = v
+		}
+		w.WriteHeader(rec.status)
+		w.Write(body)
+	})
+}

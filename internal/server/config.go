@@ -1,11 +1,11 @@
 package server
 
 import (
-	"fmt"
 	"strconv"
 	"strings"
 	"time"
 
+	"ftnet/internal/fterr"
 	"ftnet/internal/validate"
 )
 
@@ -25,11 +25,11 @@ type TopologyConfig struct {
 // Validate checks one topology spec.
 func (t TopologyConfig) Validate() error {
 	if t.ID == "" {
-		return fmt.Errorf("topology id must be non-empty")
+		return fterr.New(fterr.Invalid, "server.config", "topology id must be non-empty")
 	}
 	for _, r := range t.ID {
 		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_') {
-			return fmt.Errorf("topology id %q: only letters, digits, '-' and '_' are allowed", t.ID)
+			return fterr.New(fterr.Invalid, "server.config", "topology id %q: only letters, digits, '-' and '_' are allowed", t.ID)
 		}
 	}
 	if err := validate.Min("topology "+t.ID+": d", t.D, 2); err != nil {
@@ -48,7 +48,7 @@ func ParseTopologySpec(spec string) (TopologyConfig, error) {
 	for _, part := range strings.Split(spec, ",") {
 		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
 		if !ok {
-			return tc, fmt.Errorf("topology spec %q: %q is not key=value", spec, part)
+			return tc, fterr.New(fterr.Invalid, "server.config", "topology spec %q: %q is not key=value", spec, part)
 		}
 		var err error
 		switch key {
@@ -61,14 +61,14 @@ func ParseTopologySpec(spec string) (TopologyConfig, error) {
 		case "eps":
 			tc.MaxEps, err = strconv.ParseFloat(val, 64)
 		default:
-			return tc, fmt.Errorf("topology spec %q: unknown key %q (want id, d, side, eps)", spec, key)
+			return tc, fterr.New(fterr.Invalid, "server.config", "topology spec %q: unknown key %q (want id, d, side, eps)", spec, key)
 		}
 		if err != nil {
-			return tc, fmt.Errorf("topology spec %q: bad %s: %v", spec, key, err)
+			return tc, fterr.New(fterr.Invalid, "server.config", "topology spec %q: bad %s: %v", spec, key, err)
 		}
 	}
 	if tc.ID == "" || tc.MinSide == 0 {
-		return tc, fmt.Errorf("topology spec %q: id and side are required", spec)
+		return tc, fterr.New(fterr.Invalid, "server.config", "topology spec %q: id and side are required", spec)
 	}
 	return tc, tc.Validate()
 }
@@ -97,6 +97,9 @@ type Config struct {
 	// (older generations get 410 Gone and resync from the full
 	// embedding). 0 means the default of 64; negative is invalid.
 	DeltaRing int
+	// Chaos parameterizes the fault-injection middleware (the -chaos
+	// flag / FTNET_CHAOS env); the zero value disables it.
+	Chaos ChaosConfig
 }
 
 // Defaults for the batching policy and the delta ring.
@@ -112,15 +115,15 @@ const (
 // as the churn CLI flags.
 func (c Config) Validate() error {
 	if len(c.Topologies) == 0 {
-		return fmt.Errorf("server: no topologies configured")
+		return fterr.New(fterr.Invalid, "server.config", "server: no topologies configured")
 	}
 	seen := make(map[string]bool, len(c.Topologies))
 	for _, t := range c.Topologies {
 		if err := t.Validate(); err != nil {
-			return fmt.Errorf("server: %v", err)
+			return fterr.New(fterr.Invalid, "server.config", "server: %v", err)
 		}
 		if seen[t.ID] {
-			return fmt.Errorf("server: duplicate topology id %q", t.ID)
+			return fterr.New(fterr.Invalid, "server.config", "server: duplicate topology id %q", t.ID)
 		}
 		seen[t.ID] = true
 	}
@@ -130,7 +133,7 @@ func (c Config) Validate() error {
 	if err := validate.Min("server: delta ring", c.DeltaRing, 0); err != nil {
 		return err
 	}
-	return nil
+	return c.Chaos.Validate()
 }
 
 // maxBatchCols resolves the threshold default.

@@ -1,13 +1,13 @@
 package server
 
 import (
-	"errors"
 	"fmt"
 	"slices"
 	"sync"
 	"sync/atomic"
 
 	"ftnet"
+	"ftnet/internal/fterr"
 	"ftnet/internal/wire"
 )
 
@@ -16,7 +16,7 @@ import (
 // exists, and serving anything else would hand the client stale state.
 // Handlers map it to 410 Gone; the client resyncs from the full
 // embedding.
-var errDeltaEvicted = errors.New("server: generation evicted from the delta ring; resync from the full embedding")
+var errDeltaEvicted error = &fterr.E{Code: fterr.ResyncRequired, Op: "server", Msg: "generation evicted from the delta ring; resync from the full embedding"}
 
 // deltaRec is one commit's entry in the per-topology delta ring: the
 // guest columns whose map entries changed versus the previous

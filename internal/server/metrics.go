@@ -5,7 +5,45 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+
+	"ftnet/internal/fterr"
 )
+
+// metricCodes pins the exposition order of ftnetd_errors_total: every
+// taxonomy code appears, zero-valued or not, so dashboards and the
+// smoke script can rely on the series existing before the first error.
+var metricCodes = fterr.AllCodes()
+
+// errCounters counts error responses by fterr code (one atomic per
+// taxonomy code; see Server.writeErr).
+type errCounters struct {
+	counts [16]atomic.Int64 // indexed by position in metricCodes
+}
+
+func (e *errCounters) inc(c fterr.Code) {
+	idx := -1
+	for i, k := range metricCodes {
+		if k == c {
+			idx = i
+			break
+		}
+		if k == fterr.Unknown {
+			idx = i // fallback: off-taxonomy codes count as unknown
+		}
+	}
+	if idx >= 0 {
+		e.counts[idx].Add(1)
+	}
+}
+
+func (e *errCounters) get(c fterr.Code) int64 {
+	for i, k := range metricCodes {
+		if k == c {
+			return e.counts[i].Load()
+		}
+	}
+	return 0
+}
 
 // topoMetrics is the per-topology instrument set, updated by the
 // topology's writer goroutine and read lock-free by GET /metrics.
@@ -32,12 +70,23 @@ func (m *topoMetrics) evals() int64 {
 
 // writeMetrics renders every topology's instruments in the Prometheus
 // text exposition format (hand-rolled: the repo takes no dependencies).
-func writeMetrics(b *strings.Builder, topos map[string]*topology) {
+func writeMetrics(b *strings.Builder, s *Server) {
+	topos := s.topos
 	ids := make([]string, 0, len(topos))
 	for id := range topos {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+
+	// Error responses by taxonomy code; every code is pre-registered so
+	// a zero series proves the counter exists (daemon_smoke greps these).
+	fmt.Fprintf(b, "# HELP ftnetd_errors_total Error responses by fterr code.\n# TYPE ftnetd_errors_total counter\n")
+	for _, c := range metricCodes {
+		fmt.Fprintf(b, "ftnetd_errors_total{code=%q} %d\n", string(c), s.errs.get(c))
+	}
+	if s.chaos != nil {
+		s.chaos.writeMetrics(b)
+	}
 
 	fmt.Fprintf(b, "# HELP ftnetd_reembed_total Reembed evaluations by outcome.\n# TYPE ftnetd_reembed_total counter\n")
 	for _, id := range ids {

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"ftnet"
+	"ftnet/internal/fterr"
 	"ftnet/internal/wire"
 )
 
@@ -50,6 +51,12 @@ type Server struct {
 	mux    *http.ServeMux
 	snapMu sync.Mutex // serializes snapshot file writes
 
+	// errs counts every error response by fterr code (the
+	// ftnetd_errors_total metric); writeErr is the single choke point.
+	errs errCounters
+	// chaos, when non-nil, is the fault-injection middleware state.
+	chaos *chaosInjector
+
 	// watchc, when closed, disconnects every watch stream; see
 	// DisconnectWatchers.
 	watchc    chan struct{}
@@ -69,18 +76,21 @@ func New(cfg Config) (*Server, error) {
 		topos:  make(map[string]*topology, len(cfg.Topologies)),
 		watchc: make(chan struct{}),
 	}
+	if cfg.Chaos.Enabled() {
+		s.chaos = newChaosInjector(cfg.Chaos)
+	}
 	for _, tc := range cfg.Topologies {
 		var restore *diskSnapshot
 		if cfg.SnapshotDir != "" {
 			var err error
 			restore, err = loadSnapshot(cfg.SnapshotDir, tc.ID)
 			if err != nil {
-				return nil, fmt.Errorf("server: %v", err)
+				return nil, fmt.Errorf("server: %w", err)
 			}
 		}
 		t, err := newTopology(tc, cfg, restore)
 		if err != nil {
-			return nil, fmt.Errorf("server: %v", err)
+			return nil, fmt.Errorf("server: %w", err)
 		}
 		s.topos[tc.ID] = t
 	}
@@ -145,8 +155,14 @@ func (s *Server) writeTopoSnapshot(t *topology) (string, *Snapshot, error) {
 	return path, snap, err
 }
 
-// Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP handler — wrapped by the
+// fault-injection middleware when chaos is configured.
+func (s *Server) Handler() http.Handler {
+	if s.chaos != nil {
+		return s.chaos.wrap(s.mux)
+	}
+	return s.mux
+}
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -164,7 +180,12 @@ func (s *Server) routes() {
 // ---------------------------------------------------------------------------
 // Wire types.
 
-type errorResponse struct {
+// errorBody is every error response's JSON document: the typed
+// fterr.Wire fields ({code, message, retryable, resync_from}) plus a
+// legacy "error" string kept for pre-taxonomy clients and scripts.
+type errorBody struct {
+	fterr.Wire
+	// Error duplicates Message under the key older clients read.
 	Error string `json:"error"`
 }
 
@@ -248,8 +269,34 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+// errBody renders err as the typed wire document. The status and the
+// retryable flag derive mechanically from the error's code — handlers
+// never pick either.
+func errBody(err error, resyncFrom int64) errorBody {
+	code := fterr.CodeOf(err)
+	return errorBody{
+		Wire: fterr.Wire{
+			Code:       code,
+			Message:    err.Error(),
+			Retryable:  code.Retryable(),
+			ResyncFrom: resyncFrom,
+		},
+		Error: err.Error(),
+	}
+}
+
+// writeErr is the single error choke point: code -> HTTP status, typed
+// JSON body, and the ftnetd_errors_total counter.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	s.writeErrResync(w, err, 0)
+}
+
+// writeErrResync is writeErr for resync_required responses, carrying
+// the head generation the client should full-fetch.
+func (s *Server) writeErrResync(w http.ResponseWriter, err error, resyncFrom int64) {
+	code := fterr.CodeOf(err)
+	s.errs.inc(code)
+	writeJSON(w, code.HTTPStatus(), errBody(err, resyncFrom))
 }
 
 // topo resolves the {id} path value; a miss answers 404 and returns nil.
@@ -257,7 +304,7 @@ func (s *Server) topo(w http.ResponseWriter, r *http.Request) *topology {
 	id := r.PathValue("id")
 	t, ok := s.topos[id]
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown topology %q", id)
+		s.writeErr(w, fterr.New(fterr.NotFound, "server", "unknown topology %q", id))
 		return nil
 	}
 	return t
@@ -298,7 +345,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
-	writeMetrics(&b, s.topos)
+	writeMetrics(&b, s)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.Write([]byte(b.String()))
 }
@@ -348,17 +395,17 @@ func (s *Server) mutationHandler(kind reqKind) http.HandlerFunc {
 		var req mutationRequest
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 		if err := dec.Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+			s.writeErr(w, fterr.Wrapf(fterr.Invalid, "server", err, "bad request body"))
 			return
 		}
 		if len(req.Nodes) == 0 {
-			writeError(w, http.StatusBadRequest, "no nodes in request")
+			s.writeErr(w, fterr.New(fterr.Invalid, "server", "no nodes in request"))
 			return
 		}
 		n := t.host.HostNodes()
 		for _, v := range req.Nodes {
 			if v < 0 || v >= n {
-				writeError(w, http.StatusBadRequest, "host node %d out of range [0, %d)", v, n)
+				s.writeErr(w, fterr.New(fterr.Invalid, "server", "host node %d out of range [0, %d)", v, n))
 				return
 			}
 		}
@@ -366,7 +413,7 @@ func (s *Server) mutationHandler(kind reqKind) http.HandlerFunc {
 		if raw := r.URL.Query().Get("wait"); raw != "" {
 			var err error
 			if wait, err = strconv.ParseBool(raw); err != nil {
-				writeError(w, http.StatusBadRequest, "bad wait parameter %q (want a boolean)", raw)
+				s.writeErr(w, fterr.New(fterr.Invalid, "server", "bad wait parameter %q (want a boolean)", raw))
 				return
 			}
 		}
@@ -375,7 +422,7 @@ func (s *Server) mutationHandler(kind reqKind) http.HandlerFunc {
 			mut.reply = make(chan result, 1)
 		}
 		if err := t.submit(mut); err != nil {
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			s.writeErr(w, err)
 			return
 		}
 		if !wait {
@@ -395,7 +442,7 @@ func (s *Server) handleReembed(w http.ResponseWriter, r *http.Request) {
 	}
 	mut := request{kind: reqFlush, reply: make(chan result, 1)}
 	if err := t.submit(mut); err != nil {
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		s.writeErr(w, err)
 		return
 	}
 	s.replyState(w, r, t, mut.reply)
@@ -411,24 +458,26 @@ func (s *Server) replyState(w http.ResponseWriter, r *http.Request, t *topology,
 		case res.err == nil:
 			writeJSON(w, http.StatusOK, stateOf(t, res.snap))
 		case errors.Is(res.err, ftnet.ErrNotTolerated):
+			// 422 carries the typed error AND the last-good committed
+			// state the daemon keeps serving: recorded reality never
+			// rolls back, the caller sees exactly what still stands.
 			snap := t.snap.Load()
-			writeJSON(w, http.StatusUnprocessableEntity, struct {
-				errorResponse
+			code := fterr.CodeOf(res.err)
+			s.errs.inc(code)
+			writeJSON(w, code.HTTPStatus(), struct {
+				errorBody
 				stateResponse
-			}{
-				errorResponse{Error: res.err.Error()},
-				stateOf(t, snap),
-			})
+			}{errBody(res.err, 0), stateOf(t, snap)})
 		case errors.Is(res.err, errShutdown):
-			writeError(w, http.StatusServiceUnavailable, "%v", res.err)
+			s.writeErr(w, res.err)
 		default:
-			writeError(w, http.StatusInternalServerError, "%v", res.err)
+			s.writeErr(w, fterr.Wrap(fterr.Internal, "server.eval", res.err))
 		}
 	case <-r.Context().Done():
 		// Client went away; the writer's buffered reply is dropped.
-		writeError(w, http.StatusServiceUnavailable, "request canceled")
+		s.writeErr(w, fterr.New(fterr.Unavailable, "server", "request canceled"))
 	case <-t.stopc:
-		writeError(w, http.StatusServiceUnavailable, "%v", errShutdown)
+		s.writeErr(w, errShutdown)
 	}
 }
 
@@ -456,7 +505,7 @@ func (s *Server) handleEmbedding(w http.ResponseWriter, r *http.Request) {
 		if binary {
 			b, err := snap.wireFull(t.cfg.ID)
 			if err != nil {
-				writeError(w, http.StatusInternalServerError, "encode embedding: %v", err)
+				s.writeErr(w, fterr.Wrapf(fterr.Internal, "server", err, "encode embedding"))
 				return
 			}
 			writeWire(w, b)
@@ -470,25 +519,26 @@ func (s *Server) handleEmbedding(w http.ResponseWriter, r *http.Request) {
 
 	since, err := strconv.ParseInt(raw, 10, 64)
 	if err != nil || since < 0 {
-		writeError(w, http.StatusBadRequest, "bad since parameter %q (want a non-negative generation)", raw)
+		s.writeErr(w, fterr.New(fterr.Invalid, "server", "bad since parameter %q (want a non-negative generation)", raw))
 		return
 	}
 	if since > snap.Generation {
-		writeError(w, http.StatusBadRequest, "since generation %d is ahead of head generation %d", since, snap.Generation)
+		s.writeErr(w, fterr.New(fterr.Invalid, "server", "since generation %d is ahead of head generation %d", since, snap.Generation))
 		return
 	}
 	cols, err := deltaSince(snap, since)
 	if err != nil {
-		// The requested diff no longer exists; never serve a stale guess.
+		// The requested diff no longer exists; never serve a stale
+		// guess. resync_from tells the client which head to full-fetch.
 		t.metrics.deltaResync.Add(1)
-		writeError(w, http.StatusGone, "%v", err)
+		s.writeErrResync(w, err, snap.Generation)
 		return
 	}
 	t.metrics.deltaServed.Add(1)
 	if binary {
 		b, err := t.wireDeltaEncoded(snap, since, cols)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "encode delta: %v", err)
+			s.writeErr(w, fterr.Wrapf(fterr.Internal, "server", err, "encode delta"))
 			return
 		}
 		writeWire(w, b)
@@ -517,12 +567,12 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.cfg.SnapshotDir == "" {
-		writeError(w, http.StatusConflict, "snapshots disabled: no snapshot dir configured")
+		s.writeErr(w, fterr.New(fterr.Conflict, "server", "snapshots disabled: no snapshot dir configured"))
 		return
 	}
 	path, snap, err := s.writeTopoSnapshot(t)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		s.writeErr(w, fterr.Wrapf(fterr.Internal, "server", err, "snapshot"))
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ftnet"
+	"ftnet/internal/fterr"
 )
 
 // testConfig hosts one small topology (guest side 192, 49k host nodes —
@@ -243,7 +244,7 @@ func TestServeNotTolerated(t *testing.T) {
 		killer[r] = r*numCols + col
 	}
 	var failBody struct {
-		errorResponse
+		errorBody
 		stateResponse
 	}
 	code, _ = doJSON(t, "POST", ts.URL+"/v1/topologies/main/faults", mutationRequest{Nodes: killer}, &failBody)
@@ -252,6 +253,9 @@ func TestServeNotTolerated(t *testing.T) {
 	}
 	if failBody.Error == "" || failBody.Generation != goodGen {
 		t.Fatalf("422 body: %+v", failBody)
+	}
+	if failBody.Code != fterr.NotTolerated || failBody.Retryable {
+		t.Fatalf("422 typed body: code=%q retryable=%v, want not_tolerated/terminal", failBody.Code, failBody.Retryable)
 	}
 
 	// Reads still serve the last good commit.

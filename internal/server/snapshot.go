@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strconv"
 
+	"ftnet/internal/fterr"
+
 	"ftnet"
 )
 
@@ -47,13 +49,13 @@ func (d *diskSnapshot) checksum() uint64 {
 // check refuses to restore state onto an incompatible host.
 func (d *diskSnapshot) check(cfg TopologyConfig, host *ftnet.RandomFaultTorus) error {
 	if d.Version != snapshotVersion {
-		return fmt.Errorf("topology %s: snapshot version %d, want %d", cfg.ID, d.Version, snapshotVersion)
+		return fterr.New(fterr.Corrupt, "server.snapshot", "topology %s: snapshot version %d, want %d", cfg.ID, d.Version, snapshotVersion)
 	}
 	if d.TopologyID != cfg.ID {
-		return fmt.Errorf("topology %s: snapshot belongs to topology %q", cfg.ID, d.TopologyID)
+		return fterr.New(fterr.Corrupt, "server.snapshot", "topology %s: snapshot belongs to topology %q", cfg.ID, d.TopologyID)
 	}
 	if d.D != host.Dims() || d.Side != host.Side() || d.HostNodes != host.HostNodes() {
-		return fmt.Errorf("topology %s: snapshot host (d=%d side=%d nodes=%d) does not match configured host (d=%d side=%d nodes=%d)",
+		return fterr.New(fterr.Corrupt, "server.snapshot", "topology %s: snapshot host (d=%d side=%d nodes=%d) does not match configured host (d=%d side=%d nodes=%d)",
 			cfg.ID, d.D, d.Side, d.HostNodes, host.Dims(), host.Side(), host.HostNodes())
 	}
 	return nil
@@ -138,7 +140,7 @@ func loadSnapshot(dir, id string) (*diskSnapshot, error) {
 	}
 	var d diskSnapshot
 	if err := json.Unmarshal(data, &d); err != nil {
-		return nil, fmt.Errorf("snapshot %s: %v", snapshotPath(dir, id), err)
+		return nil, fterr.Wrapf(fterr.Corrupt, "server.snapshot", err, "decode %s", snapshotPath(dir, id))
 	}
 	return &d, nil
 }

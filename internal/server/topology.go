@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"ftnet"
+	"ftnet/internal/fterr"
 	"ftnet/internal/wire"
 )
 
@@ -64,8 +65,10 @@ type Snapshot struct {
 // checksum too (wire.Checksum is the same function).
 func MapChecksum(m []int) uint64 { return wire.Checksum(m) }
 
-// errShutdown is returned to requests caught by a daemon shutdown.
-var errShutdown = errors.New("server: shutting down")
+// errShutdown is returned to requests caught by a daemon shutdown: a
+// coded fterr.Unavailable sentinel (retryable — another replica, or this
+// one after a restart, can serve the retry).
+var errShutdown error = &fterr.E{Code: fterr.Unavailable, Op: "server", Msg: "shutting down"}
 
 type reqKind uint8
 
@@ -167,7 +170,7 @@ func (t *topology) notifyWatchers() {
 func newTopology(cfg TopologyConfig, policy Config, restore *diskSnapshot) (*topology, error) {
 	host, err := ftnet.NewRandomFaultTorus(cfg.D, cfg.MinSide, cfg.MaxEps)
 	if err != nil {
-		return nil, fmt.Errorf("topology %s: %v", cfg.ID, err)
+		return nil, fmt.Errorf("topology %s: %w", cfg.ID, err)
 	}
 	numCols := 1
 	for i := 1; i < host.Dims(); i++ {
@@ -194,14 +197,14 @@ func newTopology(cfg TopologyConfig, policy Config, restore *diskSnapshot) (*top
 			return nil, err
 		}
 		if err := t.ses.AddFaultsChecked(restore.Faults...); err != nil {
-			return nil, fmt.Errorf("topology %s: restore: %v", cfg.ID, err)
+			return nil, fmt.Errorf("topology %s: restore: %w", cfg.ID, err)
 		}
 		gen = restore.Generation
 		t.metrics.restored.Store(1)
 	}
 	emb, err := t.ses.Reembed()
 	if err != nil {
-		return nil, fmt.Errorf("topology %s: initial reembed: %v", cfg.ID, err)
+		return nil, fmt.Errorf("topology %s: initial reembed: %w", cfg.ID, err)
 	}
 	snap := &Snapshot{
 		Generation: gen,
@@ -210,7 +213,7 @@ func newTopology(cfg TopologyConfig, policy Config, restore *diskSnapshot) (*top
 		Checksum:   MapChecksum(emb.Map),
 	}
 	if restore != nil && snap.Checksum != restore.checksum() {
-		return nil, fmt.Errorf("topology %s: restored embedding checksum %016x does not match snapshot %016x",
+		return nil, fterr.New(fterr.Corrupt, "server.snapshot", "topology %s: restored embedding checksum %016x does not match snapshot %016x",
 			cfg.ID, snap.Checksum, restore.checksum())
 	}
 	// The initial commit is a resync boundary: no diff exists to anything
@@ -245,10 +248,10 @@ func (t *topology) restoreUncommitted(restore *diskSnapshot) error {
 		return nil
 	}
 	if err := t.ses.AddFaultsChecked(adds...); err != nil {
-		return fmt.Errorf("topology %s: restore uncommitted: %v", t.cfg.ID, err)
+		return fmt.Errorf("topology %s: restore uncommitted: %w", t.cfg.ID, err)
 	}
 	if err := t.ses.ClearFaultsChecked(clears...); err != nil {
-		return fmt.Errorf("topology %s: restore uncommitted: %v", t.cfg.ID, err)
+		return fmt.Errorf("topology %s: restore uncommitted: %w", t.cfg.ID, err)
 	}
 	t.pendingMuts = 1
 	t.pendingNodes = len(adds) + len(clears)

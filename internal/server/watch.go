@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
+
+	"ftnet/internal/fterr"
 )
 
 // watchEvent is the payload of one SSE event on .../watch. Every event
@@ -35,15 +38,19 @@ func renderWatchEvent(name string, ev watchEvent) []byte {
 // (text/event-stream). The protocol:
 //
 //   - On subscribe, one "commit" event for the current head establishes
-//     the baseline.
+//     the baseline. With ?since=g the baseline is replaced by catch-up:
+//     one "commit" event per generation in (g, head], in order — a
+//     reconnecting client passes its last seen generation and resumes
+//     with no commit skipped or duplicated.
 //   - Each later commit produces one "commit" event per generation, in
 //     order, with no generation skipped or duplicated — the per-commit
 //     records of the delta ring let a slow subscriber catch up
 //     generation by generation even when the writer raced ahead.
 //   - When the ring no longer covers the gap (subscriber slower than
-//     DeltaRing commits, or a full rewrite in between), a single
-//     "resync" event carries the head state instead; the client
-//     re-fetches the full embedding, exactly like a 410 on ?since=.
+//     DeltaRing commits, a full rewrite in between, or a ?since= from
+//     before a restart), a single "resync" event carries the head state
+//     instead; the client re-fetches the full embedding, exactly like a
+//     410 on ?since=.
 //
 // The writer never blocks on subscribers: it pokes a capacity-1 signal
 // channel and moves on; this handler reads published snapshots on its
@@ -54,9 +61,18 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	if t == nil {
 		return
 	}
+	since := int64(-1)
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 0 {
+			s.writeErr(w, fterr.New(fterr.Invalid, "server", "bad since parameter %q (want a non-negative generation)", raw))
+			return
+		}
+		since = v
+	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		s.writeErr(w, fterr.New(fterr.Internal, "server", "streaming unsupported by this connection"))
 		return
 	}
 	ch := t.subscribe()
@@ -80,37 +96,20 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	emit := func(name string, ev watchEvent) bool {
 		return emitRaw(renderWatchEvent(name, ev))
 	}
-
-	// Baseline: the head at subscribe time.
-	snap := t.snap.Load()
-	last := snap.Generation
-	if !emit("commit", watchEvent{
-		Topology:    t.cfg.ID,
-		Generation:  snap.Generation,
-		Checksum:    fmt.Sprintf("%016x", snap.Checksum),
-		Faults:      snap.FaultNodes,
-		ChangedCols: -1,
-	}) {
-		return
+	headEvent := func(name string, snap *Snapshot) bool {
+		return emit(name, watchEvent{
+			Topology:    t.cfg.ID,
+			Generation:  snap.Generation,
+			Checksum:    fmt.Sprintf("%016x", snap.Checksum),
+			Faults:      snap.FaultNodes,
+			ChangedCols: -1,
+		})
 	}
-
-	for {
-		select {
-		case <-r.Context().Done():
-			return
-		case <-t.stopc:
-			return
-		case <-s.watchc:
-			return
-		case <-ch:
-		}
-		snap := t.snap.Load()
-		if snap.Generation <= last {
-			continue // stale signal: this commit was already covered
-		}
-		// Collect the per-generation records bridging (last, head],
-		// oldest-first. A nil or full record inside the gap means the ring
-		// evicted part of it: resync.
+	// catchUp streams one "commit" event per generation in (last, head],
+	// oldest-first, from the delta ring — or a single "resync" event
+	// when the ring cannot bridge the gap. Returns the new last
+	// generation and whether the stream is still writable.
+	catchUp := func(snap *Snapshot, last int64) (int64, bool) {
 		recs := make([]*deltaRec, 0, snap.Generation-last)
 		gapped := false
 		for rec := snap.delta; ; {
@@ -129,23 +128,59 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			rec = rec.prev.Load()
 		}
 		if gapped {
-			if !emit("resync", watchEvent{
-				Topology:    t.cfg.ID,
-				Generation:  snap.Generation,
-				Checksum:    fmt.Sprintf("%016x", snap.Checksum),
-				Faults:      snap.FaultNodes,
-				ChangedCols: -1,
-			}) {
-				return
-			}
-			last = snap.Generation
-			continue
+			return snap.Generation, headEvent("resync", snap)
 		}
 		for i := len(recs) - 1; i >= 0; i-- {
 			if !emitRaw(recs[i].commitEvent(t.cfg.ID)) {
-				return
+				return snap.Generation, false
 			}
 		}
+		return snap.Generation, true
+	}
+
+	snap := t.snap.Load()
+	var last int64
+	switch {
+	case since < 0:
+		// Plain subscribe: the head at subscribe time is the baseline.
 		last = snap.Generation
+		if !headEvent("commit", snap) {
+			return
+		}
+	case since > snap.Generation:
+		// The client saw a generation this daemon never committed — it
+		// outlived a restart. Only a full refetch re-anchors it.
+		if !headEvent("resync", snap) {
+			return
+		}
+		last = snap.Generation
+	case since == snap.Generation:
+		// Already caught up: stream silently until the next commit.
+		last = since
+	default:
+		var ok bool
+		if last, ok = catchUp(snap, since); !ok {
+			return
+		}
+	}
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-t.stopc:
+			return
+		case <-s.watchc:
+			return
+		case <-ch:
+		}
+		snap := t.snap.Load()
+		if snap.Generation <= last {
+			continue // stale signal: this commit was already covered
+		}
+		var ok bool
+		if last, ok = catchUp(snap, last); !ok {
+			return
+		}
 	}
 }

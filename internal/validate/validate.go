@@ -8,17 +8,18 @@
 package validate
 
 import (
-	"fmt"
 	"math"
+
+	"ftnet/internal/fterr"
 )
 
 // Rate validates a rate-like value: finite and >= 0.
 func Rate(name string, v float64) error {
 	if math.IsNaN(v) || math.IsInf(v, 0) {
-		return fmt.Errorf("%s must be finite, got %v", name, v)
+		return fterr.New(fterr.Invalid, "validate", "%s must be finite, got %v", name, v)
 	}
 	if v < 0 {
-		return fmt.Errorf("%s must be >= 0, got %v", name, v)
+		return fterr.New(fterr.Invalid, "validate", "%s must be >= 0, got %v", name, v)
 	}
 	return nil
 }
@@ -27,10 +28,10 @@ func Rate(name string, v float64) error {
 // horizon or an eps bound).
 func Positive(name string, v float64) error {
 	if math.IsNaN(v) || math.IsInf(v, 0) {
-		return fmt.Errorf("%s must be finite, got %v", name, v)
+		return fterr.New(fterr.Invalid, "validate", "%s must be finite, got %v", name, v)
 	}
 	if v <= 0 {
-		return fmt.Errorf("%s must be > 0, got %v", name, v)
+		return fterr.New(fterr.Invalid, "validate", "%s must be > 0, got %v", name, v)
 	}
 	return nil
 }
@@ -39,7 +40,7 @@ func Positive(name string, v float64) error {
 // burst size >= 1, ...).
 func Min(name string, v, min int) error {
 	if v < min {
-		return fmt.Errorf("%s must be >= %d, got %d", name, min, v)
+		return fterr.New(fterr.Invalid, "validate", "%s must be >= %d, got %d", name, min, v)
 	}
 	return nil
 }

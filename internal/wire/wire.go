@@ -24,9 +24,10 @@ package wire
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"hash/fnv"
+
+	"ftnet/internal/fterr"
 )
 
 // ContentType is the media type negotiated (via Accept) for binary
@@ -43,13 +44,17 @@ const (
 var magic = [4]byte{'F', 'T', 'W', '1'}
 
 // ErrCorrupt reports an undecodable payload: bad magic, truncated or
-// trailing bytes, an implausible length, or a failed checksum.
-var ErrCorrupt = errors.New("wire: corrupt payload")
+// trailing bytes, an implausible length, or a failed checksum. It is a
+// coded sentinel: errors.Is identifies it through %w wrapping, and
+// fterr.CodeOf reads fterr.Corrupt off the same chain (resync class —
+// the holder's copy is untrustworthy, refetch).
+var ErrCorrupt error = &fterr.E{Code: fterr.Corrupt, Op: "wire", Msg: "corrupt payload"}
 
 // ErrMismatch reports a delta that does not apply to the snapshot at
 // hand (wrong topology, geometry, or base generation, or a post-apply
-// checksum failure). The client's recovery is a full resync.
-var ErrMismatch = errors.New("wire: delta does not apply to this snapshot")
+// checksum failure). The client's recovery is a full resync, which is
+// exactly what its fterr.ResyncRequired code prescribes.
+var ErrMismatch error = &fterr.E{Code: fterr.ResyncRequired, Op: "wire", Msg: "delta does not apply to this snapshot"}
 
 // Decoder sanity caps: a corrupt header must not provoke huge
 // allocations or overflow, so declared geometry is bounded before any
@@ -136,7 +141,7 @@ func corrupt(format string, args ...any) error {
 
 func appendHeader(b []byte, kind byte, topology string) ([]byte, error) {
 	if len(topology) > maxTopology {
-		return nil, fmt.Errorf("wire: topology id longer than %d bytes", maxTopology)
+		return nil, fterr.New(fterr.Invalid, "wire.Encode", "topology id longer than %d bytes", maxTopology)
 	}
 	b = append(b, magic[:]...)
 	b = append(b, kind)
@@ -147,13 +152,13 @@ func appendHeader(b []byte, kind byte, topology string) ([]byte, error) {
 
 func checkGeometry(side, dims, gen int64) error {
 	if dims < 1 || dims > maxDims {
-		return fmt.Errorf("wire: dims %d out of [1, %d]", dims, maxDims)
+		return fterr.New(fterr.Invalid, "wire", "dims %d out of [1, %d]", dims, maxDims)
 	}
 	if side < 1 || side > maxSide {
-		return fmt.Errorf("wire: side %d out of [1, %d]", side, maxSide)
+		return fterr.New(fterr.Invalid, "wire", "side %d out of [1, %d]", side, maxSide)
 	}
 	if gen < 0 {
-		return fmt.Errorf("wire: negative generation %d", gen)
+		return fterr.New(fterr.Invalid, "wire", "negative generation %d", gen)
 	}
 	return nil
 }
@@ -165,7 +170,7 @@ func appendFaults(b []byte, faults []int) ([]byte, error) {
 	prev := -1
 	for _, v := range faults {
 		if v <= prev {
-			return nil, fmt.Errorf("wire: fault list not strictly increasing at %d", v)
+			return nil, fterr.New(fterr.Invalid, "wire.Encode", "fault list not strictly increasing at %d", v)
 		}
 		b = binary.AppendUvarint(b, uint64(v-prev-1))
 		prev = v
@@ -179,7 +184,7 @@ func appendVals(b []byte, vals []int) ([]byte, error) {
 	prev := 0
 	for _, v := range vals {
 		if v < 0 || int64(v) >= maxValue {
-			return nil, fmt.Errorf("wire: map entry %d out of range", v)
+			return nil, fterr.New(fterr.Invalid, "wire.Encode", "map entry %d out of range", v)
 		}
 		b = binary.AppendVarint(b, int64(v-prev))
 		prev = v
@@ -194,7 +199,7 @@ func EncodeSnapshot(s *Snapshot) ([]byte, error) {
 		return nil, err
 	}
 	if want := mapLen(s.Side, s.Dims); want != len(s.Map) {
-		return nil, fmt.Errorf("wire: map has %d entries, want side^dims = %d", len(s.Map), want)
+		return nil, fterr.New(fterr.Invalid, "wire.EncodeSnapshot", "map has %d entries, want side^dims = %d", len(s.Map), want)
 	}
 	b, err := appendHeader(make([]byte, 0, 16+len(s.Topology)+2*len(s.Map)), KindFull, s.Topology)
 	if err != nil {
@@ -217,7 +222,7 @@ func EncodeDelta(d *Delta) ([]byte, error) {
 		return nil, err
 	}
 	if d.ToGeneration < d.FromGeneration {
-		return nil, fmt.Errorf("wire: delta runs backwards (%d -> %d)", d.FromGeneration, d.ToGeneration)
+		return nil, fterr.New(fterr.Invalid, "wire.EncodeDelta", "delta runs backwards (%d -> %d)", d.FromGeneration, d.ToGeneration)
 	}
 	nc := numCols(d.Side, d.Dims)
 	b, err := appendHeader(make([]byte, 0, 64+len(d.Topology)+2*len(d.Cols)*d.Side), KindDelta, d.Topology)
@@ -236,10 +241,10 @@ func EncodeDelta(d *Delta) ([]byte, error) {
 	prev := -1
 	for _, cu := range d.Cols {
 		if cu.Col <= prev || cu.Col >= nc {
-			return nil, fmt.Errorf("wire: column %d out of order or out of [0, %d)", cu.Col, nc)
+			return nil, fterr.New(fterr.Invalid, "wire.EncodeDelta", "column %d out of order or out of [0, %d)", cu.Col, nc)
 		}
 		if len(cu.Vals) != d.Side {
-			return nil, fmt.Errorf("wire: column %d has %d values, want side = %d", cu.Col, len(cu.Vals), d.Side)
+			return nil, fterr.New(fterr.Invalid, "wire.EncodeDelta", "column %d has %d values, want side = %d", cu.Col, len(cu.Vals), d.Side)
 		}
 		b = binary.AppendUvarint(b, uint64(cu.Col-prev-1))
 		prev = cu.Col

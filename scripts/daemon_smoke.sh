@@ -2,7 +2,10 @@
 # End-to-end smoke test of ftnetd: start the daemon, report faults over
 # the wire, fetch the committed embedding, snapshot to disk, restart
 # from the snapshot, and demand a bit-identical embedding response from
-# the restored daemon. Run by the CI "daemon-smoke" job; needs curl.
+# the restored daemon. A final chaos leg restarts the daemon with fault
+# injection (-chaos: latency + 5xx bursts) and proves the SDK-based
+# client still converges, with the injection and error-code counters
+# visible on /metrics. Run by the CI "daemon-smoke" job; needs curl.
 #
 # Usage: scripts/daemon_smoke.sh [port]
 set -euo pipefail
@@ -112,4 +115,35 @@ fi
 echo "== batching + delta metrics =="
 curl -fsS "http://$ADDR/metrics" | grep -E 'ftnetd_(reembed_total|batch_mutations|delta_requests)' || true
 
-echo "daemon smoke: OK (embedding survived the restart bit-identically; binary full and delta wires agree with JSON)"
+echo "== chaos: the SDK client converges while the daemon injects faults =="
+kill "$PID"; wait "$PID" 2>/dev/null || true; PID=""
+CHAOS_ADDR="127.0.0.1:$((PORT+1))"
+"$BIN" serve -listen "$CHAOS_ADDR" \
+  -topology id=main,d=2,side=64,eps=0.5 \
+  -chaos 'latency-p=0.4,latency=5ms,error-p=0.3,seed=7' &
+PID=$!
+for i in $(seq 1 100); do
+  curl -fsS "http://$CHAOS_ADDR/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+# examples/daemon is built on the resilient SDK (ftnet/client): it
+# reports faults, syncs the checksum-verified embedding, follows the
+# watch stream and repairs. Exit 0 is the convergence proof — every
+# request ran the injected-503/latency gauntlet under the SDK's typed
+# retry policy, and the final state verified against the daemon's
+# checksum.
+go run ./examples/daemon -addr "http://$CHAOS_ADDR" -topology main
+
+echo "== chaos: injection and error-code counters on /metrics =="
+CHAOS_METRICS="$(curl -fsS "http://$CHAOS_ADDR/metrics")"
+echo "$CHAOS_METRICS" | grep -E 'ftnetd_(chaos_injections|errors)_total' || true
+if ! echo "$CHAOS_METRICS" | grep -qE 'ftnetd_chaos_injections_total\{kind="(latency|error)"\} [1-9]'; then
+  echo "chaos daemon injected nothing (all injection counters zero)" >&2
+  exit 1
+fi
+if ! echo "$CHAOS_METRICS" | grep -q 'ftnetd_errors_total{code="unavailable"}'; then
+  echo "typed error-code counters missing from /metrics" >&2
+  exit 1
+fi
+
+echo "daemon smoke: OK (embedding survived the restart bit-identically; binary full and delta wires agree with JSON; SDK converged under chaos)"

@@ -1,0 +1,136 @@
+// Command errcheck-codes is the CI lint enforcing the fterr taxonomy
+// (internal/fterr): in the packages that make up the public failure
+// surface, every constructed error must carry a stable code.
+//
+// The rule, per non-test file in the enforced packages:
+//
+//   - errors.New is forbidden: it can only produce an uncoded error.
+//     Use fterr.New (or a coded sentinel) instead.
+//   - fmt.Errorf is allowed only when its format string contains %w —
+//     wrapping preserves the code already on the chain. A %w-less
+//     fmt.Errorf mints a fresh uncoded error and is rejected.
+//
+// A site that genuinely needs a bare error (none so far) can carry a
+// trailing or preceding "//fterr:allow" comment to opt out, visibly.
+//
+// Usage: go run ./scripts/linters/errcheck-codes [repo root]
+// Exits 1 with a file:line listing when violations exist.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// enforced lists the package directories whose errors cross a public
+// boundary (module API, HTTP wire, SDK): exactly where an uncoded
+// error would strand a caller without a retry class.
+var enforced = []string{
+	".",
+	"client",
+	"internal/server",
+	"internal/wire",
+	"internal/churn",
+	"internal/validate",
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var violations []string
+	for _, dir := range enforced {
+		files, err := filepath.Glob(filepath.Join(root, dir, "*.go"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "errcheck-codes:", err)
+			os.Exit(2)
+		}
+		sort.Strings(files)
+		for _, file := range files {
+			if strings.HasSuffix(file, "_test.go") {
+				continue
+			}
+			v, err := lintFile(file)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "errcheck-codes:", err)
+				os.Exit(2)
+			}
+			violations = append(violations, v...)
+		}
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "errcheck-codes: %d uncoded error construction(s); use fterr.New/Wrap or fmt.Errorf with %%w (or annotate //fterr:allow):\n", len(violations))
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "  "+v)
+		}
+		os.Exit(1)
+	}
+}
+
+func lintFile(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+
+	// Lines carrying (or immediately preceding) an //fterr:allow marker.
+	allowed := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "fterr:allow") {
+				line := fset.Position(c.Pos()).Line
+				allowed[line] = true
+				allowed[line+1] = true
+			}
+		}
+	}
+
+	var violations []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		report := func(why string) {
+			if !allowed[pos.Line] {
+				violations = append(violations, fmt.Sprintf("%s:%d: %s", path, pos.Line, why))
+			}
+		}
+		switch {
+		case pkg.Name == "errors" && sel.Sel.Name == "New":
+			report("errors.New constructs an uncoded error")
+		case pkg.Name == "fmt" && sel.Sel.Name == "Errorf":
+			if len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				// Non-literal format string: cannot prove %w, reject.
+				report("fmt.Errorf with a non-literal format string (cannot verify %w)")
+				return true
+			}
+			if !strings.Contains(lit.Value, "%w") {
+				report("fmt.Errorf without %w mints an uncoded error")
+			}
+		}
+		return true
+	})
+	return violations, nil
+}
