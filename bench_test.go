@@ -325,6 +325,102 @@ func BenchmarkChurnSessionFromScratchHeavy(b *testing.B) {
 	}
 }
 
+// edgeChurnSteadyState prepares a steady-state *mixed* node+edge churn
+// benchmark on the B2 host: a host-backed generator with comparable
+// node-fault and link-flap rates, stepped to stationarity so the
+// charger holds an equilibrium mixed population, plus a warm session
+// that has evaluated its effective (charged) set.
+func edgeChurnSteadyState(b *testing.B, g *core.Graph, scale float64) (*churn.Generator, *core.Scratch, *core.Session, *rng.PCG, *fault.Charger) {
+	b.Helper()
+	rho := 1.0
+	// Split the target standing population evenly between node faults
+	// and edge charges: stationary fraction s on each side gives
+	// arrival = s*rho/(1-s) per healthy node (resp. edge, scaled by the
+	// node/edge count ratio so the *counts* match).
+	s := scale * g.P.TheoremFailureProb() / 2
+	edgeRatio := float64(g.NumNodes()) / float64(g.NumNodes()*g.Degree()/2)
+	gen, err := churn.NewGeneratorHost(churn.Process{
+		Arrival:     s * rho / (1 - s),
+		Repair:      rho,
+		EdgeArrival: s * edgeRatio * rho / (1 - s*edgeRatio),
+		EdgeRepair:  rho,
+	}, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := core.NewScratch(1)
+	ses := g.NewSession(sc, core.ExtractOptions{})
+	stream := rng.NewPCG(4242, 3)
+	ch := fault.NewCharger(g.NumNodes())
+	// ~8 relaxation times of warmup events reach the stationary mix.
+	for gen.Now() < 8/rho {
+		if _, err := gen.NextMixed(stream, ch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ses.NoteAdded(ch.Effective().Slice())
+	_, err = ses.Eval(ch.Effective())
+	benchChurnEval(b, err)
+	return gen, sc, ses, stream, ch
+}
+
+// BenchmarkEdgeChurnSession is the PR-8 headline: one op is one mixed
+// churn event — a node arrival/repair or a link flap/repair at a
+// steady-state mixed population — evaluated incrementally through the
+// charging pass and the core.Session delta engine. Compare against
+// BenchmarkEdgeChurnFromScratchDense (dense re-evaluation of the same
+// charged set, the baseline the golden-equivalence tests pin the step
+// against) for the BENCH_pr8.json acceptance ratio, and against
+// BenchmarkEdgeChurnFromScratch (sparse locality fast path) for the
+// strongest static baseline.
+func BenchmarkEdgeChurnSession(b *testing.B) {
+	g := benchGraphB2(b)
+	gen, _, ses, stream, ch := edgeChurnSteadyState(b, g, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, err := gen.NextMixed(stream, ch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ses.NoteAdded(ev.EffAdded)
+		ses.NoteCleared(ev.EffCleared)
+		_, err = ses.Eval(ch.Effective())
+		benchChurnEval(b, err)
+	}
+}
+
+// BenchmarkEdgeChurnFromScratch re-runs the exact same mixed event
+// stream with a sparse from-scratch pipeline per event (scratch reuse
+// and the locality fast path included).
+func BenchmarkEdgeChurnFromScratch(b *testing.B) {
+	g := benchGraphB2(b)
+	gen, sc, _, stream, ch := edgeChurnSteadyState(b, g, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.NextMixed(stream, ch); err != nil {
+			b.Fatal(err)
+		}
+		_, err := g.ContainTorus(ch.Effective(), core.ExtractOptions{Scratch: sc})
+		benchChurnEval(b, err)
+	}
+}
+
+// BenchmarkEdgeChurnFromScratchDense is the dense from-scratch ablation:
+// every event pays a full dense re-evaluation of the charged fault set —
+// the reference the incremental step is proven bit-identical to.
+func BenchmarkEdgeChurnFromScratchDense(b *testing.B) {
+	g := benchGraphB2(b)
+	gen, sc, _, stream, ch := edgeChurnSteadyState(b, g, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.NextMixed(stream, ch); err != nil {
+			b.Fatal(err)
+		}
+		_, err := g.ContainTorus(ch.Effective(), core.ExtractOptions{Scratch: sc, Dense: true})
+		benchChurnEval(b, err)
+	}
+}
+
 // BenchmarkLifetime covers the E16/E17 workload: one op is one full
 // lifetime trial — fault-free start, ~60 churn events to the horizon,
 // every event re-embedded and verified through the session engine.

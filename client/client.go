@@ -70,10 +70,11 @@ type Options struct {
 // State is a mutation acknowledgement: the committed generation that
 // covers the request.
 type State struct {
-	Topology   string `json:"topology"`
-	Generation int64  `json:"generation"`
-	FaultCount int    `json:"fault_count"`
-	Checksum   string `json:"checksum"`
+	Topology       string `json:"topology"`
+	Generation     int64  `json:"generation"`
+	FaultCount     int    `json:"fault_count"`
+	EdgeFaultCount int    `json:"edge_fault_count"`
+	Checksum       string `json:"checksum"`
 }
 
 // Info describes the hosted topology.
@@ -86,6 +87,7 @@ type Info struct {
 	Eps        float64 `json:"eps"`
 	Generation int64   `json:"generation"`
 	FaultCount int     `json:"fault_count"`
+	EdgeFaults int     `json:"edge_fault_count"`
 }
 
 // Stats counts the client's recovery actions since construction.
@@ -391,6 +393,35 @@ func (c *Client) ClearFaults(ctx context.Context, nodes ...int) (State, error) {
 	return c.mutate(ctx, "DELETE", nodes)
 }
 
+type edgeMutationRequest struct {
+	Edges [][2]int `json:"edges"`
+}
+
+// mutateEdges posts an edge-fault batch. Idempotent like mutate: the
+// daemon folds edge sets, so re-reporting a faulty edge is a no-op.
+func (c *Client) mutateEdges(ctx context.Context, method string, edges [][2]int) (State, error) {
+	var st State
+	err := c.jsonOp(ctx, method, c.topoURL("/edge-faults"), edgeMutationRequest{Edges: edges}, &st)
+	if err == nil {
+		c.noteGeneration(st.Generation)
+	}
+	return st, err
+}
+
+// AddEdgeFaults reports failed host links as {u, v} endpoint pairs
+// (either order) and returns the committed state covering them. The
+// daemon validates the whole batch — endpoint range, self-loops, host
+// adjacency — with all-or-nothing semantics: one bad edge rejects the
+// request with CodeInvalid and none of it is applied.
+func (c *Client) AddEdgeFaults(ctx context.Context, edges ...[2]int) (State, error) {
+	return c.mutateEdges(ctx, "POST", edges)
+}
+
+// ClearEdgeFaults reports repaired host links.
+func (c *Client) ClearEdgeFaults(ctx context.Context, edges ...[2]int) (State, error) {
+	return c.mutateEdges(ctx, "DELETE", edges)
+}
+
 // Reembed flushes pending asynchronous mutations and evaluates now.
 func (c *Client) Reembed(ctx context.Context) (State, error) {
 	var st State
@@ -429,6 +460,7 @@ func (c *Client) fetchFull(ctx context.Context) (*wire.Snapshot, error) {
 func cloneSnap(s *wire.Snapshot) *wire.Snapshot {
 	cp := *s
 	cp.Faults = append([]int(nil), s.Faults...)
+	cp.Edges = append([][2]int(nil), s.Edges...)
 	cp.Map = append([]int(nil), s.Map...)
 	return &cp
 }
@@ -462,6 +494,7 @@ func applyInPlace(snap *wire.Snapshot, d *wire.Delta) error {
 	}
 	snap.Generation = d.ToGeneration
 	snap.Faults = append(snap.Faults[:0], d.Faults...)
+	snap.Edges = append(snap.Edges[:0], d.Edges...)
 	snap.Checksum = d.Checksum
 	return nil
 }

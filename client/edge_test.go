@@ -1,0 +1,98 @@
+package client
+
+import (
+	"context"
+	"testing"
+
+	"ftnet"
+	"ftnet/internal/fterr"
+)
+
+// testEdges finds count host edges by probing a locally built host
+// identical to the daemon's (the construction is deterministic).
+func testEdges(t *testing.T, count int) [][2]int {
+	t.Helper()
+	host, err := ftnet.NewRandomFaultTorus(2, 64, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses := host.NewSession()
+	n := host.HostNodes()
+	out := make([][2]int, 0, count)
+	for i := 0; len(out) < count; i++ {
+		// Anchors far apart so the charged endpoints never cluster into
+		// an intolerable fault pattern.
+		u := ((i + 1) * 9001) % (n - 1)
+		for v := u + 1; v < n; v++ {
+			if ses.Adjacent(u, v) {
+				out = append(out, [2]int{u, v})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TestSDKEdgeFaults drives the edge-fault API end-to-end through the
+// SDK: report, sync (full then delta), repair, and typed rejection.
+func TestSDKEdgeFaults(t *testing.T) {
+	_, ts := startDaemon(t, nil)
+	c := newClient(t, ts.URL, nil)
+	ctx := context.Background()
+	edges := testEdges(t, 3)
+
+	// Prime the incremental engine past the initial full rewrite.
+	if _, err := c.AddFaults(ctx, 77); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.AddEdgeFaults(ctx, edges...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EdgeFaultCount != 3 || st.FaultCount != 1 {
+		t.Fatalf("state after edge add: %+v", st)
+	}
+	snap, err := c.Sync(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Edges) != 3 {
+		t.Fatalf("synced snapshot edges = %v", snap.Edges)
+	}
+	for _, e := range snap.Edges {
+		if e[0] >= e[1] {
+			t.Fatalf("synced edge %v not canonical", e)
+		}
+	}
+	if stats := c.Stats(); stats.DeltaApplies != 1 || stats.FullFetches != 1 {
+		t.Fatalf("edge sync should ride the delta path: %+v", stats)
+	}
+
+	// Typed all-or-nothing rejection: nothing applied, CodeInvalid.
+	if _, err := c.AddEdgeFaults(ctx, edges[0], [2]int{9, 9}); !fterr.Is(err, fterr.Invalid) {
+		t.Fatalf("self-loop batch error = %v, want invalid", err)
+	}
+	if st, err := c.Reembed(ctx); err != nil || st.EdgeFaultCount != 3 {
+		t.Fatalf("rejected batch mutated state: %+v %v", st, err)
+	}
+
+	// Repair heals back to the node-fault-only state.
+	st, err = c.ClearEdgeFaults(ctx, edges...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EdgeFaultCount != 0 || st.FaultCount != 1 {
+		t.Fatalf("state after edge clear: %+v", st)
+	}
+	snap, err = c.Sync(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Edges) != 0 {
+		t.Fatalf("cleared edges still synced: %v", snap.Edges)
+	}
+}

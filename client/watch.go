@@ -22,16 +22,18 @@ type Event struct {
 	Generation  int64
 	Checksum    string
 	Faults      []int
+	EdgeFaults  [][2]int
 	ChangedCols int
 }
 
 // watchFrame mirrors the server's SSE payload shape.
 type watchFrame struct {
-	Topology    string `json:"topology"`
-	Generation  int64  `json:"generation"`
-	Checksum    string `json:"checksum"`
-	Faults      []int  `json:"faults"`
-	ChangedCols int    `json:"changed_cols"`
+	Topology    string   `json:"topology"`
+	Generation  int64    `json:"generation"`
+	Checksum    string   `json:"checksum"`
+	Faults      []int    `json:"faults"`
+	EdgeFaults  [][2]int `json:"edge_faults"`
+	ChangedCols int      `json:"changed_cols"`
 }
 
 // callbackError marks an error returned by the caller's handler, which
@@ -134,6 +136,7 @@ func (c *Client) watchOnce(ctx context.Context, last *int64, fn func(Event) erro
 				Generation:  f.Generation,
 				Checksum:    f.Checksum,
 				Faults:      f.Faults,
+				EdgeFaults:  f.EdgeFaults,
 				ChangedCols: f.ChangedCols,
 			}
 			switch {

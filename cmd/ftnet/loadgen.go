@@ -48,6 +48,8 @@ func runLoadgen(args []string) error {
 	pollInterval := fs.Duration("poll-interval", 50*time.Millisecond, "poller sleep between requests")
 	churnRate := fs.Float64("churn-rate", 50, "fault mutations per second driven against the topology")
 	churnNodes := fs.Int("churn-nodes", 4, "node indices per mutation batch")
+	edgeChurnRate := fs.Float64("edge-churn-rate", 10, "edge-fault mutations per second driven against the topology (0 = node churn only)")
+	edgeChurnEdges := fs.Int("edge-churn-edges", 2, "host edges per edge mutation batch")
 	deltaRing := fs.Int("delta-ring", server.DefaultDeltaRing, "delta ring length for the hosted topology")
 	seed := fs.Uint64("seed", 1, "churn placement seed")
 	out := fs.String("out", "", "write the JSON report to this file (default stdout)")
@@ -93,6 +95,14 @@ func runLoadgen(args []string) error {
 	}
 	if err := validate.Min("loadgen: -churn-nodes", *churnNodes, 1); err != nil {
 		return err
+	}
+	if err := validate.Rate("loadgen: -edge-churn-rate", *edgeChurnRate); err != nil {
+		return err
+	}
+	if *edgeChurnRate > 0 {
+		if err := validate.Min("loadgen: -edge-churn-edges", *edgeChurnEdges, 1); err != nil {
+			return err
+		}
 	}
 	if err := validate.Min("loadgen: -delta-ring", *deltaRing, 1); err != nil {
 		return err
@@ -180,6 +190,30 @@ func runLoadgen(args []string) error {
 	wg.Add(1)
 	go func() { defer wg.Done(); churn.run(ctx) }()
 
+	edgeChurn := &edgeChurnDriver{}
+	if *edgeChurnRate > 0 {
+		// Edge batches must name real host edges; the daemon's host
+		// construction is deterministic, so an identical local host
+		// provides the adjacency oracle.
+		pool, err := edgePool(*dims, *side, *eps, 256, *seed)
+		if err != nil {
+			return err
+		}
+		edgeSDK, err := newSDK(1 << 32)
+		if err != nil {
+			return err
+		}
+		edgeChurn = &edgeChurnDriver{
+			sdk:      edgeSDK,
+			pool:     pool,
+			batch:    *edgeChurnEdges,
+			interval: time.Duration(float64(time.Second) / *edgeChurnRate),
+			rng:      rng.NewPCG(*seed, 11),
+		}
+		wg.Add(1)
+		go func() { defer wg.Done(); edgeChurn.run(ctx) }()
+	}
+
 	// Pollers start phase-staggered across the interval: a real fleet is
 	// unsynchronized, and a lockstep herd would measure queueing behind
 	// its own bursts instead of the serve paths.
@@ -237,8 +271,9 @@ func runLoadgen(args []string) error {
 		JSONClients: *jsonClients, BinFullClients: *binFullClients,
 		DeltaClients: *deltaClients, WatchClients: *watchClients,
 		PollInterval: pollInterval.String(), ChurnRate: *churnRate,
-		ChurnNodes: *churnNodes, DeltaRing: *deltaRing,
-	}, jsonStats, binFullStats, deltaStats, watchStats, churn, endGen-startGen)
+		ChurnNodes: *churnNodes, EdgeChurnRate: *edgeChurnRate,
+		EdgeChurnEdges: *edgeChurnEdges, DeltaRing: *deltaRing,
+	}, jsonStats, binFullStats, deltaStats, watchStats, churn, edgeChurn, endGen-startGen)
 
 	enc, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -428,6 +463,8 @@ type loadgenConfig struct {
 	PollInterval   string  `json:"poll_interval"`
 	ChurnRate      float64 `json:"churn_rate"`
 	ChurnNodes     int     `json:"churn_nodes"`
+	EdgeChurnRate  float64 `json:"edge_churn_rate"`
+	EdgeChurnEdges int     `json:"edge_churn_edges"`
 	DeltaRing      int     `json:"delta_ring"`
 }
 
@@ -435,9 +472,11 @@ type loadgenReport struct {
 	Config loadgenConfig         `json:"config"`
 	Modes  map[string]modeReport `json:"modes"`
 	Churn  struct {
-		Mutations int64 `json:"mutations"`
-		Rejected  int64 `json:"rejected"`
-		Commits   int64 `json:"commits"`
+		Mutations     int64 `json:"mutations"`
+		Rejected      int64 `json:"rejected"`
+		EdgeMutations int64 `json:"edge_mutations"`
+		EdgeRejected  int64 `json:"edge_rejected"`
+		Commits       int64 `json:"commits"`
 	} `json:"churn"`
 	Acceptance struct {
 		DeltaBytesPerUpdateRatio float64 `json:"delta_bytes_per_update_vs_json_full"`
@@ -448,7 +487,7 @@ type loadgenReport struct {
 }
 
 func buildReport(cfg loadgenConfig, jsonStats, binFullStats, deltaStats, watchStats *modeStats,
-	churn *churnDriver, commits int64) loadgenReport {
+	churn *churnDriver, edgeChurn *edgeChurnDriver, commits int64) loadgenReport {
 	rep := loadgenReport{Config: cfg, Modes: map[string]modeReport{
 		"json_full": jsonStats.report(cfg.JSONClients),
 		"bin_full":  binFullStats.report(cfg.BinFullClients),
@@ -457,6 +496,8 @@ func buildReport(cfg loadgenConfig, jsonStats, binFullStats, deltaStats, watchSt
 	}}
 	rep.Churn.Mutations = churn.mutations.Load()
 	rep.Churn.Rejected = churn.rejected.Load()
+	rep.Churn.EdgeMutations = edgeChurn.mutations.Load()
+	rep.Churn.EdgeRejected = edgeChurn.rejected.Load()
 	rep.Churn.Commits = commits
 	jf, bd := rep.Modes["json_full"], rep.Modes["bin_delta"]
 	if jf.BytesPerUpdate > 0 {
@@ -687,6 +728,111 @@ func (c *churnDriver) mutate(ctx context.Context, clear bool, nodes []int) bool 
 		_, err = c.sdk.ClearFaults(ctx, nodes...)
 	} else {
 		_, err = c.sdk.AddFaults(ctx, nodes...)
+	}
+	c.mutations.Add(1)
+	if ftnet.IsCode(err, ftnet.CodeNotTolerated) {
+		c.rejected.Add(1)
+		return false
+	}
+	return err == nil
+}
+
+// edgePool samples poolSize distinct host edges from a locally built
+// host identical to the daemon's (the construction is deterministic):
+// random anchors, one adjacent partner each, canonical {u, v}.
+func edgePool(dims, side int, eps float64, poolSize int, seed uint64) ([][2]int, error) {
+	host, err := ftnet.NewRandomFaultTorus(dims, side, eps)
+	if err != nil {
+		return nil, err
+	}
+	ses := host.NewSession()
+	n := host.HostNodes()
+	r := rng.NewPCG(seed, 13)
+	seen := make(map[[2]int]bool, poolSize)
+	pool := make([][2]int, 0, poolSize)
+	for len(pool) < poolSize {
+		u := r.Intn(n - 1)
+		for v := u + 1; v < n; v++ {
+			if ses.Adjacent(u, v) {
+				e := [2]int{u, v}
+				if !seen[e] {
+					seen[e] = true
+					pool = append(pool, e)
+				}
+				break
+			}
+		}
+	}
+	return pool, nil
+}
+
+// edgeChurnDriver keeps the topology's edge-fault set moving over the
+// real wire, mirroring churnDriver on the /edge-faults endpoints: it
+// alternates between flapping a fresh batch of pooled host edges and
+// repairing the oldest outstanding batch, healing immediately whenever
+// the construction rejects a batch, so mixed node+edge populations keep
+// committing fresh generations.
+type edgeChurnDriver struct {
+	sdk      *client.Client
+	pool     [][2]int
+	batch    int
+	interval time.Duration
+	rng      *rng.PCG
+
+	mutations atomic.Int64
+	rejected  atomic.Int64
+}
+
+func (c *edgeChurnDriver) run(ctx context.Context) {
+	var window [][][2]int
+	outstanding := make(map[[2]int]bool)
+	const maxWindow = 8
+	for sleepCtx(ctx, c.interval) {
+		if len(window) >= maxWindow {
+			batch := window[0]
+			window = window[1:]
+			c.mutate(ctx, true, batch)
+			for _, e := range batch {
+				delete(outstanding, e)
+			}
+			continue
+		}
+		// Draw distinct pool edges not already faulty: a duplicate inside
+		// one batch would be rejected as invalid, and re-adding an
+		// outstanding edge would make the later repair double-clear it.
+		batch := make([][2]int, 0, c.batch)
+		for attempts := 0; len(batch) < c.batch && attempts < 4*c.batch; attempts++ {
+			e := c.pool[c.rng.Intn(len(c.pool))]
+			if !outstanding[e] {
+				outstanding[e] = true
+				batch = append(batch, e)
+			}
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		if c.mutate(ctx, false, batch) {
+			window = append(window, batch)
+		} else {
+			c.mutate(ctx, true, batch)
+			for _, e := range batch {
+				delete(outstanding, e)
+			}
+		}
+	}
+	for _, batch := range window {
+		c.mutate(context.Background(), true, batch)
+	}
+}
+
+// mutate reports one edge batch synchronously through the SDK
+// (clear=true repairs); true means the evaluation committed.
+func (c *edgeChurnDriver) mutate(ctx context.Context, clear bool, edges [][2]int) bool {
+	var err error
+	if clear {
+		_, err = c.sdk.ClearEdgeFaults(ctx, edges...)
+	} else {
+		_, err = c.sdk.AddEdgeFaults(ctx, edges...)
 	}
 	c.mutations.Add(1)
 	if ftnet.IsCode(err, ftnet.CodeNotTolerated) {

@@ -8,7 +8,8 @@
 //	ftnet worstcase -d 2 -side 100 -k 27 [-faults N] [-pattern cluster] [-seed N]
 //	ftnet health    -side 400 -p 1e-5 [-seed N]
 //	ftnet simulate  -side 200 -faults 10 [-steps N] [-seed N]
-//	ftnet churn     -side 200 -arrival 2e-5 -repair 1 -horizon 20 [-trials N] [-workers N] [-independent]
+//	ftnet churn     -side 200 -arrival 2e-5 -repair 1 -horizon 20 [-edge-arrival R] [-edge-repair R] [-trials N] [-workers N] [-independent]
+//	ftnet edges     -d 2 -side 64 -eps 0.5 -count 2
 //	ftnet serve     -listen 127.0.0.1:8080 -topology id=main,d=2,side=200,eps=0.5 [-snapshot-dir DIR]
 //	ftnet loadgen   -side 64 -duration 10s -json-clients 8 -delta-clients 8 [-out BENCH.json]
 //	ftnet wire      -in payload.bin [-base full.bin]
@@ -17,14 +18,16 @@
 // and whether a fault-free torus was extracted (extraction is always
 // verified independently before being reported as a success). churn runs
 // lifetime trials of a dynamic fault process — Poisson per-node
-// arrivals, exponential per-fault repairs, optional adversarial bursts —
-// re-embedding incrementally after every event (internal/churn). loadgen
+// arrivals and per-edge link flaps, exponential per-fault repairs,
+// optional adversarial node and edge bursts — re-embedding
+// incrementally after every event (internal/churn). loadgen
 // benchmarks the ftnetd serve paths (JSON-full vs binary-delta vs watch
 // streams) against a churning in-process daemon; wire decodes a binary
 // embedding payload to the canonical JSON document for offline diffing.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -58,6 +61,8 @@ func main() {
 		err = runSimulate(os.Args[2:])
 	case "churn":
 		err = runChurn(os.Args[2:])
+	case "edges":
+		err = runEdges(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
 	case "loadgen":
@@ -81,7 +86,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ftnet {random|clique|worstcase|health|simulate|churn|serve|loadgen|wire} [flags]   (run with -h for flags)")
+	fmt.Fprintln(os.Stderr, "usage: ftnet {random|clique|worstcase|health|simulate|churn|edges|serve|loadgen|wire} [flags]   (run with -h for flags)")
 	os.Exit(2)
 }
 
@@ -149,7 +154,7 @@ func runSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	machine, err := parsim.New(res.Embedding, core.HostView{G: g, Faults: faults})
+	machine, err := parsim.New(res.Embedding, core.NewHostView(g, faults, nil))
 	if err != nil {
 		return err
 	}
@@ -173,6 +178,48 @@ func runSimulate(args []string) error {
 	return nil
 }
 
+// runEdges prints canonical host edges of the Theorem 2 host as a JSON
+// array of {u, v} pairs — ready to paste into the daemon's /edge-faults
+// request body, which only accepts real host edges. Anchors are spread
+// across the host so the charged endpoints stay a tolerable pattern and
+// steer clear of the locality fast-path's anchor column (faults charged
+// near column 0 force the session onto the cold rebuild path).
+func runEdges(args []string) error {
+	fs := flag.NewFlagSet("edges", flag.ExitOnError)
+	d := fs.Int("d", 2, "dimension")
+	side := fs.Int("side", 64, "minimum torus side")
+	eps := fs.Float64("eps", 0.5, "maximum node redundancy")
+	count := fs.Int("count", 2, "edges to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validate.Min("edges: -count", *count, 1); err != nil {
+		return err
+	}
+	host, err := ftnet.NewRandomFaultTorus(*d, *side, *eps)
+	if err != nil {
+		return err
+	}
+	ses := host.NewSession()
+	n := host.HostNodes()
+	edges := make([][2]int, 0, *count)
+	for i := 0; len(edges) < *count; i++ {
+		u := ((i + 1) * 9001) % (n - 1)
+		for v := u + 1; v < n; v++ {
+			if ses.Adjacent(u, v) {
+				edges = append(edges, [2]int{u, v})
+				break
+			}
+		}
+	}
+	enc, err := json.Marshal(edges)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(enc))
+	return nil
+}
+
 // runChurn runs lifetime trials of the dynamic fault process on the
 // Theorem 2 host, re-embedding incrementally after every arrival,
 // repair or burst.
@@ -186,6 +233,10 @@ func runChurn(args []string) error {
 	burstRate := fs.Float64("burst-rate", 0, "adversarial burst rate (0 = off)")
 	burstSize := fs.Int("burst-size", 8, "faults per adversarial burst")
 	burstPattern := fs.String("burst-pattern", "cluster", "burst adversary: uniform|cluster|rowsweep|diagonal|classspread|columnsweep")
+	edgeArrival := fs.Float64("edge-arrival", 0, "per-edge link-failure rate (0 = node faults only)")
+	edgeRepair := fs.Float64("edge-repair", 1, "per-faulty-edge repair rate")
+	edgeBurstRate := fs.Float64("edge-burst-rate", 0, "clustered edge-burst rate (0 = off)")
+	edgeBurstSize := fs.Int("edge-burst-size", 8, "edges per clustered edge burst")
 	horizon := fs.Float64("horizon", 20, "simulated time per trial")
 	trials := fs.Int("trials", 16, "Monte-Carlo trials")
 	workers := fs.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); results do not depend on it")
@@ -213,6 +264,20 @@ func runChurn(args []string) error {
 	}
 	if *burstRate > 0 {
 		if err := validate.Min("churn: -burst-size", *burstSize, 1); err != nil {
+			return err
+		}
+	}
+	if err := validate.Rate("churn: -edge-arrival", *edgeArrival); err != nil {
+		return err
+	}
+	if err := validate.Rate("churn: -edge-repair", *edgeRepair); err != nil {
+		return err
+	}
+	if err := validate.Rate("churn: -edge-burst-rate", *edgeBurstRate); err != nil {
+		return err
+	}
+	if *edgeBurstRate > 0 {
+		if err := validate.Min("churn: -edge-burst-size", *edgeBurstSize, 1); err != nil {
 			return err
 		}
 	}
@@ -248,8 +313,20 @@ func runChurn(args []string) error {
 		BurstSize:    *burstSize,
 		BurstPattern: pat,
 	}
+	if *edgeArrival > 0 || *edgeBurstRate > 0 {
+		// Edge repair without an edge-fault source is a no-op rate; only
+		// wire the edge kinds in when link flaps can actually occur.
+		proc.EdgeArrival = *edgeArrival
+		proc.EdgeRepair = *edgeRepair
+		proc.EdgeBurstRate = *edgeBurstRate
+		proc.EdgeBurstSize = *edgeBurstSize
+	}
 	fmt.Printf("B^%d_n: side %d, host nodes %d; lambda=%.2e/node, rho=%.2g/fault, bursts %.2g x %d (%s)\n",
 		*d, params.N(), g.NumNodes(), lambda, *repair, *burstRate, *burstSize, pat)
+	if proc.HasEdgeEvents() {
+		fmt.Printf("  link flaps: lambda=%.2e/edge, rho=%.2g/fault, edge bursts %.2g x %d (clustered)\n",
+			*edgeArrival, *edgeRepair, *edgeBurstRate, *edgeBurstSize)
+	}
 	res, err := churn.Simulate(g, proc, *trials, *seed, churn.Options{
 		Workers:     *workers,
 		Horizon:     *horizon,

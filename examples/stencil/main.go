@@ -38,7 +38,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	machine, err := parsim.New(res.Embedding, core.HostView{G: g, Faults: faults})
+	machine, err := parsim.New(res.Embedding, core.NewHostView(g, faults, nil))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@ import (
 	"ftnet/internal/fterr"
 	"ftnet/internal/rng"
 	"ftnet/internal/supernode"
+	"ftnet/internal/validate"
 	"ftnet/internal/worstcase"
 )
 
@@ -213,32 +214,41 @@ func (t *RandomFaultTorus) Healthy(f *Faults) bool {
 }
 
 // Session maintains a long-lived torus embedding over a fault set that
-// changes in place — nodes fail, nodes get repaired — re-deriving on
-// each Reembed only the work the mutations since the previous Reembed
-// actually invalidated (the bidirectional delta-evaluation engine,
-// internal/core.Session). Results are bit-identical to a from-scratch
-// Extract of the same fault set; only the cost differs: a Reembed after
-// a small change costs O(fault footprint), not O(host size).
+// changes in place — nodes fail, links flap, both get repaired —
+// re-deriving on each Reembed only the work the mutations since the
+// previous Reembed actually invalidated (the bidirectional
+// delta-evaluation engine, internal/core.Session). Results are
+// bit-identical to a from-scratch Extract of the same fault set; only
+// the cost differs: a Reembed after a small change costs O(fault
+// footprint), not O(host size).
+//
+// Edge faults follow the paper's Theorem 2 reduction: each faulty edge
+// is charged to its canonical endpoint (fault.Charger), and the session
+// evaluates the *effective* node set — user node faults plus charged
+// endpoints. The embedding therefore avoids every charged node, hence
+// every host edge incident to one, hence every faulty edge; and because
+// the charge rule is a pure function of the fault sets, any mutation
+// order producing the same sets yields a bit-identical embedding.
 //
 // A Session is not safe for concurrent use. Embeddings returned by
 // Reembed are stable snapshots (they do not alias the session) and stay
 // valid after further mutations.
 type Session struct {
-	t      *RandomFaultTorus
-	sc     *core.Scratch
-	ses    *core.Session
-	faults *fault.Set
-	delta  []int
+	t       *RandomFaultTorus
+	sc      *core.Scratch
+	ses     *core.Session
+	charger *fault.Charger
+	delta   []int
 }
 
 // NewSession starts a session on the fault-free host.
 func (t *RandomFaultTorus) NewSession() *Session {
 	sc := core.NewScratch(1)
 	return &Session{
-		t:      t,
-		sc:     sc,
-		ses:    t.g.NewSession(sc, core.ExtractOptions{}),
-		faults: fault.NewSet(t.g.NumNodes()),
+		t:       t,
+		sc:      sc,
+		ses:     t.g.NewSession(sc, core.ExtractOptions{}),
+		charger: fault.NewCharger(t.g.NumNodes()),
 	}
 }
 
@@ -247,7 +257,7 @@ func (t *RandomFaultTorus) NewSession() *Session {
 // a malformed wire request cannot leave the session half-mutated.
 // Already-faulty nodes are ignored.
 func (s *Session) AddFaultsChecked(nodes ...int) error {
-	n := s.faults.Len()
+	n := s.t.g.NumNodes()
 	for _, v := range nodes {
 		if err := checkNode(v, n); err != nil {
 			return err
@@ -255,9 +265,8 @@ func (s *Session) AddFaultsChecked(nodes ...int) error {
 	}
 	s.delta = s.delta[:0]
 	for _, v := range nodes {
-		if !s.faults.Has(v) {
-			s.faults.Add(v)
-			s.delta = append(s.delta, v)
+		if _, eff := s.charger.AddNode(v); eff >= 0 {
+			s.delta = append(s.delta, eff)
 		}
 	}
 	s.ses.NoteAdded(s.delta)
@@ -277,7 +286,7 @@ func (s *Session) AddFaults(nodes ...int) {
 // batch if any index is out of range (all-or-nothing, like
 // AddFaultsChecked). Already-healthy nodes are ignored.
 func (s *Session) ClearFaultsChecked(nodes ...int) error {
-	n := s.faults.Len()
+	n := s.t.g.NumNodes()
 	for _, v := range nodes {
 		if err := checkNode(v, n); err != nil {
 			return err
@@ -285,9 +294,8 @@ func (s *Session) ClearFaultsChecked(nodes ...int) error {
 	}
 	s.delta = s.delta[:0]
 	for _, v := range nodes {
-		if s.faults.Has(v) {
-			s.faults.Remove(v)
-			s.delta = append(s.delta, v)
+		if _, eff := s.charger.ClearNode(v); eff >= 0 {
+			s.delta = append(s.delta, eff)
 		}
 	}
 	s.ses.NoteCleared(s.delta)
@@ -303,19 +311,102 @@ func (s *Session) ClearFaults(nodes ...int) {
 	}
 }
 
-// FaultCount returns the current number of faulty nodes.
-func (s *Session) FaultCount() int { return s.faults.Count() }
+// AddEdgeFaultsChecked marks host edges faulty, each given as a {u, v}
+// endpoint pair in either order. The whole batch is rejected — nothing
+// applied — if any pair is out of range, a self-loop, or not an edge of
+// the host (all-or-nothing, like AddFaultsChecked). Already-faulty
+// edges are ignored. Each new faulty edge is charged to its canonical
+// endpoint; the next Reembed routes around it.
+func (s *Session) AddEdgeFaultsChecked(edges ...[2]int) error {
+	if err := s.checkEdges(edges); err != nil {
+		return err
+	}
+	s.delta = s.delta[:0]
+	for _, e := range edges {
+		if _, eff := s.charger.AddEdge(e[0], e[1]); eff >= 0 {
+			s.delta = append(s.delta, eff)
+		}
+	}
+	s.ses.NoteAdded(s.delta)
+	return nil
+}
+
+// ClearEdgeFaultsChecked marks host edges repaired (all-or-nothing,
+// validated like AddEdgeFaultsChecked). Already-healthy edges are
+// ignored. An endpoint stays effectively faulty while other faulty
+// edges still charge it or the node itself was reported faulty.
+func (s *Session) ClearEdgeFaultsChecked(edges ...[2]int) error {
+	if err := s.checkEdges(edges); err != nil {
+		return err
+	}
+	s.delta = s.delta[:0]
+	for _, e := range edges {
+		if _, eff := s.charger.ClearEdge(e[0], e[1]); eff >= 0 {
+			s.delta = append(s.delta, eff)
+		}
+	}
+	s.ses.NoteCleared(s.delta)
+	return nil
+}
+
+// checkEdges validates a batch of edge endpoint pairs without mutating
+// anything: every endpoint in range, no self-loops, every pair adjacent
+// in the host. Each failure is a terminal CodeInvalid error.
+func (s *Session) checkEdges(edges [][2]int) error {
+	n := s.t.g.NumNodes()
+	for _, e := range edges {
+		if err := validate.Edge("edge fault", e[0], e[1], n, s.t.g.Adjacent); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Adjacent reports whether host nodes u and v are connected by a host
+// edge — the precondition for reporting {u, v} as an edge fault.
+// Out-of-range indices are simply not adjacent.
+func (s *Session) Adjacent(u, v int) bool {
+	n := s.t.g.NumNodes()
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return false
+	}
+	return s.t.g.Adjacent(u, v)
+}
+
+// FaultCount returns the current number of faulty nodes (user-reported;
+// endpoints charged by edge faults are not counted).
+func (s *Session) FaultCount() int { return s.charger.Nodes().Count() }
+
+// EdgeFaultCount returns the current number of faulty edges.
+func (s *Session) EdgeFaultCount() int { return s.charger.Edges().Count() }
 
 // HostNodes returns the host node count; indices in [0, HostNodes) are
 // the valid inputs to AddFaults and ClearFaults.
-func (s *Session) HostNodes() int { return s.faults.Len() }
+func (s *Session) HostNodes() int { return s.t.g.NumNodes() }
 
-// Faulty reports whether host node v is currently faulty.
-func (s *Session) Faulty(v int) bool { return s.faults.Has(v) }
+// Faulty reports whether host node v is currently faulty (user-reported;
+// use EdgeFaulty for links).
+func (s *Session) Faulty(v int) bool { return s.charger.Nodes().Has(v) }
+
+// EdgeFaulty reports whether the host edge {u, v} is currently faulty
+// (either endpoint order).
+func (s *Session) EdgeFaulty(u, v int) bool { return s.charger.Edges().Has(u, v) }
 
 // FaultNodes returns the currently faulty host nodes in increasing
-// order, as a fresh slice.
-func (s *Session) FaultNodes() []int { return s.faults.Slice() }
+// order, as a fresh slice. Only user-reported node faults are listed;
+// endpoints charged by edge faults are an evaluation detail.
+func (s *Session) FaultNodes() []int { return s.charger.Nodes().Slice() }
+
+// FaultEdges returns the currently faulty host edges as {u, v} pairs
+// with u < v, sorted lexicographically, as a fresh slice.
+func (s *Session) FaultEdges() [][2]int {
+	es := s.charger.Edges().Slice()
+	out := make([][2]int, len(es))
+	for i, e := range es {
+		out[i] = [2]int{e.U, e.V}
+	}
+	return out
+}
 
 // Reembed extracts and verifies a fault-free torus for the current fault
 // set, reusing the previous embedding wherever the mutations left it
@@ -323,7 +414,7 @@ func (s *Session) FaultNodes() []int { return s.faults.Slice() }
 // the construction's tolerance; the session stays usable — clear some
 // faults and Reembed again.
 func (s *Session) Reembed() (*Embedding, error) {
-	res, err := s.ses.Eval(s.faults)
+	res, err := s.ses.Eval(s.charger.Effective())
 	if err != nil {
 		return nil, classify(err)
 	}

@@ -35,7 +35,8 @@ import (
 )
 
 // Process parameterizes the fault-churn stochastic process on a host
-// with a fixed node count.
+// with a fixed node count. Node faults and edge faults (link flaps) are
+// independent Poisson populations; either family of rates may be zero.
 type Process struct {
 	// Arrival is the failure rate of each healthy node (events per node
 	// per unit time). The aggregate arrival rate is Arrival * #healthy.
@@ -52,35 +53,83 @@ type Process struct {
 	// BurstPattern is the adversary used for bursts (default
 	// fault.Cluster, the densest axis-aligned box).
 	BurstPattern fault.Pattern
+
+	// EdgeArrival is the flap rate of each healthy host edge; the
+	// aggregate is EdgeArrival * #healthy-edges (the host has
+	// n*degree/2 edges, uniformly). Requires a Host-backed generator.
+	EdgeArrival float64
+	// EdgeRepair is the repair rate of each faulty edge.
+	EdgeRepair float64
+	// EdgeBurstRate, if positive, adds adversarial clustered edge-burst
+	// events at this aggregate rate: each burst fails a ball of
+	// EdgeBurstSize edges around a random anchor node — the
+	// neighbor-connectivity attack (all charges land on one
+	// neighborhood), the edge analogue of the clustered node burst.
+	EdgeBurstRate float64
+	// EdgeBurstSize is the number of edges per burst (default 8).
+	EdgeBurstSize int
 }
 
-// Validate checks the rate triple.
+// HasEdgeEvents reports whether any edge-fault rate is active.
+func (p Process) HasEdgeEvents() bool {
+	return p.EdgeArrival > 0 || p.EdgeRepair > 0 || p.EdgeBurstRate > 0
+}
+
+// Validate checks the rates.
 func (p Process) Validate() error {
-	if err := validate.Rate("churn: arrival rate", p.Arrival); err != nil {
-		return err
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"churn: arrival rate", p.Arrival},
+		{"churn: repair rate", p.Repair},
+		{"churn: burst rate", p.BurstRate},
+		{"churn: edge arrival rate", p.EdgeArrival},
+		{"churn: edge repair rate", p.EdgeRepair},
+		{"churn: edge burst rate", p.EdgeBurstRate},
+	} {
+		if err := validate.Rate(r.name, r.v); err != nil {
+			return err
+		}
 	}
-	if err := validate.Rate("churn: repair rate", p.Repair); err != nil {
-		return err
-	}
-	if err := validate.Rate("churn: burst rate", p.BurstRate); err != nil {
-		return err
-	}
-	if p.Arrival == 0 && p.Repair == 0 && p.BurstRate == 0 {
+	if p.Arrival == 0 && p.Repair == 0 && p.BurstRate == 0 && !p.HasEdgeEvents() {
 		return fterr.New(fterr.Invalid, "churn.Validate", "all rates zero; the process has no events")
 	}
 	if p.BurstRate > 0 && p.BurstSize < 0 {
 		return fterr.New(fterr.Invalid, "churn.Validate", "negative burst size %d", p.BurstSize)
 	}
+	if p.EdgeBurstRate > 0 && p.EdgeBurstSize < 0 {
+		return fterr.New(fterr.Invalid, "churn.Validate", "negative edge burst size %d", p.EdgeBurstSize)
+	}
 	return nil
 }
 
 // Event is one churn step: the simulated time it occurred at and the
-// fault-set delta it applied. Added and Cleared alias the generator's
-// buffers and are valid only until the next Next call.
+// fault-set delta it applied. All slices alias the generator's buffers
+// and are valid only until the next Next/NextMixed call.
 type Event struct {
 	Time    float64
 	Added   []int
 	Cleared []int
+	// EdgeAdded / EdgeCleared are the edge-fault deltas of a mixed
+	// (NextMixed) event, canonical (U < V).
+	EdgeAdded   []fault.Edge
+	EdgeCleared []fault.Edge
+	// EffAdded / EffCleared are the deltas to the *effective* (charged)
+	// node set — node deltas plus charged endpoints, deduplicated by the
+	// charger — exactly what core.Session.NoteAdded/NoteCleared consume.
+	// Only NextMixed fills them.
+	EffAdded   []int
+	EffCleared []int
+}
+
+// Host is the adjacency access the generator needs for edge events.
+// *core.Graph satisfies it.
+type Host interface {
+	NumNodes() int
+	Degree() int
+	Neighbors(idx int, buf []int) []int
+	NodeShape() grid.Shape
 }
 
 // Generator draws the event sequence of one trial and applies it to a
@@ -89,23 +138,54 @@ type Event struct {
 // Generator must not be shared by concurrent trials; call Reset at each
 // trial start.
 type Generator struct {
-	proc  Process
-	shape grid.Shape // host node grid, for spatially structured bursts
-	now   float64
+	proc     Process
+	shape    grid.Shape // host node grid, for spatially structured bursts
+	host     Host       // adjacency for edge events; nil for node-only
+	numEdges int        // n * degree / 2 when host is set
+	now      float64
 
-	added, cleared []int
+	added, cleared       []int
+	effAdded, effCleared []int
+	edgeAdded, edgeClr   []fault.Edge
+	nbuf, queue          []int
 }
 
-// NewGenerator builds a generator for the process on a host whose flat
-// node indices are row-major over hostShape (core.Graph.NodeShape).
+// NewGenerator builds a node-only generator for the process on a host
+// whose flat node indices are row-major over hostShape
+// (core.Graph.NodeShape). Processes with edge rates need adjacency:
+// use NewGeneratorHost.
 func NewGenerator(proc Process, hostShape grid.Shape) (*Generator, error) {
+	if err := proc.Validate(); err != nil {
+		return nil, err
+	}
+	if proc.HasEdgeEvents() {
+		return nil, fterr.New(fterr.Invalid, "churn.NewGenerator", "edge rates need host adjacency; use NewGeneratorHost")
+	}
+	if proc.BurstSize == 0 {
+		proc.BurstSize = 8
+	}
+	return &Generator{proc: proc, shape: hostShape.Clone()}, nil
+}
+
+// NewGeneratorHost builds a generator with full adjacency access,
+// enabling the edge-fault (link flap) event kinds alongside the node
+// kinds. Pass the core.Graph the trials run on.
+func NewGeneratorHost(proc Process, h Host) (*Generator, error) {
 	if err := proc.Validate(); err != nil {
 		return nil, err
 	}
 	if proc.BurstSize == 0 {
 		proc.BurstSize = 8
 	}
-	return &Generator{proc: proc, shape: hostShape.Clone()}, nil
+	if proc.EdgeBurstSize == 0 {
+		proc.EdgeBurstSize = 8
+	}
+	return &Generator{
+		proc:     proc,
+		shape:    h.NodeShape().Clone(),
+		host:     h,
+		numEdges: h.NumNodes() * h.Degree() / 2,
+	}, nil
 }
 
 // Reset rewinds the clock for a new trial.
@@ -162,4 +242,135 @@ func (gen *Generator) Next(r rng.Source, faults *fault.Set) (Event, error) {
 	}
 	gen.added, gen.cleared = ev.Added[:0], ev.Cleared[:0]
 	return ev, nil
+}
+
+// NextMixed advances to the next churn event of the mixed node+edge
+// process, mutates the charger by its delta, and returns it. Six event
+// kinds compete by rate (Gillespie's direct method): node arrival, node
+// repair, clustered node burst, edge flap, edge repair, clustered edge
+// burst. With every edge rate zero the draw sequence is identical to
+// Next on the charger's node set, so node-only workloads are
+// bit-identical on either entry point.
+//
+// The returned Event's EffAdded/EffCleared carry the effective
+// (charged) node deltas: feed them to core.Session.NoteAdded/NoteCleared
+// and evaluate ch.Effective() — bit-identical to a from-scratch run of
+// the charged set.
+func (gen *Generator) NextMixed(r rng.Source, ch *fault.Charger) (Event, error) {
+	nodes := ch.Nodes()
+	n := nodes.Len()
+	count := nodes.Count()
+	ecount := ch.Edges().Count()
+	rateArrival := gen.proc.Arrival * float64(n-count)
+	rateRepair := gen.proc.Repair * float64(count)
+	rateEdgeArr, rateEdgeRep, rateEdgeBurst := 0.0, 0.0, 0.0
+	if gen.host != nil {
+		rateEdgeArr = gen.proc.EdgeArrival * float64(gen.numEdges-ecount)
+		rateEdgeRep = gen.proc.EdgeRepair * float64(ecount)
+		rateEdgeBurst = gen.proc.EdgeBurstRate
+	}
+	total := rateArrival + rateRepair + gen.proc.BurstRate + rateEdgeArr + rateEdgeRep + rateEdgeBurst
+	if total <= 0 {
+		return Event{}, fterr.New(fterr.Conflict, "churn.NextMixed", "no event possible (%d/%d nodes, %d/%d edges faulty)", count, n, ecount, gen.numEdges)
+	}
+	gen.now += -math.Log(1-r.Float64()) / total
+	ev := Event{
+		Time:        gen.now,
+		Added:       gen.added[:0],
+		Cleared:     gen.cleared[:0],
+		EdgeAdded:   gen.edgeAdded[:0],
+		EdgeCleared: gen.edgeClr[:0],
+		EffAdded:    gen.effAdded[:0],
+		EffCleared:  gen.effCleared[:0],
+	}
+	addNode := func(v int) {
+		if _, eff := ch.AddNode(v); eff >= 0 {
+			ev.EffAdded = append(ev.EffAdded, eff)
+		}
+		ev.Added = append(ev.Added, v)
+	}
+	switch u := r.Float64() * total; {
+	case u < rateArrival:
+		for {
+			v := r.Intn(n)
+			if !nodes.Has(v) {
+				addNode(v)
+				break
+			}
+		}
+	case u < rateArrival+rateRepair:
+		v := nodes.Nth(r.Intn(count))
+		if _, eff := ch.ClearNode(v); eff >= 0 {
+			ev.EffCleared = append(ev.EffCleared, eff)
+		}
+		ev.Cleared = append(ev.Cleared, v)
+	case u < rateArrival+rateRepair+gen.proc.BurstRate:
+		burst, err := fault.Adversarial(gen.proc.BurstPattern, gen.shape, gen.proc.BurstSize, 2, r)
+		if err != nil {
+			return Event{}, fterr.Wrap(fterr.Invalid, "churn.burst", err)
+		}
+		burst.ForEach(func(v int) {
+			if !nodes.Has(v) {
+				addNode(v)
+			}
+		})
+	case u < rateArrival+rateRepair+gen.proc.BurstRate+rateEdgeArr:
+		// Uniform healthy edge, by rejection: a uniform node and a uniform
+		// neighbor slot hit every undirected edge with equal mass (the
+		// host degree is uniform); rejection handles already-faulty draws.
+		for {
+			a := r.Intn(n)
+			gen.nbuf = gen.host.Neighbors(a, gen.nbuf[:0])
+			b := gen.nbuf[r.Intn(len(gen.nbuf))]
+			if !ch.Edges().Has(a, b) {
+				if _, eff := ch.AddEdge(a, b); eff >= 0 {
+					ev.EffAdded = append(ev.EffAdded, eff)
+				}
+				ev.EdgeAdded = append(ev.EdgeAdded, fault.CanonEdge(a, b))
+				break
+			}
+		}
+	case u < rateArrival+rateRepair+gen.proc.BurstRate+rateEdgeArr+rateEdgeRep:
+		e := ch.Edges().Nth(r.Intn(ecount))
+		if _, eff := ch.ClearEdge(e.U, e.V); eff >= 0 {
+			ev.EffCleared = append(ev.EffCleared, eff)
+		}
+		ev.EdgeCleared = append(ev.EdgeCleared, e)
+	default:
+		gen.edgeBurst(r, ch, &ev)
+	}
+	gen.added, gen.cleared = ev.Added[:0], ev.Cleared[:0]
+	gen.edgeAdded, gen.edgeClr = ev.EdgeAdded[:0], ev.EdgeCleared[:0]
+	gen.effAdded, gen.effCleared = ev.EffAdded[:0], ev.EffCleared[:0]
+	return ev, nil
+}
+
+// edgeBurst fails a clustered ball of up to EdgeBurstSize edges around a
+// uniformly random anchor: the anchor's incident edges first, then its
+// neighbors', breadth-first. Every charge lands in one neighborhood —
+// the neighbor-connectivity adversary, maximally concentrated for the
+// charging pass. The burst is smaller only when the explored component
+// has no healthy edges left.
+func (gen *Generator) edgeBurst(r rng.Source, ch *fault.Charger, ev *Event) {
+	size := gen.proc.EdgeBurstSize
+	gen.queue = append(gen.queue[:0], r.Intn(gen.host.NumNodes()))
+	added := 0
+	for qi := 0; qi < len(gen.queue) && added < size; qi++ {
+		u := gen.queue[qi]
+		gen.nbuf = gen.host.Neighbors(u, gen.nbuf[:0])
+		for _, v := range gen.nbuf {
+			if added >= size {
+				break
+			}
+			if ch.Edges().Has(u, v) {
+				continue
+			}
+			if _, eff := ch.AddEdge(u, v); eff >= 0 {
+				ev.EffAdded = append(ev.EffAdded, eff)
+			}
+			ev.EdgeAdded = append(ev.EdgeAdded, fault.CanonEdge(u, v))
+			gen.queue = append(gen.queue, v)
+			added++
+		}
+	}
 }

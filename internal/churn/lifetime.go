@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"ftnet/internal/core"
+	"ftnet/internal/fault"
 	"ftnet/internal/fterr"
 	"ftnet/internal/parallel"
 	"ftnet/internal/rng"
@@ -20,7 +21,8 @@ const (
 	MetricDeathTime = iota
 	// MetricDied is 1 if the trial ever lost the torus, else 0.
 	MetricDied
-	// MetricDeathFaults is the fault count at first death (0 if none).
+	// MetricDeathFaults is the fault count at first death (node plus
+	// edge faults for mixed populations; 0 if none).
 	MetricDeathFaults
 	// MetricAvailability is the fraction of [0, horizon] during which a
 	// verified embedding existed.
@@ -103,6 +105,7 @@ type trialState struct {
 	sc  *core.Scratch
 	ses *core.Session
 	gen *Generator
+	ch  *fault.Charger
 }
 
 // Simulate runs lifetime trials of the churn process on g's Theorem 2
@@ -123,7 +126,6 @@ func Simulate(g *core.Graph, proc Process, trials int, seed uint64, opts Options
 	if maxEvents <= 0 {
 		maxEvents = 1 << 20
 	}
-	shape := g.NodeShape()
 	popts := parallel.Options{
 		Workers:   opts.Workers,
 		ShardSize: opts.ShardSize,
@@ -131,7 +133,7 @@ func Simulate(g *core.Graph, proc Process, trials int, seed uint64, opts Options
 		MinTrials: opts.MinTrials,
 		NewScratch: func() any {
 			sc := core.NewScratch(1)
-			gen, err := NewGenerator(proc, shape)
+			gen, err := NewGeneratorHost(proc, g)
 			if err != nil {
 				// Validate above makes this unreachable; keep the trial
 				// path total anyway.
@@ -141,6 +143,7 @@ func Simulate(g *core.Graph, proc Process, trials int, seed uint64, opts Options
 				sc:  sc,
 				ses: g.NewSession(sc, core.ExtractOptions{Dense: opts.Dense}),
 				gen: gen,
+				ch:  fault.NewCharger(g.NumNodes()),
 			}
 		},
 	}
@@ -155,10 +158,14 @@ func Simulate(g *core.Graph, proc Process, trials int, seed uint64, opts Options
 }
 
 // lifetimeTrial steps one trial from the fault-free host to the horizon.
+// The mixed node+edge process mutates a fault.Charger; the pipeline —
+// incremental or from-scratch — always evaluates the *effective*
+// (charged) node set, so both paths stay bit-identical for any mix of
+// node faults and link flaps.
 func lifetimeTrial(g *core.Graph, ts *trialState, stream *rng.PCG, horizon float64, maxEvents int, opts Options, out []float64) error {
 	ts.gen.Reset()
 	ts.ses.Reset()
-	faults := ts.sc.Faults(g.NumNodes())
+	ts.ch.Reset()
 
 	up := true // the fault-free host trivially contains the torus
 	died := false
@@ -173,7 +180,7 @@ func lifetimeTrial(g *core.Graph, ts *trialState, stream *rng.PCG, horizon float
 			// unsimulated tail of the horizon as up-time.
 			return fterr.New(fterr.Conflict, "churn.lifetimeTrial", "trial exceeded MaxEvents=%d at t=%.3g of horizon %.3g; raise Options.MaxEvents or shorten the horizon", maxEvents, now, horizon)
 		}
-		ev, err := ts.gen.Next(stream, faults)
+		ev, err := ts.gen.NextMixed(stream, ts.ch)
 		if err != nil {
 			return err
 		}
@@ -191,11 +198,11 @@ func lifetimeTrial(g *core.Graph, ts *trialState, stream *rng.PCG, horizon float
 
 		var evalErr error
 		if opts.Independent {
-			_, evalErr = g.ContainTorus(faults, core.ExtractOptions{Scratch: ts.sc, Dense: opts.Dense})
+			_, evalErr = g.ContainTorus(ts.ch.Effective(), core.ExtractOptions{Scratch: ts.sc, Dense: opts.Dense})
 		} else {
-			ts.ses.NoteAdded(ev.Added)
-			ts.ses.NoteCleared(ev.Cleared)
-			_, evalErr = ts.ses.Eval(faults)
+			ts.ses.NoteAdded(ev.EffAdded)
+			ts.ses.NoteCleared(ev.EffCleared)
+			_, evalErr = ts.ses.Eval(ts.ch.Effective())
 		}
 		switch {
 		case evalErr == nil:
@@ -208,7 +215,7 @@ func lifetimeTrial(g *core.Graph, ts *trialState, stream *rng.PCG, horizon float
 			if up && !died {
 				died = true
 				deathTime = now
-				deathFaults = faults.Count()
+				deathFaults = ts.ch.Nodes().Count() + ts.ch.Edges().Count()
 			}
 			up = false
 		}

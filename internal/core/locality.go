@@ -136,7 +136,7 @@ func (g *Graph) buildTemplate() *template {
 			e.Map[base+z] = host + z
 		}
 	}
-	if err := e.Verify(HostView{G: g, Faults: fault.NewSet(g.NumNodes())}); err != nil {
+	if err := e.Verify(NewHostView(g, fault.NewSet(g.NumNodes()), nil)); err != nil {
 		tpl.err = fmt.Errorf("core: default embedding failed verification: %w", err)
 	}
 	return tpl

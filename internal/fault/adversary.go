@@ -3,6 +3,7 @@ package fault
 import (
 	"fmt"
 
+	"ftnet/internal/fterr"
 	"ftnet/internal/grid"
 	"ftnet/internal/rng"
 )
@@ -60,7 +61,7 @@ func AllPatterns() []Pattern {
 func Adversarial(p Pattern, shape grid.Shape, k int, classMod int, r rng.Source) (*Set, error) {
 	n := shape.Size()
 	if k > n {
-		return nil, fmt.Errorf("fault: %d faults exceed %d nodes", k, n)
+		return nil, fterr.New(fterr.Invalid, "fault", "%d faults exceed %d nodes", k, n)
 	}
 	s := NewSet(n)
 	d := len(shape)
@@ -195,14 +196,14 @@ func Adversarial(p Pattern, shape grid.Shape, k int, classMod int, r rng.Source)
 				}
 			}
 			if round > 4*n {
-				return nil, fmt.Errorf("fault: classspread pattern failed to place %d faults", k)
+				return nil, fterr.New(fterr.Internal, "fault", "classspread pattern failed to place %d faults", k)
 			}
 		}
 	default:
-		return nil, fmt.Errorf("fault: unknown pattern %v", p)
+		return nil, fterr.New(fterr.Invalid, "fault", "unknown pattern %v", p)
 	}
 	if s.Count() != k {
-		return nil, fmt.Errorf("fault: pattern %v placed %d faults, want %d", p, s.Count(), k)
+		return nil, fterr.New(fterr.Internal, "fault", "pattern %v placed %d faults, want %d", p, s.Count(), k)
 	}
 	return s, nil
 }

@@ -10,10 +10,10 @@
 package fault
 
 import (
-	"fmt"
 	"math"
 	"math/bits"
 
+	"ftnet/internal/fterr"
 	"ftnet/internal/rng"
 )
 
@@ -270,10 +270,10 @@ func (s *Set) Nth(k int) int {
 // increasing order) and the grown slice returned.
 func (s *Set) Extend(r rng.Source, pFrom, pTo float64, added []int) ([]int, error) {
 	if pTo < pFrom {
-		return added, fmt.Errorf("fault: Extend from p=%v down to p=%v", pFrom, pTo)
+		return added, fterr.New(fterr.Invalid, "fault", "Extend from p=%v down to p=%v", pFrom, pTo)
 	}
 	if pFrom < 0 || pTo > 1 {
-		return added, fmt.Errorf("fault: Extend probabilities [%v, %v] out of range", pFrom, pTo)
+		return added, fterr.New(fterr.Invalid, "fault", "Extend probabilities [%v, %v] out of range", pFrom, pTo)
 	}
 	if pFrom >= 1 {
 		return added, nil
@@ -287,7 +287,7 @@ func (s *Set) Extend(r rng.Source, pFrom, pTo float64, added []int) ([]int, erro
 func (s *Set) ExactRandom(r rng.Source, k int) error {
 	free := s.n - s.count
 	if k > free {
-		return fmt.Errorf("fault: cannot place %d faults among %d free nodes", k, free)
+		return fterr.New(fterr.Invalid, "fault", "cannot place %d faults among %d free nodes", k, free)
 	}
 	// Rejection sampling is fine while the set stays sparse; fall back to a
 	// reservoir scan when k is a large fraction of the universe.

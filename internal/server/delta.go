@@ -30,6 +30,7 @@ type deltaRec struct {
 	gen      int64
 	checksum uint64
 	faults   []int
+	edges    [][2]int
 	// cols lists, sorted, the columns changed vs gen-1; nil when full.
 	cols []int32
 	// full marks a resync boundary: initial commit, restart, or an
@@ -57,6 +58,7 @@ func (rec *deltaRec) commitEvent(topology string) []byte {
 			Generation:  rec.gen,
 			Checksum:    fmt.Sprintf("%016x", rec.checksum),
 			Faults:      rec.faults,
+			EdgeFaults:  edgesOrEmpty(rec.edges),
 			ChangedCols: changed,
 		})
 	})
@@ -72,6 +74,7 @@ func (t *topology) linkDelta(prevSnap, snap *Snapshot, d *ftnet.EmbeddingDelta) 
 		gen:      snap.Generation,
 		checksum: snap.Checksum,
 		faults:   snap.FaultNodes,
+		edges:    snap.FaultEdges,
 	}
 	if d == nil || d.Full || prevSnap == nil || prevSnap.delta == nil ||
 		prevSnap.Generation+1 != snap.Generation {
@@ -152,6 +155,7 @@ func (s *Snapshot) wireSnapshot(topology string) *wire.Snapshot {
 		Side:       s.Emb.Side,
 		Dims:       s.Emb.Dims,
 		Faults:     s.FaultNodes,
+		Edges:      s.FaultEdges,
 		Map:        s.Emb.Map,
 		Checksum:   s.Checksum,
 	}
@@ -215,6 +219,7 @@ func (t *topology) wireDelta(snap *Snapshot, since int64, cols []int32) *wire.De
 		Side:           side,
 		Dims:           snap.Emb.Dims,
 		Faults:         snap.FaultNodes,
+		Edges:          snap.FaultEdges,
 		Cols:           cus,
 		Checksum:       snap.Checksum,
 	}

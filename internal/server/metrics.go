@@ -55,6 +55,7 @@ type topoMetrics struct {
 	batchMutations  atomic.Int64 // mutation requests covered by all evals
 	batchNodes      atomic.Int64 // node indices covered by all evals
 	faults          atomic.Int64 // gauge: committed fault population
+	edgeFaults      atomic.Int64 // gauge: committed edge-fault population
 	pendingRequests atomic.Int64 // gauge: mutations applied but not yet evaluated
 	generation      atomic.Int64 // gauge: committed embedding generation
 	restored        atomic.Int64 // gauge: 1 when state came from a snapshot file
@@ -139,6 +140,8 @@ func writeMetrics(b *strings.Builder, s *Server) {
 	}
 	gauge("ftnetd_faults", "Committed fault population.",
 		func(m *topoMetrics) int64 { return m.faults.Load() })
+	gauge("ftnetd_edge_faults", "Committed edge-fault population.",
+		func(m *topoMetrics) int64 { return m.edgeFaults.Load() })
 	gauge("ftnetd_pending_mutations", "Mutations applied to the session but not yet evaluated.",
 		func(m *topoMetrics) int64 { return m.pendingRequests.Load() })
 	gauge("ftnetd_embedding_generation", "Generation of the served embedding snapshot.",

@@ -13,6 +13,7 @@ import (
 
 	"ftnet"
 	"ftnet/internal/fterr"
+	"ftnet/internal/validate"
 	"ftnet/internal/wire"
 )
 
@@ -30,6 +31,8 @@ const maxBodyBytes = 32 << 20
 //	GET    /v1/topologies/{id}             host parameters + current state
 //	POST   /v1/topologies/{id}/faults      report faults  {"nodes":[...]}
 //	DELETE /v1/topologies/{id}/faults      report repairs {"nodes":[...]}
+//	POST   /v1/topologies/{id}/edge-faults report edge faults  {"edges":[[u,v],...]}
+//	DELETE /v1/topologies/{id}/edge-faults report edge repairs {"edges":[[u,v],...]}
 //	POST   /v1/topologies/{id}/reembed     flush pending mutations, evaluate now
 //	GET    /v1/topologies/{id}/embedding   last committed embedding snapshot
 //	GET    /v1/topologies/{id}/watch       SSE stream of generation commits
@@ -151,7 +154,11 @@ func (s *Server) writeTopoSnapshot(t *topology) (string, *Snapshot, error) {
 	if p := t.curFaults.Load(); p != nil {
 		session = *p
 	}
-	path, err := writeSnapshot(s.cfg.SnapshotDir, t, snap, session)
+	sessionEdges := snap.FaultEdges
+	if p := t.curEdges.Load(); p != nil {
+		sessionEdges = *p
+	}
+	path, err := writeSnapshot(s.cfg.SnapshotDir, t, snap, session, sessionEdges)
 	return path, snap, err
 }
 
@@ -171,6 +178,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/topologies/{id}", s.handleInfo)
 	s.mux.HandleFunc("POST /v1/topologies/{id}/faults", s.mutationHandler(reqAdd))
 	s.mux.HandleFunc("DELETE /v1/topologies/{id}/faults", s.mutationHandler(reqClear))
+	s.mux.HandleFunc("POST /v1/topologies/{id}/edge-faults", s.edgeMutationHandler(reqAddEdges))
+	s.mux.HandleFunc("DELETE /v1/topologies/{id}/edge-faults", s.edgeMutationHandler(reqClearEdges))
 	s.mux.HandleFunc("POST /v1/topologies/{id}/reembed", s.handleReembed)
 	s.mux.HandleFunc("GET /v1/topologies/{id}/embedding", s.handleEmbedding)
 	s.mux.HandleFunc("GET /v1/topologies/{id}/watch", s.handleWatch)
@@ -190,16 +199,18 @@ type errorBody struct {
 }
 
 type stateResponse struct {
-	Topology   string `json:"topology"`
-	Generation int64  `json:"generation"`
-	FaultCount int    `json:"fault_count"`
-	Checksum   string `json:"checksum"`
+	Topology       string `json:"topology"`
+	Generation     int64  `json:"generation"`
+	FaultCount     int    `json:"fault_count"`
+	EdgeFaultCount int    `json:"edge_fault_count"`
+	Checksum       string `json:"checksum"`
 }
 
 type acceptedResponse struct {
 	Topology string `json:"topology"`
 	Status   string `json:"status"`
 	Nodes    int    `json:"nodes"`
+	Edges    int    `json:"edges,omitempty"`
 }
 
 type topologyInfo struct {
@@ -212,16 +223,18 @@ type topologyInfo struct {
 	TheoremP   float64 `json:"theorem_failure_prob"`
 	Generation int64   `json:"generation"`
 	FaultCount int     `json:"fault_count"`
+	EdgeFaults int     `json:"edge_fault_count"`
 }
 
 type embeddingResponse struct {
-	Topology   string `json:"topology"`
-	Generation int64  `json:"generation"`
-	Side       int    `json:"side"`
-	Dims       int    `json:"dims"`
-	Checksum   string `json:"checksum"`
-	Faults     []int  `json:"faults"`
-	Map        []int  `json:"map"`
+	Topology   string   `json:"topology"`
+	Generation int64    `json:"generation"`
+	Side       int      `json:"side"`
+	Dims       int      `json:"dims"`
+	Checksum   string   `json:"checksum"`
+	Faults     []int    `json:"faults"`
+	EdgeFaults [][2]int `json:"edge_faults"`
+	Map        []int    `json:"map"`
 }
 
 type columnUpdateJSON struct {
@@ -240,6 +253,7 @@ type deltaResponse struct {
 	Dims           int                `json:"dims"`
 	Checksum       string             `json:"checksum"`
 	Faults         []int              `json:"faults"`
+	EdgeFaults     [][2]int           `json:"edge_faults"`
 	Cols           []columnUpdateJSON `json:"cols"`
 }
 
@@ -255,12 +269,17 @@ func RenderEmbeddingJSON(w io.Writer, s *wire.Snapshot) error {
 		Dims:       s.Dims,
 		Checksum:   fmt.Sprintf("%016x", s.Checksum),
 		Faults:     s.Faults,
+		EdgeFaults: edgesOrEmpty(s.Edges),
 		Map:        s.Map,
 	})
 }
 
 type mutationRequest struct {
 	Nodes []int `json:"nodes"`
+}
+
+type edgeMutationRequest struct {
+	Edges [][2]int `json:"edges"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -312,10 +331,11 @@ func (s *Server) topo(w http.ResponseWriter, r *http.Request) *topology {
 
 func stateOf(t *topology, snap *Snapshot) stateResponse {
 	return stateResponse{
-		Topology:   t.cfg.ID,
-		Generation: snap.Generation,
-		FaultCount: len(snap.FaultNodes),
-		Checksum:   fmt.Sprintf("%016x", snap.Checksum),
+		Topology:       t.cfg.ID,
+		Generation:     snap.Generation,
+		FaultCount:     len(snap.FaultNodes),
+		EdgeFaultCount: len(snap.FaultEdges),
+		Checksum:       fmt.Sprintf("%016x", snap.Checksum),
 	}
 }
 
@@ -371,6 +391,7 @@ func (s *Server) infoOf(t *topology) topologyInfo {
 		TheoremP:   t.host.TheoremFailureProb(),
 		Generation: snap.Generation,
 		FaultCount: len(snap.FaultNodes),
+		EdgeFaults: len(snap.FaultEdges),
 	}
 }
 
@@ -428,6 +449,62 @@ func (s *Server) mutationHandler(kind reqKind) http.HandlerFunc {
 		if !wait {
 			writeJSON(w, http.StatusAccepted, acceptedResponse{
 				Topology: t.cfg.ID, Status: "accepted", Nodes: len(req.Nodes),
+			})
+			return
+		}
+		s.replyState(w, r, t, mut.reply)
+	}
+}
+
+// edgeMutationHandler serves POST (report edge faults) and DELETE
+// (report repairs) on .../edge-faults. The whole batch is validated at
+// the API boundary — endpoint range, self-loops, host adjacency — with
+// all-or-nothing semantics: one bad edge rejects the request before the
+// writer sees any of it, so a partially applied batch cannot exist.
+func (s *Server) edgeMutationHandler(kind reqKind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t := s.topo(w, r)
+		if t == nil {
+			return
+		}
+		var req edgeMutationRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err := dec.Decode(&req); err != nil {
+			s.writeErr(w, fterr.Wrapf(fterr.Invalid, "server", err, "bad request body"))
+			return
+		}
+		if len(req.Edges) == 0 {
+			s.writeErr(w, fterr.New(fterr.Invalid, "server", "no edges in request"))
+			return
+		}
+		n := t.host.HostNodes()
+		for _, e := range req.Edges {
+			// t.ses.Adjacent only reads the immutable host graph, so the
+			// check is safe off the writer goroutine.
+			if err := validate.Edge("edge fault", e[0], e[1], n, t.ses.Adjacent); err != nil {
+				s.writeErr(w, err)
+				return
+			}
+		}
+		wait := true
+		if raw := r.URL.Query().Get("wait"); raw != "" {
+			var err error
+			if wait, err = strconv.ParseBool(raw); err != nil {
+				s.writeErr(w, fterr.New(fterr.Invalid, "server", "bad wait parameter %q (want a boolean)", raw))
+				return
+			}
+		}
+		mut := request{kind: kind, edges: req.Edges}
+		if wait {
+			mut.reply = make(chan result, 1)
+		}
+		if err := t.submit(mut); err != nil {
+			s.writeErr(w, err)
+			return
+		}
+		if !wait {
+			writeJSON(w, http.StatusAccepted, acceptedResponse{
+				Topology: t.cfg.ID, Status: "accepted", Edges: len(req.Edges),
 			})
 			return
 		}
@@ -557,6 +634,7 @@ func (s *Server) handleEmbedding(w http.ResponseWriter, r *http.Request) {
 		Dims:           d.Dims,
 		Checksum:       fmt.Sprintf("%016x", d.Checksum),
 		Faults:         d.Faults,
+		EdgeFaults:     edgesOrEmpty(d.Edges),
 		Cols:           cus,
 	})
 }

@@ -25,13 +25,23 @@ type diskSnapshot struct {
 	HostNodes  int    `json:"host_nodes"`
 	Generation int64  `json:"generation"`
 	Faults     []int  `json:"faults"`
+	// Edges is the committed edge-fault set: canonical (u < v) pairs,
+	// sorted lexicographically. Absent in pre-edge-fault snapshots,
+	// which restore with no edge faults.
+	Edges [][2]int `json:"edges,omitempty"`
 	// SessionFaults is the session's full fault set at snapshot time,
 	// including mutations recorded after the last successful commit
 	// (whose evaluation failed or had not run yet) — recorded reality
 	// never rolls back, so it must survive a restart too. Restore
 	// replays Faults (which must re-verify against EmbeddingChecksum)
-	// and then the delta to SessionFaults, left pending.
-	SessionFaults []int `json:"session_faults,omitempty"`
+	// and then the delta to SessionFaults, left pending. No omitempty:
+	// null means "same as Faults", while an explicit empty list means
+	// every committed fault was cleared after the commit — omitempty
+	// would collapse the two.
+	SessionFaults []int `json:"session_faults"`
+	// SessionEdges is the edge analogue of SessionFaults, with the same
+	// null-versus-empty distinction against Edges.
+	SessionEdges [][2]int `json:"session_edges"`
 	// EmbeddingChecksum is MapChecksum of the committed map, hex-encoded.
 	EmbeddingChecksum string `json:"embedding_checksum"`
 }
@@ -69,9 +79,10 @@ func snapshotPath(dir, id string) string {
 
 // writeSnapshot persists a committed Snapshot atomically (temp file +
 // rename), so a crash mid-write never corrupts the previous snapshot.
-// session is the full session fault set (see diskSnapshot.SessionFaults);
-// it is recorded only when it differs from the committed set.
-func writeSnapshot(dir string, t *topology, snap *Snapshot, session []int) (string, error) {
+// session and sessionEdges are the full session fault sets (see
+// diskSnapshot.SessionFaults); each is recorded only when it differs
+// from its committed set.
+func writeSnapshot(dir string, t *topology, snap *Snapshot, session []int, sessionEdges [][2]int) (string, error) {
 	d := diskSnapshot{
 		Version:           snapshotVersion,
 		TopologyID:        t.cfg.ID,
@@ -80,12 +91,19 @@ func writeSnapshot(dir string, t *topology, snap *Snapshot, session []int) (stri
 		HostNodes:         t.host.HostNodes(),
 		Generation:        snap.Generation,
 		Faults:            snap.FaultNodes,
+		Edges:             snap.FaultEdges,
 		EmbeddingChecksum: fmt.Sprintf("%016x", snap.Checksum),
 	}
 	if !intsEqual(session, snap.FaultNodes) {
 		d.SessionFaults = session
 		if d.SessionFaults == nil {
 			d.SessionFaults = []int{} // nil means "same as Faults"
+		}
+	}
+	if !edgesEqual(sessionEdges, snap.FaultEdges) {
+		d.SessionEdges = sessionEdges
+		if d.SessionEdges == nil {
+			d.SessionEdges = [][2]int{} // nil means "same as Edges"
 		}
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -117,6 +135,18 @@ func writeSnapshot(dir string, t *topology, snap *Snapshot, session []int) (stri
 }
 
 func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func edgesEqual(a, b [][2]int) bool {
 	if len(a) != len(b) {
 		return false
 	}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"ftnet"
+	"ftnet/internal/fault"
 	"ftnet/internal/fterr"
 	"ftnet/internal/wire"
 )
@@ -42,6 +43,10 @@ type Snapshot struct {
 	Emb *ftnet.Embedding
 	// FaultNodes is the fault set Emb was committed against, increasing.
 	FaultNodes []int
+	// FaultEdges is the edge-fault set Emb was committed against:
+	// canonical (u < v) pairs, sorted lexicographically. Emb avoids the
+	// charged endpoint of every listed edge (the Theorem 2 reduction).
+	FaultEdges [][2]int
 	// Checksum is the FNV-1a hash of Emb.Map (see MapChecksum).
 	Checksum uint64
 
@@ -75,6 +80,8 @@ type reqKind uint8
 const (
 	reqAdd reqKind = iota
 	reqClear
+	reqAddEdges
+	reqClearEdges
 	reqFlush
 )
 
@@ -83,6 +90,7 @@ const (
 type request struct {
 	kind  reqKind
 	nodes []int
+	edges [][2]int    // for reqAddEdges/reqClearEdges
 	reply chan result // nil for fire-and-forget mutations
 }
 
@@ -109,6 +117,8 @@ type topology struct {
 	// writes can persist mutations whose evaluation failed (recorded
 	// reality never rolls back, and must survive a restart too).
 	curFaults atomic.Pointer[[]int]
+	// curEdges is the session's full edge-fault set, same contract.
+	curEdges atomic.Pointer[[][2]int]
 
 	// Writer-goroutine state: the batch accumulated since the last
 	// evaluation attempt.
@@ -199,6 +209,9 @@ func newTopology(cfg TopologyConfig, policy Config, restore *diskSnapshot) (*top
 		if err := t.ses.AddFaultsChecked(restore.Faults...); err != nil {
 			return nil, fmt.Errorf("topology %s: restore: %w", cfg.ID, err)
 		}
+		if err := t.ses.AddEdgeFaultsChecked(restore.Edges...); err != nil {
+			return nil, fmt.Errorf("topology %s: restore: %w", cfg.ID, err)
+		}
 		gen = restore.Generation
 		t.metrics.restored.Store(1)
 	}
@@ -210,6 +223,7 @@ func newTopology(cfg TopologyConfig, policy Config, restore *diskSnapshot) (*top
 		Generation: gen,
 		Emb:        emb,
 		FaultNodes: t.ses.FaultNodes(),
+		FaultEdges: t.ses.FaultEdges(),
 		Checksum:   MapChecksum(emb.Map),
 	}
 	if restore != nil && snap.Checksum != restore.checksum() {
@@ -222,6 +236,7 @@ func newTopology(cfg TopologyConfig, policy Config, restore *diskSnapshot) (*top
 	t.snap.Store(snap)
 	t.metrics.reembedOK.Add(1)
 	t.metrics.faults.Store(int64(len(snap.FaultNodes)))
+	t.metrics.edgeFaults.Store(int64(len(snap.FaultEdges)))
 	t.metrics.generation.Store(gen)
 	if restore != nil {
 		if err := t.restoreUncommitted(restore); err != nil {
@@ -234,17 +249,20 @@ func newTopology(cfg TopologyConfig, policy Config, restore *diskSnapshot) (*top
 
 // restoreUncommitted replays the snapshot's session-level delta: the
 // mutations recorded after the last successful commit (adds beyond, and
-// clears of, the committed fault set). They are applied without
-// demanding a successful evaluation — the pre-restart state may well
-// have been beyond tolerance — and left pending for the batching policy,
-// exactly as they were before the restart.
+// clears of, the committed fault and edge-fault sets). They are applied
+// without demanding a successful evaluation — the pre-restart state may
+// well have been beyond tolerance — and left pending for the batching
+// policy, exactly as they were before the restart.
 func (t *topology) restoreUncommitted(restore *diskSnapshot) error {
-	session := restore.SessionFaults
-	if session == nil {
-		return nil
+	var adds, clears []int
+	if restore.SessionFaults != nil {
+		adds, clears = sortedDiff(restore.Faults, restore.SessionFaults)
 	}
-	adds, clears := sortedDiff(restore.Faults, session)
-	if len(adds)+len(clears) == 0 {
+	var edgeAdds, edgeClears [][2]int
+	if restore.SessionEdges != nil {
+		edgeAdds, edgeClears = edgeDiff(restore.Edges, restore.SessionEdges)
+	}
+	if len(adds)+len(clears)+len(edgeAdds)+len(edgeClears) == 0 {
 		return nil
 	}
 	if err := t.ses.AddFaultsChecked(adds...); err != nil {
@@ -253,13 +271,25 @@ func (t *topology) restoreUncommitted(restore *diskSnapshot) error {
 	if err := t.ses.ClearFaultsChecked(clears...); err != nil {
 		return fmt.Errorf("topology %s: restore uncommitted: %w", t.cfg.ID, err)
 	}
+	if err := t.ses.AddEdgeFaultsChecked(edgeAdds...); err != nil {
+		return fmt.Errorf("topology %s: restore uncommitted: %w", t.cfg.ID, err)
+	}
+	if err := t.ses.ClearEdgeFaultsChecked(edgeClears...); err != nil {
+		return fmt.Errorf("topology %s: restore uncommitted: %w", t.cfg.ID, err)
+	}
 	t.pendingMuts = 1
-	t.pendingNodes = len(adds) + len(clears)
+	t.pendingNodes = len(adds) + len(clears) + len(edgeAdds) + len(edgeClears)
 	for _, v := range adds {
 		t.pendingCols[v%t.numCols] = struct{}{}
 	}
 	for _, v := range clears {
 		t.pendingCols[v%t.numCols] = struct{}{}
+	}
+	for _, e := range edgeAdds {
+		t.pendingCols[fault.ChargedEndpoint(e[0], e[1])%t.numCols] = struct{}{}
+	}
+	for _, e := range edgeClears {
+		t.pendingCols[fault.ChargedEndpoint(e[0], e[1])%t.numCols] = struct{}{}
 	}
 	t.metrics.pendingRequests.Store(1)
 	return nil
@@ -285,11 +315,37 @@ func sortedDiff(committed, session []int) (adds, clears []int) {
 	return adds, clears
 }
 
-// publishFaults republishes the session's full fault set for snapshot
-// writers. Called by the writer goroutine (and construction) only.
+// edgeDiff splits two lexicographically sorted canonical edge lists into
+// session-only (adds) and committed-only (clears) edges.
+func edgeDiff(committed, session [][2]int) (adds, clears [][2]int) {
+	less := func(a, b [2]int) bool {
+		return a[0] < b[0] || (a[0] == b[0] && a[1] < b[1])
+	}
+	i, j := 0, 0
+	for i < len(committed) || j < len(session) {
+		switch {
+		case i == len(committed) || (j < len(session) && less(session[j], committed[i])):
+			adds = append(adds, session[j])
+			j++
+		case j == len(session) || less(committed[i], session[j]):
+			clears = append(clears, committed[i])
+			i++
+		default:
+			i++
+			j++
+		}
+	}
+	return adds, clears
+}
+
+// publishFaults republishes the session's full fault and edge-fault sets
+// for snapshot writers. Called by the writer goroutine (and
+// construction) only.
 func (t *topology) publishFaults() {
 	s := t.ses.FaultNodes()
 	t.curFaults.Store(&s)
+	e := t.ses.FaultEdges()
+	t.curEdges.Store(&e)
 }
 
 // submit enqueues a request unless the daemon is stopping.
@@ -377,6 +433,32 @@ func (t *topology) apply(req request) bool {
 		if req.reply != nil {
 			t.waiters = append(t.waiters, req.reply)
 		}
+	case reqAddEdges, reqClearEdges:
+		var err error
+		if req.kind == reqAddEdges {
+			err = t.ses.AddEdgeFaultsChecked(req.edges...)
+		} else {
+			err = t.ses.ClearEdgeFaultsChecked(req.edges...)
+		}
+		if err != nil {
+			// Endpoints were validated at the API boundary (see
+			// edgeMutationHandler); an error here is an internal
+			// inconsistency and fails only this request.
+			if req.reply != nil {
+				req.reply <- result{err: err}
+			}
+			return false
+		}
+		t.pendingMuts++
+		t.pendingNodes += len(req.edges)
+		for _, e := range req.edges {
+			// An edge fault only dirties its charged endpoint's column.
+			t.pendingCols[fault.ChargedEndpoint(e[0], e[1])%t.numCols] = struct{}{}
+		}
+		t.metrics.pendingRequests.Store(int64(t.pendingMuts))
+		if req.reply != nil {
+			t.waiters = append(t.waiters, req.reply)
+		}
 	}
 	return false
 }
@@ -411,12 +493,14 @@ func (t *topology) eval() {
 			Generation: prev.Generation + 1,
 			Emb:        emb,
 			FaultNodes: t.ses.FaultNodes(),
+			FaultEdges: t.ses.FaultEdges(),
 			Checksum:   MapChecksum(emb.Map),
 		}
 		t.linkDelta(prev, snap, d)
 		t.snap.Store(snap)
 		t.metrics.reembedOK.Add(1)
 		t.metrics.faults.Store(int64(len(snap.FaultNodes)))
+		t.metrics.edgeFaults.Store(int64(len(snap.FaultEdges)))
 		t.metrics.generation.Store(snap.Generation)
 		t.notifyWatchers()
 		res = result{snap: snap}

@@ -18,9 +18,21 @@ type watchEvent struct {
 	Generation int64  `json:"generation"`
 	Checksum   string `json:"checksum"`
 	Faults     []int  `json:"faults"`
+	// EdgeFaults is the committed edge-fault set: canonical (u < v)
+	// pairs, sorted lexicographically.
+	EdgeFaults [][2]int `json:"edge_faults"`
 	// ChangedCols counts the columns this generation changed; -1 when
 	// unknown (the event bridges a gap — see the resync event type).
 	ChangedCols int `json:"changed_cols"`
+}
+
+// edgesOrEmpty normalizes a nil edge list to an empty one, so JSON
+// renders "[]" rather than "null" on every wire document.
+func edgesOrEmpty(edges [][2]int) [][2]int {
+	if edges == nil {
+		return [][2]int{}
+	}
+	return edges
 }
 
 // renderWatchEvent renders one SSE frame. Marshalling a watchEvent
@@ -102,6 +114,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			Generation:  snap.Generation,
 			Checksum:    fmt.Sprintf("%016x", snap.Checksum),
 			Faults:      snap.FaultNodes,
+			EdgeFaults:  edgesOrEmpty(snap.FaultEdges),
 			ChangedCols: -1,
 		})
 	}

@@ -44,3 +44,26 @@ func Min(name string, v, min int) error {
 	}
 	return nil
 }
+
+// Edge validates an untrusted host-edge endpoint pair against a host
+// with n nodes and the given adjacency predicate: both endpoints in
+// range, no self-loop, and the pair actually connected in the host.
+// Every rejection is a terminal fterr.Invalid — exactly the class the
+// daemon's all-or-nothing batch semantics need at the wire boundary.
+// Pass adjacent == nil to skip the adjacency check (range/self-loop
+// only), for boundaries that cannot reach the host graph.
+func Edge(name string, u, v, n int, adjacent func(u, v int) bool) error {
+	if u < 0 || u >= n {
+		return fterr.New(fterr.Invalid, "validate", "%s endpoint %d out of range [0, %d)", name, u, n)
+	}
+	if v < 0 || v >= n {
+		return fterr.New(fterr.Invalid, "validate", "%s endpoint %d out of range [0, %d)", name, v, n)
+	}
+	if u == v {
+		return fterr.New(fterr.Invalid, "validate", "%s is a self-loop on node %d", name, u)
+	}
+	if adjacent != nil && !adjacent(u, v) {
+		return fterr.New(fterr.Invalid, "validate", "%s {%d, %d} is not a host edge (endpoints not adjacent)", name, u, v)
+	}
+	return nil
+}

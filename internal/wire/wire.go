@@ -6,15 +6,22 @@
 // Two payload kinds share a common header (magic, kind, topology id):
 //
 //	full   one committed embedding snapshot: generation, guest geometry,
-//	       the FNV-1a map checksum, the fault set, and the whole guest
-//	       map, varint-packed (each entry a zigzag delta against its
-//	       row-major predecessor — near-identity maps cost ~1 byte/node).
+//	       the FNV-1a map checksum, the fault set, the edge-fault set,
+//	       and the whole guest map, varint-packed (each entry a zigzag
+//	       delta against its row-major predecessor — near-identity maps
+//	       cost ~1 byte/node).
 //	delta  the columns changed between two generations: the head
-//	       checksum, the head fault set, and for each changed guest
-//	       column its full value slice (Side entries, zigzag
-//	       delta-packed within the column). Apply patches a full
-//	       snapshot forward and re-verifies the checksum, so a client
-//	       can never silently hold state the server did not serve.
+//	       checksum, the head fault set, the head edge-fault set, and
+//	       for each changed guest column its full value slice (Side
+//	       entries, zigzag delta-packed within the column). Apply
+//	       patches a full snapshot forward and re-verifies the
+//	       checksum, so a client can never silently hold state the
+//	       server did not serve.
+//
+// Edge faults are canonical (u < v) pairs sorted lexicographically and
+// gap-encoded: per edge a uvarint u-gap against the previous edge's u,
+// then a uvarint v-gap (against u when u advanced, against the previous
+// v otherwise) — a clustered edge burst costs ~2 bytes/edge.
 //
 // Every decoder is total: arbitrary input bytes produce either a valid
 // message or an error wrapping ErrCorrupt — never a panic, never an
@@ -79,6 +86,9 @@ type Snapshot struct {
 	Side, Dims int
 	// Faults is the committed fault set, strictly increasing.
 	Faults []int
+	// Edges is the committed edge-fault set: canonical {u, v} pairs with
+	// u < v, lexicographically strictly increasing.
+	Edges [][2]int
 	// Map lists the host node for each guest node in row-major order.
 	Map []int
 	// Checksum is the FNV-1a hash of Map (see Checksum); decoders verify
@@ -102,6 +112,9 @@ type Delta struct {
 	Side, Dims                   int
 	// Faults is the complete fault set at ToGeneration.
 	Faults []int
+	// Edges is the complete edge-fault set at ToGeneration (canonical,
+	// lexicographically strictly increasing, like Snapshot.Edges).
+	Edges [][2]int
 	// Cols lists the changed guest columns, strictly increasing by Col.
 	Cols []ColumnUpdate
 	// Checksum is the FNV-1a hash of the full map at ToGeneration.
@@ -178,6 +191,33 @@ func appendFaults(b []byte, faults []int) ([]byte, error) {
 	return b, nil
 }
 
+// appendEdges packs a canonical (u < v), lexicographically strictly
+// increasing edge-fault list: count, then per edge the uvarint gap
+// du = u - prevU and a second uvarint dv — v - u - 1 when u advanced,
+// v - prevV - 1 when it did not (v strictly increases within a u run).
+func appendEdges(b []byte, edges [][2]int) ([]byte, error) {
+	b = binary.AppendUvarint(b, uint64(len(edges)))
+	prevU, prevV := 0, -1
+	for i, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= v || int64(v) >= maxValue {
+			return nil, fterr.New(fterr.Invalid, "wire.Encode", "edge {%d, %d} not canonical (want 0 <= u < v)", u, v)
+		}
+		if i > 0 && (u < prevU || (u == prevU && v <= prevV)) {
+			return nil, fterr.New(fterr.Invalid, "wire.Encode", "edge list not strictly increasing at {%d, %d}", u, v)
+		}
+		du := u - prevU
+		b = binary.AppendUvarint(b, uint64(du))
+		if i == 0 || du > 0 {
+			b = binary.AppendUvarint(b, uint64(v-u-1))
+		} else {
+			b = binary.AppendUvarint(b, uint64(v-prevV-1))
+		}
+		prevU, prevV = u, v
+	}
+	return b, nil
+}
+
 // appendVals packs map entries as zigzag deltas against the previous
 // entry (prev starts at 0).
 func appendVals(b []byte, vals []int) ([]byte, error) {
@@ -212,6 +252,9 @@ func EncodeSnapshot(s *Snapshot) ([]byte, error) {
 	if b, err = appendFaults(b, s.Faults); err != nil {
 		return nil, err
 	}
+	if b, err = appendEdges(b, s.Edges); err != nil {
+		return nil, err
+	}
 	return appendVals(b, s.Map)
 }
 
@@ -235,6 +278,9 @@ func EncodeDelta(d *Delta) ([]byte, error) {
 	b = binary.AppendUvarint(b, uint64(d.Dims))
 	b = binary.LittleEndian.AppendUint64(b, d.Checksum)
 	if b, err = appendFaults(b, d.Faults); err != nil {
+		return nil, err
+	}
+	if b, err = appendEdges(b, d.Edges); err != nil {
 		return nil, err
 	}
 	b = binary.AppendUvarint(b, uint64(len(d.Cols)))
@@ -374,6 +420,47 @@ func (r *reader) faults() ([]int, error) {
 	return out, nil
 }
 
+func (r *reader) edges() ([][2]int, error) {
+	count, err := r.uvarint("edge count")
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(r.remaining()) {
+		return nil, corrupt("edge count %d exceeds payload", count)
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	out := make([][2]int, 0, count)
+	prevU, prevV := 0, -1
+	for i := uint64(0); i < count; i++ {
+		du, err := r.uvarint("edge u gap")
+		if err != nil {
+			return nil, err
+		}
+		dv, err := r.uvarint("edge v gap")
+		if err != nil {
+			return nil, err
+		}
+		if du > uint64(maxValue) || dv > uint64(maxValue) {
+			return nil, corrupt("edge gap out of range")
+		}
+		u := int64(prevU) + int64(du)
+		var v int64
+		if i == 0 || du > 0 {
+			v = u + 1 + int64(dv)
+		} else {
+			v = int64(prevV) + 1 + int64(dv)
+		}
+		if u < 0 || v <= u || v >= maxValue {
+			return nil, corrupt("edge {%d, %d} out of range", u, v)
+		}
+		out = append(out, [2]int{int(u), int(v)})
+		prevU, prevV = int(u), int(v)
+	}
+	return out, nil
+}
+
 // vals decodes n zigzag-delta-packed entries into dst (len n).
 func (r *reader) vals(dst []int, what string) error {
 	prev := int64(0)
@@ -434,6 +521,10 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	edges, err := r.edges()
+	if err != nil {
+		return nil, err
+	}
 	n := mapLen(side, dims)
 	if n > r.remaining() {
 		return nil, corrupt("map of %d entries exceeds payload", n)
@@ -454,6 +545,7 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 		Side:       side,
 		Dims:       dims,
 		Faults:     faults,
+		Edges:      edges,
 		Map:        m,
 		Checksum:   sum,
 	}, nil
@@ -487,6 +579,10 @@ func DecodeDelta(data []byte) (*Delta, error) {
 		return nil, err
 	}
 	faults, err := r.faults()
+	if err != nil {
+		return nil, err
+	}
+	edges, err := r.edges()
 	if err != nil {
 		return nil, err
 	}
@@ -529,6 +625,7 @@ func DecodeDelta(data []byte) (*Delta, error) {
 		Side:           side,
 		Dims:           dims,
 		Faults:         faults,
+		Edges:          edges,
 		Cols:           cols,
 		Checksum:       sum,
 	}, nil
@@ -574,6 +671,7 @@ func Apply(base *Snapshot, d *Delta) (*Snapshot, error) {
 		Side:       d.Side,
 		Dims:       d.Dims,
 		Faults:     append([]int(nil), d.Faults...),
+		Edges:      append([][2]int(nil), d.Edges...),
 		Map:        m,
 		Checksum:   d.Checksum,
 	}, nil

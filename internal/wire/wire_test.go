@@ -33,12 +33,28 @@ func randomSnapshot(r *rng.PCG, side, dims int) *Snapshot {
 	if faults == nil {
 		faults = []int{}
 	}
+	var edges [][2]int
+	u, v := 0, 0
+	for r.Intn(3) != 0 {
+		if len(edges) > 0 && r.Intn(2) == 0 {
+			v += 1 + r.Intn(4) // same u, strictly larger v
+		} else {
+			if len(edges) > 0 {
+				u += 1 + r.Intn(3)
+			} else {
+				u = r.Intn(3)
+			}
+			v = u + 1 + r.Intn(4)
+		}
+		edges = append(edges, [2]int{u, v})
+	}
 	return &Snapshot{
 		Topology:   "main",
 		Generation: int64(r.Intn(1000)),
 		Side:       side,
 		Dims:       dims,
 		Faults:     faults,
+		Edges:      edges,
 		Map:        m,
 		Checksum:   Checksum(m),
 	}
@@ -99,6 +115,7 @@ func TestDeltaRoundTripAndApply(t *testing.T) {
 		Side:           base.Side,
 		Dims:           base.Dims,
 		Faults:         []int{2, 9},
+		Edges:          [][2]int{{0, 1}, {0, 7}, {4, 5}},
 		Cols:           cols,
 		Checksum:       Checksum(head),
 	}
@@ -130,6 +147,9 @@ func TestDeltaRoundTripAndApply(t *testing.T) {
 	}
 	if !reflect.DeepEqual(patched.Faults, d.Faults) {
 		t.Fatalf("patched faults = %v, want %v", patched.Faults, d.Faults)
+	}
+	if !reflect.DeepEqual(patched.Edges, d.Edges) {
+		t.Fatalf("patched edges = %v, want %v", patched.Edges, d.Edges)
 	}
 	// base must be untouched.
 	if base.Map[0*nc+1] == head[0*nc+1] && len(changed) > 0 {
@@ -244,6 +264,11 @@ func TestEncodeRejectsInvalid(t *testing.T) {
 		{"negative entry", func(s *Snapshot) { s.Map = []int{0, 1, -2, 3} }},
 		{"unsorted faults", func(s *Snapshot) { s.Faults = []int{5, 5} }},
 		{"negative generation", func(s *Snapshot) { s.Generation = -1 }},
+		{"self-loop edge", func(s *Snapshot) { s.Edges = [][2]int{{2, 2}} }},
+		{"reversed edge", func(s *Snapshot) { s.Edges = [][2]int{{3, 1}} }},
+		{"negative edge endpoint", func(s *Snapshot) { s.Edges = [][2]int{{-1, 2}} }},
+		{"duplicate edge", func(s *Snapshot) { s.Edges = [][2]int{{1, 2}, {1, 2}} }},
+		{"unsorted edges", func(s *Snapshot) { s.Edges = [][2]int{{1, 4}, {1, 2}} }},
 	}
 	for _, tc := range bad {
 		s := *good

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Edge-churn benchmark harness behind BENCH_pr8.json.
+#
+# Runs the mixed node+edge churn family (one op = one Gillespie event at
+# a 10x-theorem steady-state mixed population, evaluated incrementally
+# through the charging pass + session delta engine vs from scratch) and
+# writes the averaged results plus the PR-8 acceptance ratio as JSON.
+# The acceptance criterion compares the incremental step against the
+# *dense* from-scratch evaluation of the same charged fault set — the
+# reference the golden-equivalence tests pin the step against.
+#
+# Usage:
+#   scripts/bench_edge.sh                      # refresh BENCH_pr8.json
+#   BENCH_OUT=/tmp/pr8.json scripts/bench_edge.sh
+#   BENCH_COUNT=5 scripts/bench_edge.sh        # more repetitions
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_pr8.json}"
+COUNT="${BENCH_COUNT:-3}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "== edge-churn benchmarks (count=$COUNT) =="
+go test -run '^$' -count "$COUNT" -benchtime 100x -benchmem \
+  -bench 'BenchmarkEdgeChurnSession$|BenchmarkEdgeChurnFromScratch$' . | tee "$TMP"
+go test -run '^$' -count "$COUNT" -benchtime 20x -benchmem \
+  -bench 'BenchmarkEdgeChurnFromScratchDense$' . | tee -a "$TMP"
+
+python3 - "$TMP" "$OUT" <<'EOF'
+import json, re, sys
+
+raw, out = sys.argv[1], sys.argv[2]
+
+runs = {}
+cpu = ""
+for line in open(raw):
+    if line.startswith("cpu:"):
+        cpu = line.split(":", 1)[1].strip()
+    m = re.match(r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?", line)
+    if m:
+        runs.setdefault(m.group(1), []).append(
+            (float(m.group(3)), int(m.group(4) or 0), int(m.group(5) or 0)))
+
+bench = {}
+for name, rs in runs.items():
+    bench[name] = {
+        "ns_per_op": round(sum(r[0] for r in rs) / len(rs), 1),
+        "bytes_per_op": round(sum(r[1] for r in rs) / len(rs)),
+        "allocs_per_op": round(sum(r[2] for r in rs) / len(rs)),
+        "runs": len(rs),
+    }
+
+inc = bench["BenchmarkEdgeChurnSession"]["ns_per_op"]
+sparse = bench["BenchmarkEdgeChurnFromScratch"]["ns_per_op"]
+dense = bench["BenchmarkEdgeChurnFromScratchDense"]["ns_per_op"]
+doc = {
+    "cpu": cpu,
+    "benchmarks": bench,
+    "config": {
+        "benchtime": "100x (FromScratchDense: 20x)",
+        "workload": "one op = one mixed node+edge Gillespie event (arrival, repair, "
+                    "link flap, or link repair) on the B2 bench host at a 10x-theorem "
+                    "steady-state population split evenly between node faults and edge "
+                    "charges; each event is re-embedded and verified",
+    },
+    "acceptance": {
+        "incremental_ns_per_op": inc,
+        "from_scratch_dense_ns_per_op": dense,
+        "from_scratch_sparse_ns_per_op": sparse,
+        "incremental_speedup_vs_dense": round(dense / inc, 1),
+        "incremental_speedup_vs_sparse": round(sparse / inc, 1),
+        "meets_10x_vs_from_scratch": dense / inc >= 10,
+    },
+    "generated_by": "scripts/bench_edge.sh",
+}
+json.dump(doc, open(out, "w"), indent=2, sort_keys=True)
+open(out, "a").write("\n")
+print("\nincremental %.0f ns/op vs dense from-scratch %.0f ns/op: %.1fx" % (inc, dense, dense / inc))
+print("wrote %s" % out)
+EOF

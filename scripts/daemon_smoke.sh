@@ -48,6 +48,17 @@ echo "== report faults =="
 curl -fsS -X POST "$BASE/faults" -d '{"nodes":[17,5000,20011,33333]}'; echo
 curl -fsS -X DELETE "$BASE/faults" -d '{"nodes":[5000]}'; echo
 
+echo "== report edge faults (Theorem 2's link-flap model) =="
+# `ftnet edges` prints real host edges for this topology; the endpoint
+# rejects anything else, all-or-nothing.
+EDGES="$("$BIN" edges -d 2 -side 64 -eps 0.5 -count 2)"
+curl -fsS -X POST "$BASE/edge-faults" -d "{\"edges\":$EDGES}"; echo
+STATUS="$(curl -sS -o /dev/null -w '%{http_code}' -X POST "$BASE/edge-faults" -d '{"edges":[[7,7]]}' || true)"
+if [ "$STATUS" != "400" ]; then
+  echo "self-loop edge batch returned $STATUS, want 400" >&2
+  exit 1
+fi
+
 echo "== fetch committed embedding =="
 curl -fsS "$BASE/embedding" -o "$WORK/emb_before.json"
 
@@ -64,6 +75,17 @@ curl -fsS "$BASE/embedding" -o "$WORK/emb_after.json"
 if ! cmp -s "$WORK/emb_before.json" "$WORK/emb_after.json"; then
   echo "restored embedding differs from the pre-restart one:" >&2
   ls -l "$WORK"/emb_*.json >&2
+  exit 1
+fi
+# The edge-fault set must have survived the restart too (the diff above
+# already proves it bit-identically; this guards against both sides
+# being empty) and be visible on the gauge.
+if ! grep -q '"edge_faults":\[\[' "$WORK/emb_after.json"; then
+  echo "restored embedding lost the edge-fault set" >&2
+  exit 1
+fi
+if ! curl -fsS "http://$ADDR/metrics" | grep -q 'ftnetd_edge_faults{topology="main"} 2'; then
+  echo "ftnetd_edge_faults gauge does not show the restored population" >&2
   exit 1
 fi
 

@@ -37,6 +37,7 @@ var enforced = []string{
 	"internal/server",
 	"internal/wire",
 	"internal/churn",
+	"internal/fault",
 	"internal/validate",
 }
 
