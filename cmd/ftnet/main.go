@@ -181,9 +181,7 @@ func runSimulate(args []string) error {
 // runEdges prints canonical host edges of the Theorem 2 host as a JSON
 // array of {u, v} pairs — ready to paste into the daemon's /edge-faults
 // request body, which only accepts real host edges. Anchors are spread
-// across the host so the charged endpoints stay a tolerable pattern and
-// steer clear of the locality fast-path's anchor column (faults charged
-// near column 0 force the session onto the cold rebuild path).
+// across the host so the charged endpoints stay a tolerable pattern.
 func runEdges(args []string) error {
 	fs := flag.NewFlagSet("edges", flag.ExitOnError)
 	d := fs.Int("d", 2, "dimension")
@@ -204,7 +202,9 @@ func runEdges(args []string) error {
 	n := host.HostNodes()
 	edges := make([][2]int, 0, *count)
 	for i := 0; len(edges) < *count; i++ {
-		u := ((i + 1) * 9001) % (n - 1)
+		// Stride anchors across the host; the session re-arms itself after
+		// an anchor-column rotation, so no column needs avoiding.
+		u := (i * 9001) % (n - 1)
 		for v := u + 1; v < n; v++ {
 			if ses.Adjacent(u, v) {
 				edges = append(edges, [2]int{u, v})
@@ -242,6 +242,7 @@ func runChurn(args []string) error {
 	workers := fs.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS); results do not depend on it")
 	seed := fs.Uint64("seed", 1, "master seed")
 	stopAtDeath := fs.Bool("stop-at-death", false, "end each trial at the first unembeddable state")
+	batch := fs.Int("batch", 0, "evaluate the full pipeline once per this many events, deciding per-event status with the placement probe; bit-identical results (0 or 1 = per-event)")
 	independent := fs.Bool("independent", false, "ablation: re-run the full pipeline from scratch after every event instead of the incremental session")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -290,6 +291,9 @@ func runChurn(args []string) error {
 	if err := validate.Min("churn: -trials", *trials, 1); err != nil {
 		return err
 	}
+	if err := validate.Min("churn: -batch", *batch, 0); err != nil {
+		return err
+	}
 	params, err := core.FitParams(*d, *side, *eps)
 	if err != nil {
 		return err
@@ -331,6 +335,7 @@ func runChurn(args []string) error {
 		Workers:     *workers,
 		Horizon:     *horizon,
 		StopAtDeath: *stopAtDeath,
+		Batch:       *batch,
 		Independent: *independent,
 	})
 	if err != nil {

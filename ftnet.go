@@ -173,6 +173,15 @@ func (t *RandomFaultTorus) NewFaults() *Faults {
 	return &Faults{set: fault.NewSet(t.g.NumNodes())}
 }
 
+// AnchorRotatingFault returns the smallest host node whose lone fault
+// makes a cold extraction rotate the embedding anchor — the scenario in
+// which an incremental Session must re-arm its locality fast path to
+// keep serving warm column deltas. It returns -1 when no single node
+// rotates this host. Intended for regression tests, chaos drivers and
+// benchmarks that need a deterministic rotating fault; the scan runs up
+// to one full extraction per candidate node.
+func (t *RandomFaultTorus) AnchorRotatingFault() int { return t.g.FindAnchorRotatingFault() }
+
 // InjectRandom returns a fault set where each host node failed
 // independently with probability p, drawn deterministically from seed.
 func (t *RandomFaultTorus) InjectRandom(seed uint64, p float64) *Faults {

@@ -1,0 +1,130 @@
+package churn
+
+import (
+	"math"
+	"testing"
+
+	"ftnet/internal/fterr"
+)
+
+// Golden suite for the coupled repair-rate ladder: marginal exactness
+// cannot be bit-compared against the independent simulator (the
+// uniformized proposal stream draws differently), so the pins are the
+// structural invariants — probe/full-pipeline agreement on every probed
+// state (Verify), worker-count determinism, monotone availability in
+// rho — plus a statistical cross-check of each rung's availability
+// against the independent Simulate at the same rates.
+
+func ladderLambda(t *testing.T) float64 {
+	t.Helper()
+	g := testGraph(t)
+	return 40 * g.P.TheoremFailureProb()
+}
+
+// TestLadderVerified runs the exhaustive ablation: every placement
+// probe on every rung is cross-checked against a full from-scratch
+// pipeline run. Any disagreement fails the trial with an internal
+// error.
+func TestLadderVerified(t *testing.T) {
+	g := testGraph(t)
+	rhos := []float64{0.05, 0.8, 12.8}
+	res, err := SimulateRepairLadder(g, ladderLambda(t), rhos, 4, 7,
+		LadderOptions{Horizon: 3, Workers: 1, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range rhos {
+		ev, _ := res.Metric(r, MetricEvents)
+		if ev == 0 {
+			t.Fatalf("rung %d saw no events; the coupled stream is not reaching it", r)
+		}
+	}
+}
+
+// TestLadderDeterminism pins bit-identical results across worker
+// counts.
+func TestLadderDeterminism(t *testing.T) {
+	g := testGraph(t)
+	rhos := []float64{0.05, 0.2, 0.8, 3.2, 12.8}
+	var want LadderResult
+	for i, workers := range []int{1, 4} {
+		res, err := SimulateRepairLadder(g, ladderLambda(t), rhos, 8, 99,
+			LadderOptions{Horizon: 6, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = res
+			continue
+		}
+		for c := range want.Mean {
+			if res.Mean[c] != want.Mean[c] || res.StdErr[c] != want.StdErr[c] {
+				t.Fatalf("workers=%d: component %d = (%v, %v), want (%v, %v)",
+					workers, c, res.Mean[c], res.StdErr[c], want.Mean[c], want.StdErr[c])
+			}
+		}
+	}
+}
+
+// TestLadderMatchesIndependent cross-checks each rung's availability
+// against the independent per-rho simulator: the coupled marginals are
+// the same law, so the estimates must agree within combined standard
+// errors. Rates straddle the E17 threshold so the comparison spans
+// collapse and rescue.
+func TestLadderMatchesIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical cross-check")
+	}
+	g := testGraph(t)
+	lambda := ladderLambda(t)
+	rhos := []float64{0.05, 0.8, 12.8}
+	const trials = 24
+	res, err := SimulateRepairLadder(g, lambda, rhos, trials, 11,
+		LadderOptions{Horizon: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rho := range rhos {
+		ind, err := Simulate(g, Process{Arrival: lambda, Repair: rho}, trials, 1100+uint64(r),
+			Options{Horizon: 8, Batch: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		am, ase := res.Availability(r)
+		bm, bse := ind.Availability()
+		tol := 4*math.Hypot(ase, bse) + 0.02
+		if math.Abs(am-bm) > tol {
+			t.Errorf("rho=%v: coupled availability %.4f±%.4f vs independent %.4f±%.4f (tol %.4f)",
+				rho, am, ase, bm, bse, tol)
+		}
+	}
+	// The ladder must also show E17's shape: slow repair collapses, fast
+	// repair rescues.
+	lo, _ := res.Availability(0)
+	hi, _ := res.Availability(len(rhos) - 1)
+	if hi < lo {
+		t.Errorf("availability not improving with repair rate: %.3f -> %.3f", lo, hi)
+	}
+}
+
+// TestLadderValidation pins the config errors.
+func TestLadderValidation(t *testing.T) {
+	g := testGraph(t)
+	cases := []struct {
+		name   string
+		lambda float64
+		rhos   []float64
+		opts   LadderOptions
+	}{
+		{"no horizon", 1e-4, []float64{1}, LadderOptions{}},
+		{"zero lambda", 0, []float64{1}, LadderOptions{Horizon: 1}},
+		{"empty ladder", 1e-4, nil, LadderOptions{Horizon: 1}},
+		{"not ascending", 1e-4, []float64{1, 0.5}, LadderOptions{Horizon: 1}},
+		{"negative rho", 1e-4, []float64{-1, 0.5}, LadderOptions{Horizon: 1}},
+	}
+	for _, tc := range cases {
+		if _, err := SimulateRepairLadder(g, tc.lambda, tc.rhos, 2, 1, tc.opts); fterr.CodeOf(err) != fterr.Invalid {
+			t.Errorf("%s: got %v, want invalid", tc.name, err)
+		}
+	}
+}

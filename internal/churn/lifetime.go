@@ -52,6 +52,17 @@ type Options struct {
 	// the horizon aborts the run with an error instead of reporting
 	// statistics over unsimulated time.
 	MaxEvents int
+	// Batch, when >= 2, decides each event's status with the
+	// placement-only probe (core.Graph.Tolerates — the oracle's exact
+	// health classification, see batch.go) and runs the full pipeline
+	// once per window of Batch events, where the session's bidirectional
+	// add/clear absorbs the window's mutations in one warm incremental
+	// step. Every reported metric — death time, death size, availability,
+	// event counts — is bit-identical to the per-event evaluator; only
+	// the cost moves. 0 or 1 keeps the per-event oracle. Incompatible
+	// with Independent (the from-scratch ablation has no incremental
+	// session to batch into).
+	Batch int
 	// StopAtDeath ends each trial at its first unembeddable state
 	// instead of simulating to the horizon. Death time, death size and
 	// death rate are unaffected; availability then counts the remaining
@@ -122,6 +133,9 @@ func Simulate(g *core.Graph, proc Process, trials int, seed uint64, opts Options
 	if err := proc.Validate(); err != nil {
 		return Result{}, err
 	}
+	if opts.Batch > 1 && opts.Independent {
+		return Result{}, fterr.New(fterr.Invalid, "churn.Simulate", "Batch=%d requires the incremental session; Independent evaluates from scratch per event", opts.Batch)
+	}
 	maxEvents := opts.MaxEvents
 	if maxEvents <= 0 {
 		maxEvents = 1 << 20
@@ -149,6 +163,9 @@ func Simulate(g *core.Graph, proc Process, trials int, seed uint64, opts Options
 	}
 	rep, err := parallel.RunLifetime(trials, NumMetrics, seed, popts, func(t int, stream *rng.PCG, scratch any, out []float64) error {
 		ts := scratch.(*trialState)
+		if opts.Batch > 1 {
+			return batchedLifetimeTrial(g, ts, stream, opts.Horizon, maxEvents, opts.Batch, opts, out)
+		}
 		return lifetimeTrial(g, ts, stream, opts.Horizon, maxEvents, opts, out)
 	})
 	if err != nil {

@@ -344,6 +344,7 @@ func (g *Graph) extractFast(bs *bands.Set, tpl *template, opts ExtractOptions) (
 	if err != nil {
 		return nil, err
 	}
+	sc.rotated = false
 	dirty := bs.DirtyColumns()
 	for _, z32 := range dirty {
 		rowmap[z32] = nil
@@ -499,8 +500,10 @@ func (g *Graph) extractFast(bs *bands.Set, tpl *template, opts ExtractOptions) (
 
 	if rotated {
 		// Every column's map changed relative to the default template:
-		// write them all and drop the scratch's default state (the next
-		// trial re-seeds it).
+		// write them all and drop the scratch's default state. sc.rotated
+		// lets the caller re-arm the fast path from this state once the
+		// extraction is verified (rearmRotated); standalone trials instead
+		// re-seed the defaults on the next ensureFast.
 		for z := 0; z < numCols; z++ {
 			rows := rowmap[z]
 			for i := 0; i < n; i++ {
@@ -508,6 +511,7 @@ func (g *Graph) extractFast(bs *bands.Set, tpl *template, opts ExtractOptions) (
 			}
 		}
 		sc.fastInit = false
+		sc.rotated = true
 		return e, nil
 	}
 	// Fill the embedding for deviating columns only; every other column
@@ -524,6 +528,27 @@ func (g *Graph) extractFast(bs *bands.Set, tpl *template, opts ExtractOptions) (
 	}
 	sc.notePrevDirty(dirty)
 	return e, nil
+}
+
+// FindAnchorRotatingFault searches for the smallest node index whose
+// lone fault makes a cold fast-path extraction genuinely rotate the
+// anchor (the dense-cliff scenario: before the re-arm, such a fault
+// parked sessions on the dense path forever). Used by regression tests
+// and benchmarks that need a deterministic rotating fault; returns -1
+// when no single node rotates this host.
+func (g *Graph) FindAnchorRotatingFault() int {
+	sc := NewScratch(1)
+	for u := 0; u < g.NumNodes(); u++ {
+		faults := sc.Faults(g.NumNodes())
+		faults.Add(u)
+		if _, err := g.ContainTorus(faults, ExtractOptions{Scratch: sc}); err != nil {
+			continue // unhealthy single-fault state: not the scenario
+		}
+		if sc.rotated {
+			return u
+		}
+	}
+	return -1
 }
 
 // isRotation reports whether a is a cyclic rotation of b (both length n).
@@ -551,6 +576,43 @@ func isRotation(a, b []int32) bool {
 		}
 	}
 	return true
+}
+
+// rearmRotated re-seeds the scratch's fast-path state from a verified
+// rotated extraction instead of abandoning it. extractFast left every
+// column's row vector and embedding entry describing the rotated state;
+// what is missing for the fast-path invariant is stable backing (clean
+// columns alias the shared clean-vector buffer, which later extractions
+// reuse as a probe scratchpad), deviation flags relative to the
+// template's default rows (extraction computed them against the rotated
+// base), and a restore list covering everything a future cold trial must
+// undo. All three are fixed here in one O(N) pass — no more than the
+// rotated extraction itself already paid — after which the state
+// satisfies the documented invariant with prevDirty = every column, so a
+// Session can go warm on the very next commit and incremental Evals diff
+// against the rotated state like any other. Without this, one fault
+// charged near the anchor column at a cold eval parked the session on
+// the dense path (and the daemon's delta ring on 410 resyncs) for the
+// rest of its life.
+func (g *Graph) rearmRotated(tpl *template, sc *Scratch) {
+	n := g.P.N()
+	numCols := g.NumCols
+	rowflat := sc.rowflat[:numCols*n]
+	for z := 0; z < numCols; z++ {
+		dst := rowflat[z*n : (z+1)*n]
+		src := sc.rowmap[z]
+		if &src[0] != &dst[0] {
+			copy(dst, src)
+			sc.rowmap[z] = dst
+		}
+		sc.devCols[z] = !int32Equal(dst, tpl.defaultRows)
+	}
+	sc.prevDirty = sc.prevDirty[:0]
+	for z := 0; z < numCols; z++ {
+		sc.prevDirty = append(sc.prevDirty, int32(z))
+	}
+	sc.fastInit = true
+	sc.rotated = false
 }
 
 // verifyFast is the locality-aware counterpart of embed.Verify: it

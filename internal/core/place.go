@@ -773,6 +773,35 @@ func (g *Graph) interpolate(boxes []*faultBox, sc *Scratch) (*bands.Set, error) 
 	return bs, nil
 }
 
+// Tolerates decides whether the pipeline classifies the fault set as
+// tolerated, running only the placement stages that can make that call:
+// box isolation/merging (condition 3 caps), pigeonhole segments and
+// padding (conditions 1-2), and corner separation. It returns nil for a
+// tolerated set, an *UnhealthyError for a rejected one, and never
+// builds bands, extracts or verifies — those stages fail only on
+// bug-class invariant violations, so this cheap decision is exactly the
+// full pipeline's health classification (the batched churn goldens pin
+// the equivalence event by event). sc supplies placement buffers; nil
+// allocates fresh ones.
+//
+// The classification is NOT monotone in the fault set: condition 2 can
+// reject a set and accept a superset, because an added fault can merge
+// two boxes that each needed their own segment in a shared slab into
+// one box that needs a single segment (TestToleratesNotMonotone pins a
+// three/four-fault counterexample). Callers must not infer a subset's
+// status from a superset's, or vice versa.
+func (g *Graph) Tolerates(faults *fault.Set, sc *Scratch) error {
+	if sc == nil {
+		sc = NewScratch(1)
+	}
+	boxes, _, err := g.buildBoxes(faults, sc)
+	if err != nil {
+		return err
+	}
+	_, err = g.buildPinned(boxes, sc, grid.Uniform(g.P.D-1, g.P.ColTiles()))
+	return err
+}
+
 // checkAllMasked verifies that every fault is masked by some band.
 func (g *Graph) checkAllMasked(bs *bands.Set, faults *fault.Set) error {
 	var outErr error

@@ -317,3 +317,45 @@ func BenchmarkPadBox(b *testing.B) {
 		}
 	}
 }
+
+// TestToleratesNotMonotone pins the counterexample that rules out any
+// "evaluate the batch end, infer the prefixes" scheme in the churn
+// layer: the health classification is not monotone in the fault set.
+// On this host, three spread-out faults need two pigeonhole segments in
+// a shared slab (capacity 1 — condition 2 rejects), while ADDING a
+// fourth fault between them merges the boxes into one that needs a
+// single segment (tolerated again). The test also pins that the
+// placement-only probe agrees with the full pipeline on both states —
+// the equivalence the batched churn evaluator is built on.
+func TestToleratesNotMonotone(t *testing.T) {
+	g := mustGraph(t, Params{D: 2, W: 4, Pitch: 16, Scale: 1})
+	smaller := []int{1278, 20426, 21974}
+	larger := []int{1278, 20426, 21974, 20648}
+	sc := NewScratch(1)
+
+	class := func(idxs []int) bool {
+		faults := fault.NewSet(g.NumNodes())
+		for _, u := range idxs {
+			faults.Add(u)
+		}
+		probeErr := g.Tolerates(faults, sc)
+		_, fullErr := g.ContainTorus(faults, ExtractOptions{Dense: true})
+		for _, err := range []error{probeErr, fullErr} {
+			if err != nil {
+				if _, ok := err.(*UnhealthyError); !ok {
+					t.Fatalf("faults %v: bug-class error: %v", idxs, err)
+				}
+			}
+		}
+		if (probeErr == nil) != (fullErr == nil) {
+			t.Fatalf("faults %v: probe says %v, full pipeline says %v", idxs, probeErr, fullErr)
+		}
+		return probeErr == nil
+	}
+	if class(smaller) {
+		t.Fatalf("faults %v unexpectedly tolerated; the counterexample host drifted", smaller)
+	}
+	if !class(larger) {
+		t.Fatalf("faults %v (a superset!) unexpectedly rejected; the counterexample host drifted", larger)
+	}
+}

@@ -75,6 +75,7 @@ type Scratch struct {
 	// deviating columns, and devCols is all-false outside prevDirty.
 	fastGraph *Graph
 	fastInit  bool
+	rotated   bool // last extractFast left a rotated (whole-host) state
 	prevDirty []int32
 	devCols   []bool
 	cleanVec  []int32
@@ -110,6 +111,7 @@ func (sc *Scratch) rowBuffers(numCols, n int) ([][]int32, []int32) {
 		return make([][]int32, numCols), make([]int32, numCols*n)
 	}
 	sc.fastInit = false
+	sc.rotated = false
 	if cap(sc.rowmap) < numCols {
 		sc.rowmap = make([][]int32, numCols)
 	}

@@ -420,6 +420,13 @@ func (s *Session) evalCold(bs *bands.Set, boxes []*faultBox, faults *fault.Set, 
 	if err := g.verifyFast(emb, bs, faults, tpl, sc); err != nil {
 		return nil, err
 	}
+	if sc.rotated {
+		// The anchor genuinely rotated and the extraction rewrote the
+		// whole host map. Re-arm the fast path from the just-verified
+		// state: the next Eval diffs against the rotated embedding
+		// incrementally instead of paying the dense rebuild forever.
+		g.rearmRotated(tpl, sc)
+	}
 	res.Embedding = emb
 	s.commit(bs, boxes)
 	return res, nil

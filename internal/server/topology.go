@@ -215,7 +215,13 @@ func newTopology(cfg TopologyConfig, policy Config, restore *diskSnapshot) (*top
 		gen = restore.Generation
 		t.metrics.restored.Store(1)
 	}
-	emb, err := t.ses.Reembed()
+	// ReembedDelta rather than Reembed: the initial commit is linked as a
+	// full resync boundary below, so the session's delta accumulator must
+	// be drained here — otherwise the cold evaluation's full-rewrite flag
+	// leaks into the FIRST real commit, turning it into a needless 410 for
+	// every client that already holds this head (clients reconnecting
+	// after a restart would resync twice).
+	emb, _, err := t.ses.ReembedDelta()
 	if err != nil {
 		return nil, fmt.Errorf("topology %s: initial reembed: %w", cfg.ID, err)
 	}

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Batched-churn / coupled-ladder benchmark harness behind BENCH_pr9.json.
+#
+# Runs the PR-9 churn family and writes the averaged results plus the
+# acceptance ratios as JSON:
+#
+#   - batched vs per-event lifetime trials on the burst-heavy mixed
+#     process (bit-identical outcomes, pinned by the golden suite in
+#     internal/churn; acceptance wants >= 3x),
+#   - the coupled E17 repair-rate ladder vs one independent batched
+#     simulation per rung (equal statistical output per op),
+#   - the post-rotation re-armed churn step vs the unrotated warm step
+#     (acceptance wants within 2x; before the re-arm this was the dense
+#     whole-host cliff),
+#   - the d=3 churn step and a d=3 burst-heavy batched trial on the
+#     9.4M-node host (scale reference, no ratio).
+#
+# Usage:
+#   scripts/bench_churn.sh                      # refresh BENCH_pr9.json
+#   BENCH_OUT=/tmp/pr9.json scripts/bench_churn.sh
+#   BENCH_COUNT=5 scripts/bench_churn.sh        # more repetitions
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_pr9.json}"
+COUNT="${BENCH_COUNT:-3}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "== batched churn + ladder benchmarks (count=$COUNT) =="
+go test -run '^$' -count "$COUNT" -benchtime 8x -benchmem \
+  -bench 'BenchmarkLifetimeBursty$|BenchmarkLifetimeBurstyBatched$|BenchmarkLifetime$|BenchmarkLifetimeBatched$|BenchmarkRepairLadderCoupled$|BenchmarkRepairLadderIndependent$' . | tee "$TMP"
+go test -run '^$' -count "$COUNT" -benchtime 100x -benchmem \
+  -bench 'BenchmarkChurnSession$|BenchmarkChurnSessionRearmed$' . | tee -a "$TMP"
+go test -run '^$' -count "$COUNT" -benchtime 10x -benchmem -timeout 30m \
+  -bench 'BenchmarkChurnSession3D$|BenchmarkLifetimeBursty3DBatched$' . | tee -a "$TMP"
+
+python3 - "$TMP" "$OUT" <<'EOF'
+import json, re, sys
+
+raw, out = sys.argv[1], sys.argv[2]
+
+runs = {}
+cpu = ""
+for line in open(raw):
+    if line.startswith("cpu:"):
+        cpu = line.split(":", 1)[1].strip()
+    m = re.match(r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?", line)
+    if m:
+        runs.setdefault(m.group(1), []).append(
+            (float(m.group(3)), int(m.group(4) or 0), int(m.group(5) or 0)))
+
+bench = {}
+for name, rs in runs.items():
+    bench[name] = {
+        "ns_per_op": round(sum(r[0] for r in rs) / len(rs), 1),
+        "bytes_per_op": round(sum(r[1] for r in rs) / len(rs)),
+        "allocs_per_op": round(sum(r[2] for r in rs) / len(rs)),
+        "runs": len(rs),
+    }
+
+bursty = bench["BenchmarkLifetimeBursty"]["ns_per_op"]
+bursty_b = bench["BenchmarkLifetimeBurstyBatched"]["ns_per_op"]
+steady = bench["BenchmarkLifetime"]["ns_per_op"]
+steady_b = bench["BenchmarkLifetimeBatched"]["ns_per_op"]
+coupled = bench["BenchmarkRepairLadderCoupled"]["ns_per_op"]
+independent = bench["BenchmarkRepairLadderIndependent"]["ns_per_op"]
+warm = bench["BenchmarkChurnSession"]["ns_per_op"]
+rearmed = bench["BenchmarkChurnSessionRearmed"]["ns_per_op"]
+doc = {
+    "cpu": cpu,
+    "benchmarks": bench,
+    "config": {
+        "benchtime": "8x trials (churn steps: 100x, d=3: 10x)",
+        "workload": "lifetime benchmarks: one op = one full churn trial on the B2 bench "
+                    "host (burst-heavy mixed node+edge process, or the steady theorem-rate "
+                    "process); ladder benchmarks: one op = one full E17 five-rung outcome "
+                    "on the experiments' churn host; step benchmarks: one op = one "
+                    "Gillespie event on a warm session (Rearmed: with an anchor-rotating "
+                    "fault pinned after a cold rotated evaluation); 3D: the 9.4M-node host",
+    },
+    "acceptance": {
+        "bursty_per_event_ns_per_op": bursty,
+        "bursty_batched_ns_per_op": bursty_b,
+        "bursty_batched_speedup": round(bursty / bursty_b, 1),
+        "meets_3x_batched_on_bursty": bursty / bursty_b >= 3,
+        "steady_batched_speedup": round(steady / steady_b, 1),
+        "ladder_independent_ns_per_op": independent,
+        "ladder_coupled_ns_per_op": coupled,
+        "ladder_coupling_speedup": round(independent / coupled, 2),
+        "ladder_coupled_cheaper": independent > coupled,
+        "warm_step_ns_per_op": warm,
+        "rearmed_step_ns_per_op": rearmed,
+        "rearmed_over_warm": round(rearmed / warm, 2),
+        "meets_rearmed_within_2x_of_warm": rearmed / warm <= 2,
+    },
+    "generated_by": "scripts/bench_churn.sh",
+}
+json.dump(doc, open(out, "w"), indent=2, sort_keys=True)
+open(out, "a").write("\n")
+print("\nbursty: per-event %.0f ns/op vs batched %.0f ns/op: %.1fx" % (bursty, bursty_b, bursty / bursty_b))
+print("ladder: independent %.0f ns/op vs coupled %.0f ns/op: %.2fx" % (independent, coupled, independent / coupled))
+print("rearmed step %.0f ns/op vs warm %.0f ns/op: %.2fx" % (rearmed, warm, rearmed / warm))
+print("wrote %s" % out)
+EOF
