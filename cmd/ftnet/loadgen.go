@@ -20,6 +20,7 @@ import (
 
 	"ftnet"
 	"ftnet/client"
+	"ftnet/internal/fterr"
 	"ftnet/internal/rng"
 	"ftnet/internal/server"
 	"ftnet/internal/validate"
@@ -78,7 +79,7 @@ func runLoadgen(args []string) error {
 		return err
 	}
 	if *warmup < 0 {
-		return fmt.Errorf("loadgen: -warmup must be >= 0, got %v", *warmup)
+		return fterr.New(fterr.Invalid, "loadgen", "-warmup must be >= 0, got %v", *warmup)
 	}
 	for _, c := range []struct {
 		name string
@@ -153,7 +154,7 @@ func runLoadgen(args []string) error {
 		HostNodes int `json:"host_nodes"`
 	}{}
 	if err := getJSON(httpClient, base, &info); err != nil {
-		return fmt.Errorf("loadgen: topology info: %v", err)
+		return fmt.Errorf("loadgen: topology info: %w", err)
 	}
 	startGen, err := headGeneration(httpClient, base)
 	if err != nil {
@@ -526,7 +527,7 @@ func getJSON(client *http.Client, url string, out any) error {
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+		return fterr.New(fterr.CodeForStatus(resp.StatusCode), "loadgen", "GET %s: %s: %s", url, resp.Status, body)
 	}
 	return json.Unmarshal(body, out)
 }

@@ -36,6 +36,7 @@ import (
 	"ftnet/internal/churn"
 	"ftnet/internal/core"
 	"ftnet/internal/fault"
+	"ftnet/internal/fterr"
 	"ftnet/internal/parsim"
 	"ftnet/internal/rng"
 	"ftnet/internal/validate"
@@ -495,5 +496,5 @@ func parsePattern(s string) (fault.Pattern, error) {
 			return p, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown pattern %q", s)
+	return 0, fterr.New(fterr.Invalid, "ftnet", "unknown pattern %q", s)
 }

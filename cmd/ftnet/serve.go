@@ -11,6 +11,7 @@ import (
 	"syscall"
 	"time"
 
+	"ftnet/internal/fterr"
 	"ftnet/internal/server"
 	"ftnet/internal/validate"
 )
@@ -44,7 +45,7 @@ func runServe(args []string) error {
 		topos.specs = append(topos.specs, tc)
 	}
 	if *flushInterval < 0 {
-		return fmt.Errorf("serve: -flush-interval must be >= 0, got %v", *flushInterval)
+		return fterr.New(fterr.Invalid, "serve", "-flush-interval must be >= 0, got %v", *flushInterval)
 	}
 	if err := validate.Min("serve: -delta-ring", *deltaRing, 1); err != nil {
 		return err

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 
+	"ftnet/internal/fterr"
 	"ftnet/internal/server"
 	"ftnet/internal/wire"
 )
@@ -24,7 +25,7 @@ func runWire(args []string) error {
 		return err
 	}
 	if *in == "" {
-		return fmt.Errorf("wire: -in is required")
+		return fterr.New(fterr.Invalid, "wire", "-in is required")
 	}
 	data, err := os.ReadFile(*in)
 	if err != nil {
@@ -42,7 +43,7 @@ func runWire(args []string) error {
 		}
 	case wire.KindDelta:
 		if *base == "" {
-			return fmt.Errorf("wire: %s is a delta; -base FULL.bin is required to apply it", *in)
+			return fterr.New(fterr.Invalid, "wire", "%s is a delta; -base FULL.bin is required to apply it", *in)
 		}
 		baseData, err := os.ReadFile(*base)
 		if err != nil {
@@ -50,7 +51,7 @@ func runWire(args []string) error {
 		}
 		baseSnap, err := wire.DecodeSnapshot(baseData)
 		if err != nil {
-			return fmt.Errorf("wire: decode %s: %v", *base, err)
+			return fmt.Errorf("wire: decode %s: %w", *base, err)
 		}
 		d, err := wire.DecodeDelta(data)
 		if err != nil {

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowMarker is the escape-comment prefix. Full syntax:
+//
+//	//lint:allow <analyzer> <justification>
+//
+// The comment suppresses exactly one diagnostic of the named analyzer
+// on the comment's own line or the line directly below (so it works
+// both as a trailing comment and as a comment above the statement).
+// The justification is mandatory: an allow without one is itself
+// reported, as is an allow that suppresses nothing. Escapes stay
+// visible, explained, and load-bearing.
+const allowMarker = "lint:allow"
+
+type allowDirective struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// collectAllows extracts every lint:allow directive from the files.
+func collectAllows(fset *token.FileSet, files []*ast.File) []*allowDirective {
+	var allows []*allowDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, allowMarker) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowMarker))
+				name, reason, _ := strings.Cut(rest, " ")
+				allows = append(allows, &allowDirective{
+					pos:      fset.Position(c.Pos()),
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return allows
+}
+
+// applyAllows filters diags through the files' lint:allow directives.
+// Each directive consumes at most one diagnostic (the first in position
+// order) of its named analyzer on a covered line. Directives that name
+// no analyzer or an analyzer outside the run, directives without a
+// justification, and directives that consumed nothing are appended as
+// diagnostics of the pseudo-analyzer "allow", so a typo'd, stale or
+// unexplained escape can never silently linger.
+func applyAllows(fset *token.FileSet, files []*ast.File, diags []Diagnostic, ran map[string]bool) []Diagnostic {
+	allows := collectAllows(fset, files)
+	if len(allows) == 0 {
+		return diags
+	}
+	byFile := map[string][]*allowDirective{}
+	for _, a := range allows {
+		byFile[a.pos.Filename] = append(byFile[a.pos.Filename], a)
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, a := range byFile[d.Pos.Filename] {
+			if a.used || a.analyzer != d.Analyzer || a.reason == "" {
+				continue
+			}
+			if d.Pos.Line == a.pos.Line || d.Pos.Line == a.pos.Line+1 {
+				a.used = true
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, a := range allows {
+		switch {
+		case a.analyzer == "":
+			kept = append(kept, Diagnostic{Pos: a.pos, Analyzer: "allow",
+				Message: "lint:allow names no analyzer (syntax: //lint:allow <analyzer> <justification>)"})
+		case !ran[a.analyzer]:
+			kept = append(kept, Diagnostic{Pos: a.pos, Analyzer: "allow",
+				Message: "lint:allow names unknown analyzer " + a.analyzer})
+		case a.reason == "":
+			kept = append(kept, Diagnostic{Pos: a.pos, Analyzer: "allow",
+				Message: "lint:allow " + a.analyzer + " has no justification — explain why the rule does not apply here"})
+		case !a.used:
+			kept = append(kept, Diagnostic{Pos: a.pos, Analyzer: "allow",
+				Message: "lint:allow " + a.analyzer + " suppresses no diagnostic — remove the stale escape"})
+		}
+	}
+	sortDiagnostics(kept)
+	return kept
+}

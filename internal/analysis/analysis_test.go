@@ -1,0 +1,157 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ftnet/internal/analysis"
+)
+
+// fakeSrc drives the allow-semantics test with a synthetic analyzer
+// that flags every call to boom. The functions exercise, in order: a
+// fully covered escape, an escape that must suppress exactly one of
+// two diagnostics, an escape without a justification, a stale escape,
+// and an escape naming an analyzer outside the run.
+const fakeSrc = `package fake
+
+func boom() {}
+
+func covered() {
+	//lint:allow fake audited: this boom is fine
+	boom()
+}
+
+func pair() {
+	//lint:allow fake audited: only the first boom is fine
+	boom()
+	boom()
+}
+
+func unexplained() {
+	//lint:allow fake
+	boom()
+}
+
+func stale() {
+	//lint:allow fake audited: nothing here anymore
+	_ = 0
+}
+
+func typo() {
+	//lint:allow nosuch this analyzer does not exist
+	boom()
+}
+`
+
+func fakeAnalyzer() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "fake",
+		Doc:  "flag every call to boom",
+		Run: func(p *analysis.Pass) {
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "boom" {
+							p.Reportf(call.Pos(), "call to boom")
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// TestAllowSemantics proves the framework's escape contract end to end:
+// a justified lint:allow suppresses exactly one diagnostic of its
+// analyzer on the covered lines, and unexplained, stale, or
+// unknown-analyzer allows surface as "allow" diagnostics of their own.
+func TestAllowSemantics(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module fake\n\ngo 1.24\n")
+	write("fake.go", fakeSrc)
+
+	m, err := analysis.LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	diags := analysis.RunAnalyzers(m, []*analysis.Analyzer{fakeAnalyzer()})
+
+	var fakeCount int
+	var allowMsgs []string
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "fake":
+			fakeCount++
+		case "allow":
+			allowMsgs = append(allowMsgs, d.Message)
+		default:
+			t.Errorf("diagnostic from unexpected analyzer %q: %s", d.Analyzer, d)
+		}
+	}
+
+	// covered: fully suppressed. pair: the allow eats exactly one of the
+	// two, leaving one. unexplained and typo: their booms survive because
+	// the directives are invalid. Total surviving fake diagnostics: 3.
+	if fakeCount != 3 {
+		t.Errorf("got %d surviving fake diagnostics, want 3 (allow must suppress exactly one per directive):\n%s",
+			fakeCount, render(diags))
+	}
+	wantAllows := []string{
+		"has no justification",
+		"suppresses no diagnostic",
+		"names unknown analyzer nosuch",
+	}
+	if len(allowMsgs) != len(wantAllows) {
+		t.Errorf("got %d allow diagnostics, want %d:\n%s", len(allowMsgs), len(wantAllows), render(diags))
+	}
+	for _, want := range wantAllows {
+		found := false
+		for _, msg := range allowMsgs {
+			if strings.Contains(msg, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no allow diagnostic contains %q:\n%s", want, render(diags))
+		}
+	}
+}
+
+// TestAllowCoversTrailingComment pins the other half of the line rule:
+// a trailing allow on the diagnostic's own line suppresses it.
+func TestAllowCoversTrailingComment(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fake\n\ngo 1.24\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := "package fake\n\nfunc boom() {}\n\nfunc trailing() {\n\tboom() //lint:allow fake audited: trailing escape\n}\n"
+	if err := os.WriteFile(filepath.Join(dir, "fake.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := analysis.LoadModule(dir)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if diags := analysis.RunAnalyzers(m, []*analysis.Analyzer{fakeAnalyzer()}); len(diags) != 0 {
+		t.Errorf("trailing allow did not suppress the diagnostic:\n%s", render(diags))
+	}
+}
+
+func render(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	return b.String()
+}

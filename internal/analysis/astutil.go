@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RootIdent peels selectors, indexing, dereferences and parens off an
+// expression and returns the identifier at its root, or nil (a call
+// result, a literal) when there is none. RootIdent of e.scratch.buf[i]
+// is e — the object the storage ultimately hangs off.
+func RootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.IndexListExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// FuncObj resolves the called function object of a call expression,
+// following aliased imports and method selections via the type info.
+// Returns nil for builtins, conversions and indirect calls through
+// plain variables.
+func FuncObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is the named function of the package at
+// pkgPath (e.g. IsPkgFunc(fn, "time", "Now", "Since")).
+func IsPkgFunc(fn *types.Func, pkgPath string, names ...string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// IsBuiltin reports whether the call invokes the named builtin
+// (append, make, new, ...), resolved through the type info so a local
+// identifier shadowing the builtin does not count.
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// DeclaredWithin reports whether obj's declaration lies inside the
+// node's source range — "is this a loop-local?" for determinism checks
+// and "does this closure capture an enclosing local?" for hotpath.
+func DeclaredWithin(obj types.Object, n ast.Node) bool {
+	return obj != nil && obj.Pos() != 0 && n.Pos() <= obj.Pos() && obj.Pos() < n.End()
+}

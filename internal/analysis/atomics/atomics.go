@@ -1,0 +1,178 @@
+// Package atomics enforces the all-or-nothing atomics contract: a
+// struct field accessed through a sync/atomic function anywhere in the
+// module must be accessed atomically everywhere. A single plain read
+// of an atomically-written field is a data race the -race detector only
+// reports if a test happens to interleave it — and it silently breaks
+// the server's wait-free Snapshot and the delta ring's lock-free prev
+// chain, which lean on release/acquire ordering the plain access
+// discards.
+//
+// The rule is cross-package by construction (the writer and the sloppy
+// reader are usually in different files), so the analyzer accumulates
+// facts per package in Run and reports in Finish. Typed atomics
+// (atomic.Int64, atomic.Pointer[T]) need no analyzer: their plain
+// "access" is a struct copy, which go vet's copylocks already rejects.
+package atomics
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ftnet/internal/analysis"
+)
+
+type access struct {
+	pos   token.Position
+	field string // receiver-qualified field name for messages
+}
+
+type state struct {
+	atomic map[*types.Var][]access // fields touched via sync/atomic
+	plain  map[*types.Var][]access // every other selector access
+}
+
+// New returns the atomics analyzer. Each New call carries fresh
+// accumulation state, so drivers can run suites repeatedly.
+func New() *analysis.Analyzer {
+	st := &state{
+		atomic: map[*types.Var][]access{},
+		plain:  map[*types.Var][]access{},
+	}
+	return &analysis.Analyzer{
+		Name:   "atomics",
+		Doc:    "a field accessed through sync/atomic anywhere must be accessed atomically everywhere",
+		Run:    st.run,
+		Finish: st.finish,
+	}
+}
+
+// atomicOps are the sync/atomic function-name prefixes whose pointer
+// arguments mark a field as atomically managed.
+var atomicOps = []string{"Add", "And", "Or", "Load", "Store", "Swap", "CompareAndSwap"}
+
+func isAtomicFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, p := range atomicOps {
+		if strings.HasPrefix(fn.Name(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *state) run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		// First mark the exact selector nodes that appear as &x.f
+		// arguments of sync/atomic calls ...
+		atomicSel := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFunc(analysis.FuncObj(pass.Info, call)) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr); ok {
+					atomicSel[sel] = true
+				}
+			}
+			return true
+		})
+
+		// ... then classify every field selection in the file.
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			a := access{
+				pos:   pass.Fset.Position(sel.Sel.Pos()),
+				field: fieldLabel(s, v),
+			}
+			if atomicSel[sel] {
+				st.atomic[v] = append(st.atomic[v], a)
+			} else {
+				st.plain[v] = append(st.plain[v], a)
+			}
+			return true
+		})
+	}
+}
+
+func fieldLabel(s *types.Selection, v *types.Var) string {
+	recv := s.Recv()
+	for {
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := recv.(*types.Named); ok {
+		return named.Obj().Name() + "." + v.Name()
+	}
+	return v.Name()
+}
+
+func (st *state) finish(report func(analysis.Diagnostic)) {
+	type finding struct {
+		at    access
+		first access
+	}
+	var all []finding
+	for v, atomics := range st.atomic {
+		first := atomics[0]
+		for _, a := range atomics[1:] {
+			if less(a.pos, first.pos) {
+				first = a
+			}
+		}
+		for _, p := range st.plain[v] {
+			all = append(all, finding{at: p, first: first})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return less(all[i].at.pos, all[j].at.pos) })
+	for _, f := range all {
+		report(analysis.Diagnostic{
+			Pos: f.at.pos,
+			Message: "plain access to field " + f.at.field +
+				", which is accessed atomically at " + short(f.first.pos) +
+				": mixed plain/atomic access is a data race",
+		})
+	}
+}
+
+func less(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+func short(p token.Position) string {
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name + ":" + strconv.Itoa(p.Line)
+}

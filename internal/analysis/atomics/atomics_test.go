@@ -1,0 +1,12 @@
+package atomics_test
+
+import (
+	"testing"
+
+	"ftnet/internal/analysis"
+	"ftnet/internal/analysis/atomics"
+)
+
+func TestGolden(t *testing.T) {
+	analysis.RunGolden(t, atomics.New(), "testdata/atomicmix")
+}

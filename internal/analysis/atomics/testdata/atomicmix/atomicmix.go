@@ -1,0 +1,30 @@
+// Package atomicmix seeds mixed plain/atomic field access for the
+// golden harness: hits is managed through sync/atomic in inc and load,
+// so the plain read in read is a data race; cold is never touched
+// atomically, so its plain accesses are fine.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+	cold int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hits, 1)
+	c.cold++ // never accessed atomically: no finding
+}
+
+func (c *counter) load() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want "plain access to field counter.hits, which is accessed atomically at atomicmix.go:15: mixed plain/atomic access is a data race"
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want "plain access to field counter.hits"
+	c.cold = 0 // never accessed atomically: no finding
+}

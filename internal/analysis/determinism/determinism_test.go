@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"ftnet/internal/analysis"
+	"ftnet/internal/analysis/determinism"
+)
+
+func TestGolden(t *testing.T) {
+	analysis.RunGolden(t, determinism.New(""), "testdata/det")
+}

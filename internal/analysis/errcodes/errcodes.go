@@ -1,0 +1,158 @@
+// Package errcodes is the fterr-taxonomy adoption lint, migrated from
+// the bespoke scripts/linters/errcheck-codes into the analysis
+// framework. In the packages forming the public failure surface
+// (module API, HTTP wire, SDK — now including internal/core and the
+// commands), every constructed error must carry a stable fterr code:
+//
+//   - errors.New is forbidden — it can only mint an uncoded error.
+//     Use fterr.New or a coded sentinel.
+//   - fmt.Errorf is allowed only with a literal format string
+//     containing %w: wrapping preserves the code already on the chain,
+//     anything else mints a fresh uncoded error.
+//
+// Unlike its predecessor the rule is type-aware: call targets resolve
+// through go/types, so aliased imports (errs "errors"), dot imports
+// and method values (f := fmt.Errorf) cannot dodge it — a bare value
+// reference to either function is rejected outright, since the %w
+// check cannot follow it.
+package errcodes
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"ftnet/internal/analysis"
+)
+
+// EnforcedPackages lists the module-relative directories whose errors
+// cross a public boundary. PR 10 extends the original list with
+// internal/core (its errors surface through ftnet.Session and the
+// daemon) and both commands (their exit-code contract branches on
+// fterr classes).
+var EnforcedPackages = []string{
+	".",
+	"client",
+	"cmd/experiments",
+	"cmd/ftnet",
+	"internal/core",
+	"internal/server",
+	"internal/wire",
+	"internal/churn",
+	"internal/fault",
+	"internal/validate",
+}
+
+// New returns the errcodes analyzer scoped to EnforcedPackages under
+// modulePath ("" leaves Match open, for the golden harness).
+func New(modulePath string) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "errcodes",
+		Doc:  "constructed errors on the public failure surface must carry an fterr code",
+		Run:  run,
+	}
+	if modulePath != "" {
+		a.Match = analysis.InDirs(modulePath, EnforcedPackages...)
+	}
+	return a
+}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		// Direct calls get the %w analysis; mark their callee idents so
+		// the reference sweep below only sees indirect uses.
+		calledIdents := map[*ast.Ident]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id := calleeIdent(call)
+			if id == nil {
+				return true
+			}
+			fn, _ := pass.Info.Uses[id].(*types.Func)
+			switch {
+			case analysis.IsPkgFunc(fn, "errors", "New"):
+				calledIdents[id] = true
+				pass.Reportf(call.Pos(), "errors.New constructs an uncoded error; use fterr.New or a coded sentinel")
+			case analysis.IsPkgFunc(fn, "fmt", "Errorf"):
+				calledIdents[id] = true
+				checkErrorf(pass, call)
+			}
+			return true
+		})
+
+		// Value references (f := fmt.Errorf, callbacks, method values):
+		// the format string is out of reach, so the reference itself is
+		// the violation.
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || calledIdents[id] {
+				return true
+			}
+			fn, _ := pass.Info.Uses[id].(*types.Func)
+			switch {
+			case analysis.IsPkgFunc(fn, "errors", "New"):
+				pass.Reportf(id.Pos(), "reference to errors.New (uncoded error constructor) escapes the lint; construct coded errors directly")
+			case analysis.IsPkgFunc(fn, "fmt", "Errorf"):
+				pass.Reportf(id.Pos(), "reference to fmt.Errorf as a value: the %%w requirement cannot be verified; call it directly")
+			}
+			return true
+		})
+	}
+}
+
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}
+
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		pass.Reportf(call.Pos(), "fmt.Errorf with a non-literal format string (cannot verify %%w)")
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if !hasWrapVerb(format) {
+		pass.Reportf(call.Pos(), "fmt.Errorf without %%w mints an uncoded error; wrap a coded cause or use fterr.New")
+	}
+}
+
+// hasWrapVerb reports whether the format string contains a real %w verb
+// (flags and width allowed, escaped %% skipped).
+func hasWrapVerb(format string) bool {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '%' {
+				break // %% escape
+			}
+			if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+				if c == 'w' {
+					return true
+				}
+				break
+			}
+			i++ // flag, width, precision, index
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package errcodes_test
+
+import (
+	"testing"
+
+	"ftnet/internal/analysis"
+	"ftnet/internal/analysis/errcodes"
+)
+
+func TestGolden(t *testing.T) {
+	analysis.RunGolden(t, errcodes.New(""), "testdata/codes")
+}

@@ -1,0 +1,40 @@
+// Package codes seeds errcodes violations for the golden harness: the
+// aliased import and the value references pin the type-aware
+// resolution (renaming the import or binding the function to a
+// variable cannot dodge the rule).
+package codes
+
+import (
+	stderrors "errors"
+	"fmt"
+)
+
+func bare() error {
+	return stderrors.New("boom") // want "errors.New constructs an uncoded error"
+}
+
+func uncoded(name string) error {
+	return fmt.Errorf("open %s failed", name) // want "fmt.Errorf without %w mints an uncoded error"
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("open: %w", err) // wrapping preserves the chain's code: no finding
+}
+
+func escapedVerb(err error) error {
+	return fmt.Errorf("100%% broken: %v", err) // want "fmt.Errorf without %w mints an uncoded error"
+}
+
+func nonLiteral(format string, err error) error {
+	return fmt.Errorf(format, err) // want "fmt.Errorf with a non-literal format string"
+}
+
+func methodValue() error {
+	f := fmt.Errorf // want "reference to fmt.Errorf as a value"
+	return f("dodged")
+}
+
+func aliasedValue() error {
+	mk := stderrors.New // want "reference to errors.New"
+	return mk("dodged")
+}

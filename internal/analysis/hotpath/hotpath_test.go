@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"ftnet/internal/analysis"
+	"ftnet/internal/analysis/hotpath"
+)
+
+func TestGolden(t *testing.T) {
+	analysis.RunGolden(t, hotpath.New(), "testdata/hot")
+}

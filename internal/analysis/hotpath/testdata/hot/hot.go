@@ -1,0 +1,59 @@
+// Package hot seeds hot-path allocation violations for the golden
+// harness. hotAllocs trips every allocation rule once; the appends
+// without wants pin the negative space (parameter-rooted growth and
+// locals derived from caller-owned scratch); coldSetup pins that the
+// rules apply only to annotated functions.
+package hot
+
+import "fmt"
+
+type scratch struct {
+	buf []int
+}
+
+func (s *scratch) grab() []int { return s.buf[:0] }
+
+//ftnet:hotpath
+func hotAllocs(dst []int, s *scratch, n int) []int {
+	m := make([]int, n) // want "make in hot path hotAllocs allocates"
+	p := new(int)       // want "new in hot path hotAllocs allocates"
+	mp := map[int]int{} // want "map literal in hot path hotAllocs allocates"
+	sl := []int{1, 2}   // want "slice literal in hot path hotAllocs allocates"
+	fmt.Println(n)      // want "fmt.Println in hot path hotAllocs allocates and formats"
+	var local []int
+	local = append(local, n) // want "append to \"local\" in hot path hotAllocs"
+	dst = append(dst, n)     // parameter-rooted: no finding
+	blessed := s.buf[:0]
+	blessed = append(blessed, n) // re-slices a parameter's field: no finding
+	handed := s.grab()
+	handed = append(handed, n) // a method on a parameter hands out caller-owned storage: no finding
+	_, _, _, _, _ = m, p, mp, sl, local
+	return append(dst, blessed[0]+handed[0])
+}
+
+//ftnet:hotpath
+func hotStrings(a, b string) string {
+	c := a + b // want "string concatenation in hot path hotStrings allocates"
+	c += a     // want "string concatenation in hot path hotStrings allocates"
+	return c
+}
+
+//ftnet:hotpath
+func hotClosure(xs []int, lim int) int {
+	n := 0
+	f := func(x int) { // want "closure in hot path hotClosure captures lim, n by reference"
+		if x < lim {
+			n += x
+		}
+	}
+	for _, x := range xs {
+		f(x)
+	}
+	double := func(x int) int { return x * 2 } // captures nothing: no finding
+	return double(n)
+}
+
+// coldSetup is not annotated, so the rules do not apply.
+func coldSetup(n int) []int {
+	return make([]int, n)
+}

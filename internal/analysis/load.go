@@ -1,0 +1,263 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Module is a fully parsed and type-checked module tree.
+type Module struct {
+	// Root is the module root directory (the one holding go.mod).
+	Root string
+	// Path is the module path from go.mod.
+	Path string
+	// Fset is shared by every package, including source-imported
+	// stdlib dependencies.
+	Fset *token.FileSet
+	// Pkgs lists the module's packages in dependency (topological)
+	// order: a package appears after everything it imports.
+	Pkgs []*Package
+}
+
+// Package is one type-checked module package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// stdlibImporter returns the source-based stdlib importer sharing fset.
+// Cgo is disabled so packages with cgo variants (net, os/user) resolve
+// to their pure-Go files — the analyzers never need cgo-level fidelity.
+func stdlibImporter(fset *token.FileSet) types.Importer {
+	build.Default.CgoEnabled = false
+	return importer.ForCompiler(fset, "source", nil)
+}
+
+// LoadModule walks the module rooted at root, parses every non-test
+// .go file outside testdata/ and hidden directories, and type-checks
+// every package in dependency order. Any parse or type error fails the
+// load — ftnetvet maps that to exit code 2, distinct from exit 1 for
+// rule violations.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: resolve root: %w", err)
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	pkgs := map[string]*Package{} // import path -> parsed package
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, perr := parseDir(fset, path)
+		if perr != nil {
+			return perr
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkgs[importPath] = &Package{Path: importPath, Dir: path, Files: files}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: walk module: %w", err)
+	}
+
+	order, err := topoSort(pkgs, modPath)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Module{Root: root, Path: modPath, Fset: fset}
+	std := stdlibImporter(fset)
+	checked := map[string]*types.Package{}
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := checked[path]; ok {
+			return p, nil
+		}
+		return std.Import(path)
+	})
+	for _, ipath := range order {
+		pkg := pkgs[ipath]
+		pkg.Info = newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, cerr := conf.Check(ipath, fset, pkg.Files, pkg.Info)
+		if cerr != nil {
+			return nil, fmt.Errorf("analysis: type-check %s: %w", ipath, cerr)
+		}
+		pkg.Types = tpkg
+		checked[ipath] = tpkg
+		m.Pkgs = append(m.Pkgs, pkg)
+	}
+	return m, nil
+}
+
+// LoadDir parses and type-checks a single directory as a standalone
+// package (import path = directory base name). Only stdlib imports are
+// resolvable — this is the loader for golden testdata packages, which
+// seed violations against stdlib APIs only.
+func LoadDir(dir string) (*Module, *Package, error) {
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	ipath := filepath.Base(dir)
+	pkg := &Package{Path: ipath, Dir: dir, Files: files, Info: newInfo()}
+	conf := types.Config{Importer: stdlibImporter(fset)}
+	tpkg, err := conf.Check(ipath, fset, files, pkg.Info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: type-check %s: %w", dir, err)
+	}
+	pkg.Types = tpkg
+	m := &Module{Root: dir, Path: ipath, Fset: fset, Pkgs: []*Package{pkg}}
+	return m, pkg, nil
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("analysis: read go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// topoSort orders the module's packages so every package follows its
+// intra-module imports. Import cycles are a load error (the compiler
+// would reject them too, but the analyzer should say so itself).
+func topoSort(pkgs map[string]*Package, modPath string) ([]string, error) {
+	deps := map[string][]string{}
+	for ipath, pkg := range pkgs {
+		seen := map[string]bool{}
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if (p == modPath || strings.HasPrefix(p, modPath+"/")) && !seen[p] {
+					seen[p] = true
+					deps[ipath] = append(deps[ipath], p)
+				}
+			}
+		}
+		sort.Strings(deps[ipath])
+	}
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(string) error
+	visit = func(ipath string) error {
+		switch state[ipath] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", ipath)
+		case 2:
+			return nil
+		}
+		state[ipath] = 1
+		for _, dep := range deps[ipath] {
+			if _, ok := pkgs[dep]; !ok {
+				continue // not a module package dir we loaded
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[ipath] = 2
+		order = append(order, ipath)
+		return nil
+	}
+	var roots []string
+	for ipath := range pkgs {
+		roots = append(roots, ipath)
+	}
+	sort.Strings(roots)
+	for _, ipath := range roots {
+		if err := visit(ipath); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

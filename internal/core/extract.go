@@ -1,11 +1,10 @@
 package core
 
 import (
-	"fmt"
-
 	"ftnet/internal/bands"
 	"ftnet/internal/embed"
 	"ftnet/internal/fault"
+	"ftnet/internal/fterr"
 	"ftnet/internal/grid"
 )
 
@@ -51,7 +50,7 @@ func (g *Graph) Extract(bs *bands.Set, opts ExtractOptions) (*embed.Embedding, e
 	n := p.N()
 	numCols := g.NumCols
 	if bs.K() != p.K() {
-		return nil, fmt.Errorf("core: band family has %d bands, want %d", bs.K(), p.K())
+		return nil, fterr.New(fterr.Internal, "core", "band family has %d bands, want %d", bs.K(), p.K())
 	}
 	if tpl := g.fastPath(bs, opts); tpl != nil {
 		return g.extractFast(bs, tpl, opts)
@@ -63,7 +62,7 @@ func (g *Graph) Extract(bs *bands.Set, opts ExtractOptions) (*embed.Embedding, e
 	rowmap, rowflat := opts.Scratch.rowBuffers(numCols, n)
 	rowmap[0] = bs.UnmaskedRows(0, rowflat[:0:n])
 	if len(rowmap[0]) != n {
-		return nil, fmt.Errorf("core: column 0 has %d unmasked rows, want %d", len(rowmap[0]), n)
+		return nil, fterr.New(fterr.Internal, "core", "column 0 has %d unmasked rows, want %d", len(rowmap[0]), n)
 	}
 
 	// BFS over the column torus.
@@ -89,7 +88,7 @@ func (g *Graph) Extract(bs *bands.Set, opts ExtractOptions) (*embed.Embedding, e
 		opts.Scratch.nbuf = nbuf
 	}
 	if len(queue) != numCols {
-		return nil, fmt.Errorf("core: column BFS reached %d of %d columns", len(queue), numCols)
+		return nil, fterr.New(fterr.Internal, "core", "column BFS reached %d of %d columns", len(queue), numCols)
 	}
 
 	if opts.CheckConsistency {
@@ -107,7 +106,7 @@ func (g *Graph) Extract(bs *bands.Set, opts ExtractOptions) (*embed.Embedding, e
 				}
 				for i := range dst {
 					if dst[i] != rowmap[zn][i] {
-						return nil, fmt.Errorf("core: Lemma 7 violation: row %d disagrees across columns %d -> %d (%d vs %d)",
+						return nil, fterr.New(fterr.Internal, "core", "Lemma 7 violation: row %d disagrees across columns %d -> %d (%d vs %d)",
 							i, z, zn, dst[i], rowmap[zn][i])
 					}
 				}
@@ -154,7 +153,7 @@ func (g *Graph) transferRows(bs *bands.Set, zFrom, zTo int, src, dst []int32) er
 			// top; jump downward (paper case (b)).
 			dst[i] = int32(grid.Sub(r, w, m))
 		default:
-			return fmt.Errorf("core: band %d masks row %d at column %d yet did not move from column %d (bottoms %d -> %d)",
+			return fterr.New(fterr.Internal, "core", "band %d masks row %d at column %d yet did not move from column %d (bottoms %d -> %d)",
 				band, r, zTo, zFrom, bFrom, bTo)
 		}
 	}

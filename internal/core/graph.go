@@ -24,9 +24,10 @@ import (
 // the lazily built locality template (see template.go) bakes the edge
 // classes in at first use.
 type Graph struct {
-	P        Params
-	ColShape grid.Shape // (d-1)-dimensional column space, sides n
-	NumCols  int
+	P           Params
+	ColShape    grid.Shape // (d-1)-dimensional column space, sides n
+	NumCols     int
+	cornerShape grid.Shape // (d-1)-dimensional tile-corner lattice, sides ColTiles
 
 	DisableVJump bool
 	DisableDJump bool
@@ -46,7 +47,10 @@ func NewGraph(p Params) (*Graph, error) {
 		return nil, err
 	}
 	cs := grid.Uniform(p.D-1, p.N())
-	return &Graph{P: p, ColShape: cs, NumCols: cs.Size()}, nil
+	return &Graph{
+		P: p, ColShape: cs, NumCols: cs.Size(),
+		cornerShape: grid.Uniform(p.D-1, p.ColTiles()),
+	}, nil
 }
 
 // NumNodes returns m * n^{d-1}.

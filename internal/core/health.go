@@ -75,6 +75,7 @@ func (g *Graph) CheckHealth(faults *fault.Set) *Health {
 
 	for b, cnt := range brickCount {
 		if cnt > h.MaxBrickFaults {
+			//lint:allow determinism guarded max-reduction: max commutes, so the final MaxBrickFaults is iteration-order-independent
 			h.MaxBrickFaults = cnt
 		}
 		if cnt > h.Threshold {

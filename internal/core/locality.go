@@ -37,6 +37,7 @@ import (
 	"ftnet/internal/bands"
 	"ftnet/internal/embed"
 	"ftnet/internal/fault"
+	"ftnet/internal/fterr"
 	"ftnet/internal/grid"
 	"ftnet/internal/torus"
 )
@@ -109,7 +110,7 @@ func (g *Graph) buildTemplate() *template {
 
 	tpl.defaultRows = tpl.bs.UnmaskedRows(0, make([]int32, 0, n))
 	if len(tpl.defaultRows) != n {
-		tpl.err = fmt.Errorf("core: default family leaves %d unmasked rows, want %d", len(tpl.defaultRows), n)
+		tpl.err = fterr.New(fterr.Internal, "core", "default family leaves %d unmasked rows, want %d", len(tpl.defaultRows), n)
 		return tpl
 	}
 	tpl.maskedRow = make([]bool, p.M())
@@ -170,11 +171,13 @@ func (g *Graph) fastPath(bs *bands.Set, opts ExtractOptions) *template {
 // spans. Every other (slab, column) value is the default by Lemmas 9-11
 // (no pinned corner in range), so the result is bit-identical to the
 // dense evaluation.
+//
+//ftnet:hotpath
 func (g *Graph) interpolateFast(boxes []*faultBox, sc *Scratch, tpl *template, dst *bands.Set) (*bands.Set, error) {
 	p := g.P
 	d1 := p.D - 1
 	numSlabs := p.NumSlabs()
-	cornerShape := grid.Uniform(d1, p.ColTiles())
+	cornerShape := g.cornerShape
 
 	bs := dst
 	if bs == nil {
@@ -191,12 +194,14 @@ func (g *Graph) interpolateFast(boxes []*faultBox, sc *Scratch, tpl *template, d
 
 	starts, counts, coord := sc.footprintBufs(d1)
 	for _, b := range boxes {
-		g.footprintColumns(b, starts, counts, coord, func(z int) {
-			ev.setColumn(z)
-			for rs := 0; rs < b.ext[0]; rs++ {
-				ev.evalSlab(bs, grid.Add(b.lo[0], rs, numSlabs), z)
-			}
-		})
+		g.footprintColumns(b, starts, counts, coord,
+			//lint:allow hotpath the eval callback is consumed inside footprintColumns and never escapes, so it stays on the stack
+			func(z int) {
+				ev.setColumn(z)
+				for rs := 0; rs < b.ext[0]; rs++ {
+					ev.evalSlab(bs, grid.Add(b.lo[0], rs, numSlabs), z)
+				}
+			})
 	}
 	return bs, nil
 }
@@ -207,6 +212,8 @@ func (g *Graph) interpolateFast(boxes []*faultBox, sc *Scratch, tpl *template, d
 // buffers (Scratch.footprintBufs). Both the fast interpolation and the
 // delta-evaluation engine's box-copy pass drive this one enumerator, so
 // the two agree on the footprint to the column.
+//
+//ftnet:hotpath
 func (g *Graph) footprintColumns(b *faultBox, starts, counts, coord []int, fn func(z int)) {
 	p := g.P
 	t := p.Tile()
@@ -253,6 +260,8 @@ type movedBand struct {
 // moved case relies on dev[zFrom] being accurate relative to base;
 // extractFast's anchor walk, whose flags are settled only afterwards,
 // re-derives its flags before they are ever used as sources elsewhere.
+//
+//ftnet:hotpath
 func (g *Graph) transferFast(bs *bands.Set, base []int32, sc *Scratch, zFrom, zTo int, src, dst []int32, dev []bool) error {
 	m := g.P.M()
 	w := g.P.W
@@ -268,7 +277,7 @@ func (g *Graph) transferFast(bs *bands.Set, base []int32, sc *Scratch, zFrom, zT
 		case bt == grid.Add(bf, 1, m):
 			moved = append(moved, movedBand{bottom: int32(bt), up: true})
 		default:
-			return fmt.Errorf("core: band %d moved more than one step between columns %d and %d (bottoms %d -> %d)",
+			return fterr.New(fterr.Internal, "core", "band %d moved more than one step between columns %d and %d (bottoms %d -> %d)",
 				gi, zFrom, zTo, bf, bt)
 		}
 	}
@@ -288,9 +297,10 @@ func (g *Graph) transferFast(bs *bands.Set, base []int32, sc *Scratch, zFrom, zT
 			v = grid.Add(v, w-1, m)
 		}
 		key := grid.FwdGap(anchor, v, m)
+		//lint:allow hotpath the sort.Search comparator does not escape the call, so it stays on the stack
 		i := sort.Search(n, func(j int) bool { return grid.FwdGap(anchor, int(src[j]), m) >= key })
 		if i >= n || int(src[i]) != v {
-			return fmt.Errorf("core: internal: moved band at column %d masks no unmasked row of column %d (row %d)",
+			return fterr.New(fterr.Internal, "core", "moved band at column %d masks no unmasked row of column %d (row %d)",
 				zTo, zFrom, v)
 		}
 		if mb.up {
@@ -334,6 +344,8 @@ func int32Equal(a, b []int32) bool {
 // and the trial stays O(footprint); when it is genuinely rotated, the
 // trial degrades gracefully to one O(N) map fill — still far cheaper
 // than the dense pipeline — and invalidates the scratch's default state.
+//
+//ftnet:hotpath
 func (g *Graph) extractFast(bs *bands.Set, tpl *template, opts ExtractOptions) (*embed.Embedding, error) {
 	sc := opts.Scratch
 	p := g.P
@@ -362,7 +374,7 @@ func (g *Graph) extractFast(bs *bands.Set, tpl *template, opts ExtractOptions) (
 		// first contact with a clean column.
 		anchor := bs.UnmaskedRows(0, rowflat[:0:n])
 		if len(anchor) != n {
-			return nil, fmt.Errorf("core: column 0 has %d unmasked rows, want %d", len(anchor), n)
+			return nil, fterr.New(fterr.Internal, "core", "column 0 has %d unmasked rows, want %d", len(anchor), n)
 		}
 		rowmap[0] = anchor
 		queue = append(queue, 0)
@@ -402,7 +414,7 @@ func (g *Graph) extractFast(bs *bands.Set, tpl *template, opts ExtractOptions) (
 			// the default base make the verifier re-check every column that
 			// actually moved.
 			if len(queue) != numCols {
-				return nil, fmt.Errorf("core: internal: anchor component has no clean frontier")
+				return nil, fterr.New(fterr.Internal, "core", "anchor component has no clean frontier")
 			}
 		} else {
 			dev[scribbled] = false // clean columns never deviate from base
@@ -414,7 +426,7 @@ func (g *Graph) extractFast(bs *bands.Set, tpl *template, opts ExtractOptions) (
 				// are exactly the verified default ones); extraction preserves
 				// cyclic order, so anything else is an internal error.
 				if !isRotation(clean, tpl.defaultRows) {
-					return nil, fmt.Errorf("core: internal: clean-region vector is not a rotation of the default rows")
+					return nil, fterr.New(fterr.Internal, "core", "clean-region vector is not a rotation of the default rows")
 				}
 				base = clean
 				rotated = true
@@ -472,11 +484,12 @@ func (g *Graph) extractFast(bs *bands.Set, tpl *template, opts ExtractOptions) (
 	if len(queue) != len(dirty) {
 		// Unreachable while DirtyCount < NumCols: any strict subregion of
 		// the column torus has a clean frontier. Kept as a guard.
-		return nil, fmt.Errorf("core: internal: dirty-column BFS reached %d of %d columns", len(queue), len(dirty))
+		return nil, fterr.New(fterr.Internal, "core", "dirty-column BFS reached %d of %d columns", len(queue), len(dirty))
 	}
 
 	if opts.CheckConsistency {
 		dst := sc.dstBuf(n)
+		//lint:allow hotpath CheckConsistency is a test-only audit branch, never taken on the trial path
 		coord := make([]int, p.D-1)
 		for z := 0; z < numCols; z++ {
 			g.ColShape.Coord(z, coord)
@@ -490,7 +503,7 @@ func (g *Graph) extractFast(bs *bands.Set, tpl *template, opts ExtractOptions) (
 				}
 				for i := range dst {
 					if dst[i] != rowmap[zn][i] {
-						return nil, fmt.Errorf("core: Lemma 7 violation: row %d disagrees across columns %d -> %d (%d vs %d)",
+						return nil, fterr.New(fterr.Internal, "core", "Lemma 7 violation: row %d disagrees across columns %d -> %d (%d vs %d)",
 							i, z, zn, dst[i], rowmap[zn][i])
 					}
 				}
@@ -627,6 +640,8 @@ func (g *Graph) rearmRotated(tpl *template, sc *Scratch) {
 // the ones the certificate already checked. The verifier trusts the
 // dirty-set invariant of the placement stage; the golden equivalence test
 // cross-checks that trust against the dense verifier.
+//
+//ftnet:hotpath
 func (g *Graph) verifyFast(e *embed.Embedding, bs *bands.Set, faults *fault.Set, tpl *template, sc *Scratch) error {
 	dev := sc.devCols
 	faultCol, gen, err := g.verifyFaultPass(faults, tpl, sc, dev)
@@ -642,6 +657,7 @@ func (g *Graph) verifyFast(e *embed.Embedding, bs *bands.Set, faults *fault.Set,
 		// smaller column index; edges into non-deviating columns are
 		// checked from this side.
 		if err := g.verifyColumn(e, faults, sc, z, faultCol[z] == gen,
+			//lint:allow hotpath the skipPair predicate is consumed inside verifyColumn and never escapes; it stays on the stack
 			func(zn int) bool { return dev[zn] && zn < z }); err != nil {
 			return err
 		}
@@ -659,12 +675,14 @@ func (g *Graph) verifyFast(e *embed.Embedding, bs *bands.Set, faults *fault.Set,
 // explicit sync check preserves the certificate's strength (every e.Map
 // entry of the column is pinned to the verified row vector). hasFaults
 // (from verifyFaultPass) gates the per-row fault check.
+//
+//ftnet:hotpath
 func (g *Graph) verifyColumn(e *embed.Embedding, faults *fault.Set, sc *Scratch, z int, hasFaults bool, skipPair func(zn int) bool) error {
 	p := g.P
 	n := p.N()
 	numCols := g.NumCols
 	if len(e.Map) != e.Guest.N() {
-		return fmt.Errorf("embed: map has %d entries, guest has %d nodes", len(e.Map), e.Guest.N())
+		return fterr.New(fterr.Internal, "embed", "map has %d entries, guest has %d nodes", len(e.Map), e.Guest.N())
 	}
 	m := p.M()
 	w := p.W
@@ -672,7 +690,7 @@ func (g *Graph) verifyColumn(e *embed.Embedding, faults *fault.Set, sc *Scratch,
 	ncoord := sc.ncoordBuf(p.D - 1)
 	rows := sc.rowmap[z]
 	if len(rows) != n {
-		return fmt.Errorf("core: internal: column %d row vector has %d entries, want %d", z, len(rows), n)
+		return fterr.New(fterr.Internal, "core", "column %d row vector has %d entries, want %d", z, len(rows), n)
 	}
 	sc.colGen++
 	gen := sc.colGen
@@ -683,18 +701,18 @@ func (g *Graph) verifyColumn(e *embed.Embedding, faults *fault.Set, sc *Scratch,
 	for i := 0; i < n; i++ {
 		r := int(rows[i])
 		if r < 0 || r >= m {
-			return fmt.Errorf("embed: guest node (%d,%d) maps to out-of-range host row %d", i, z, r)
+			return fterr.New(fterr.Internal, "embed", "guest node (%d,%d) maps to out-of-range host row %d", i, z, r)
 		}
 		u := r*numCols + z
 		if e.Map[i*numCols+z] != u {
-			return fmt.Errorf("core: internal: embedding out of sync with row vector at guest node (%d,%d)", i, z)
+			return fterr.New(fterr.Internal, "core", "embedding out of sync with row vector at guest node (%d,%d)", i, z)
 		}
 		if colSeen[r] == gen {
-			return fmt.Errorf("embed: host node %d hosts two guest nodes (not injective)", u)
+			return fterr.New(fterr.Internal, "embed", "host node %d hosts two guest nodes (not injective)", u)
 		}
 		colSeen[r] = gen
 		if hasFaults && faults.Has(u) {
-			return fmt.Errorf("embed: guest node %d maps to faulty host node %d", i*numCols+z, u)
+			return fterr.New(fterr.Internal, "embed", "guest node %d maps to faulty host node %d", i*numCols+z, u)
 		}
 		i2 := i + 1
 		if i2 == n {
@@ -708,7 +726,7 @@ func (g *Graph) verifyColumn(e *embed.Embedding, faults *fault.Set, sc *Scratch,
 		if di == 1 || (di == w+1 && !g.DisableVJump) {
 			continue
 		}
-		return fmt.Errorf("embed: guest edge (%d,%d)-(%d,%d) maps to non-adjacent host rows %d,%d",
+		return fterr.New(fterr.Internal, "embed", "guest edge (%d,%d)-(%d,%d) maps to non-adjacent host rows %d,%d",
 			i, z, i2, z, rows[i], rows[i2])
 	}
 	// Cross-column edges. Column adjacency is checked once per pair; the
@@ -728,11 +746,11 @@ func (g *Graph) verifyColumn(e *embed.Embedding, faults *fault.Set, sc *Scratch,
 				continue
 			}
 			if !g.columnsAdjacent(z, zn) {
-				return fmt.Errorf("core: internal: columns %d and %d are not adjacent", z, zn)
+				return fterr.New(fterr.Internal, "core", "columns %d and %d are not adjacent", z, zn)
 			}
 			nrows := sc.rowmap[zn]
 			if len(nrows) != n {
-				return fmt.Errorf("core: internal: column %d row vector has %d entries, want %d", zn, len(nrows), n)
+				return fterr.New(fterr.Internal, "core", "column %d row vector has %d entries, want %d", zn, len(nrows), n)
 			}
 			// Adjacent columns' vectors agree outside the rows a band moved
 			// across (at most K of n, by the slope condition), so equality
@@ -744,7 +762,7 @@ func (g *Graph) verifyColumn(e *embed.Embedding, faults *fault.Set, sc *Scratch,
 				if di := grid.Dist(int(rows[i]), int(nrows[i]), m); di == w && !g.DisableDJump {
 					continue
 				}
-				return fmt.Errorf("embed: guest edge (%d,%d)-(%d,%d) maps to non-adjacent host pair (rows %d,%d)",
+				return fterr.New(fterr.Internal, "embed", "guest edge (%d,%d)-(%d,%d) maps to non-adjacent host pair (rows %d,%d)",
 					i, z, i, zn, rows[i], nrows[i])
 			}
 		}
@@ -759,10 +777,13 @@ func (g *Graph) verifyColumn(e *embed.Embedding, faults *fault.Set, sc *Scratch,
 // deviating column holding a fault is marked in the returned
 // generation-counted table so verifyColumn checks it row by row — and
 // fault-free columns skip that check entirely.
+//
+//ftnet:hotpath
 func (g *Graph) verifyFaultPass(faults *fault.Set, tpl *template, sc *Scratch, dev []bool) ([]int32, int32, error) {
 	numCols := g.NumCols
 	faultCol, gen := sc.faultColBuf(numCols)
 	var outErr error
+	//lint:allow hotpath the ForEach visitor is consumed inside the bitset walk and never escapes; one stack closure per pass
 	faults.ForEach(func(idx int) {
 		if outErr != nil {
 			return
@@ -773,7 +794,7 @@ func (g *Graph) verifyFaultPass(faults *fault.Set, tpl *template, sc *Scratch, d
 			return
 		}
 		if !tpl.maskedRow[idx/numCols] {
-			outErr = fmt.Errorf("embed: faulty host node %d lies in the default image of clean column %d", idx, z)
+			outErr = fterr.New(fterr.Internal, "embed", "faulty host node %d lies in the default image of clean column %d", idx, z)
 		}
 	})
 	return faultCol, gen, outErr

@@ -422,7 +422,7 @@ func (g *Graph) assignFaultRows(boxes []*faultBox, faults *fault.Set, tileShape 
 			}
 		}
 		if owner == nil {
-			outErr = fmt.Errorf("core: internal: fault %d not covered by any box", idx)
+			outErr = fterr.New(fterr.Internal, "core", "fault %d not covered by any box", idx)
 			return
 		}
 		rel := grid.FwdGap(owner.lo[0]*t, i, m)
@@ -498,13 +498,13 @@ func (g *Graph) pigeonholeSegments(b *faultBox, sc *Scratch) error {
 	// Internal invariants: segments untouching, every fault covered.
 	for i := 1; i < len(b.segs); i++ {
 		if b.segs[i]-b.segs[i-1] < w+1 {
-			return fmt.Errorf("core: internal: segments %d and %d touch", b.segs[i-1], b.segs[i])
+			return fterr.New(fterr.Internal, "core", "segments %d and %d touch", b.segs[i-1], b.segs[i])
 		}
 	}
 	for _, r := range rows {
 		i := sort.SearchInts(b.segs, r+1) - 1
 		if i < 0 || r-b.segs[i] >= w {
-			return fmt.Errorf("core: internal: fault row %d unmasked by segments", r)
+			return fterr.New(fterr.Internal, "core", "fault row %d unmasked by segments", r)
 		}
 	}
 	return nil
@@ -527,7 +527,7 @@ func (g *Graph) padBox(b *faultBox, sc *Scratch) (int, error) {
 	counts := make([]int, slabs)
 	for _, s := range b.segs {
 		if s < 0 || s >= slabs*t {
-			return 0, fmt.Errorf("core: internal: segment %d outside box rows [0,%d)", s, slabs*t)
+			return 0, fterr.New(fterr.Internal, "core", "segment %d outside box rows [0,%d)", s, slabs*t)
 		}
 		rs := s / t
 		counts[rs]++
@@ -577,7 +577,7 @@ func (g *Graph) padBox(b *faultBox, sc *Scratch) (int, error) {
 	}
 	for rs, list := range b.perSlab {
 		if len(list) != per {
-			return added, fmt.Errorf("core: internal: slab %d has %d segments, want %d", rs, len(list), per)
+			return added, fterr.New(fterr.Internal, "core", "slab %d has %d segments, want %d", rs, len(list), per)
 		}
 	}
 	return added, nil
@@ -598,7 +598,7 @@ func (g *Graph) buildPinned(boxes []*faultBox, sc *Scratch, cornerShape grid.Sha
 	numCorners := cornerShape.Size()
 
 	pinned, keys := sc.pinnedBuf(numSlabs * numCorners)
-	cornerCoord := make([]int, d1)
+	cornerCoord := sc.cornerCoordBuf(d1)
 	for _, b := range boxes {
 		for rs := 0; rs < b.ext[0]; rs++ {
 			slab := grid.Add(b.lo[0], rs, numSlabs)
@@ -669,6 +669,8 @@ func newColEval(g *Graph, defaults []float64, pinned [][]float64, cornerShape gr
 
 // setColumn computes the column's tile cell, interpolation point and
 // corner keys; evalSlab can then be called for any slab.
+//
+//ftnet:hotpath
 func (e *colEval) setColumn(z int) {
 	e.colShape.Coord(z, e.colCoord)
 	for dim := 0; dim < e.d1; dim++ {
@@ -688,6 +690,8 @@ func (e *colEval) setColumn(z int) {
 }
 
 // evalSlab writes the per band bottoms of (slab, current column).
+//
+//ftnet:hotpath
 func (e *colEval) evalSlab(bs *bands.Set, slab, z int) {
 	base := slab * e.t
 	anyPinned := false
@@ -730,8 +734,7 @@ func (e *colEval) evalSlab(bs *bands.Set, slab, z int) {
 func (g *Graph) interpolate(boxes []*faultBox, sc *Scratch) (*bands.Set, error) {
 	p := g.P
 	numSlabs := p.NumSlabs()
-	d1 := p.D - 1 // column-space dimensionality
-	cornerShape := grid.Uniform(d1, p.ColTiles())
+	cornerShape := g.cornerShape
 
 	defaults := p.defaultOffsets()
 	pinned, err := g.buildPinned(boxes, sc, cornerShape)
@@ -811,7 +814,7 @@ func (g *Graph) checkAllMasked(bs *bands.Set, faults *fault.Set) error {
 		}
 		i, z := g.NodeOf(idx)
 		if bs.MaskedBy(z, i) < 0 {
-			outErr = fmt.Errorf("core: internal: fault at row %d column %d left unmasked", i, z)
+			outErr = fterr.New(fterr.Internal, "core", "fault at row %d column %d left unmasked", i, z)
 		}
 	})
 	return outErr

@@ -61,6 +61,7 @@ type Scratch struct {
 	fpStarts    []int
 	fpCounts    []int
 	fpCoord     []int
+	cornerCoord []int // buildPinned corner odometer
 
 	// Extraction buffers.
 	nbuf     []int
@@ -311,6 +312,18 @@ func (sc *Scratch) colEvalBuf(g *Graph, defaults []float64, pinned [][]float64, 
 	ev.cornerShape = cornerShape
 	ev.colTiles = g.P.ColTiles()
 	return ev
+}
+
+// cornerCoordBuf returns the (d-1)-sized work slice for buildPinned's
+// corner odometer.
+func (sc *Scratch) cornerCoordBuf(d1 int) []int {
+	if sc == nil {
+		return make([]int, d1)
+	}
+	if cap(sc.cornerCoord) < d1 {
+		sc.cornerCoord = make([]int, d1)
+	}
+	return sc.cornerCoord[:d1]
 }
 
 // footprintBufs returns three d1-sized work slices for the footprint

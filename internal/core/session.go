@@ -58,6 +58,7 @@ import (
 
 	"ftnet/internal/bands"
 	"ftnet/internal/fault"
+	"ftnet/internal/fterr"
 	"ftnet/internal/grid"
 )
 
@@ -166,6 +167,8 @@ func (s *Session) NoteCleared(cleared []int) {
 // aliases the Session and is valid only until the next Eval or Reset.
 // An *UnhealthyError is a survival failure (state stays warm: the next
 // Eval diffs against the last healthy state); other errors are bugs.
+//
+//ftnet:hotpath
 func (s *Session) Eval(faults *fault.Set) (*Result, error) {
 	g, sc := s.g, s.sc
 	if s.opts.Dense || sc == nil {
@@ -222,7 +225,7 @@ func (s *Session) Eval(faults *fault.Set) (*Result, error) {
 		}
 	}
 	if err := bs.ValidateColumns(s.changed); err != nil {
-		return nil, fmt.Errorf("core: placed bands invalid: %w", err)
+		return nil, fterr.Wrapf(fterr.Internal, "core", err, "placed bands invalid")
 	}
 	if err := g.checkAllMasked(bs, faults); err != nil {
 		return nil, err
@@ -250,27 +253,21 @@ func (s *Session) Eval(faults *fault.Set) (*Result, error) {
 // reach into a shared tile cell. The result is bit-identical to
 // interpolateFast on the same boxes; only the cost differs — a churn
 // event pays for the toggled box, not the standing population.
+//
+//ftnet:hotpath
 func (s *Session) interpolateDelta(boxes []*faultBox, tpl *template, dst *bands.Set) (*bands.Set, error) {
 	g, sc := s.g, s.sc
 	p := g.P
 	d1 := p.D - 1
 	per := p.PerSlab()
 	numSlabs := p.NumSlabs()
-	cornerShape := grid.Uniform(d1, p.ColTiles())
+	cornerShape := g.cornerShape
 	tileShape := g.TileShape()
 
 	// Classify: copyable[i] means boxes[i] has an identical predecessor.
 	// matched[j] marks predecessors that found a successor; the rest were
 	// removed and count as perturbing.
-	if cap(s.copyable) < len(boxes) {
-		s.copyable = make([]bool, len(boxes))
-		s.matchedB = make([]bool, len(boxes))
-	}
-	copyable := s.copyable[:len(boxes)]
-	if cap(s.matchedA) < len(s.prevBoxes) {
-		s.matchedA = make([]bool, len(s.prevBoxes))
-	}
-	matched := s.matchedA[:len(s.prevBoxes)]
+	copyable, matched := s.boxClassifyBufs(len(boxes), len(s.prevBoxes))
 	for j := range matched {
 		matched[j] = false
 	}
@@ -323,22 +320,39 @@ func (s *Session) interpolateDelta(boxes []*faultBox, tpl *template, dst *bands.
 	cur := s.cur
 	for i, b := range boxes {
 		if copyable[i] {
-			g.footprintColumns(b, starts, counts, coord, func(z int) {
-				for rs := 0; rs < b.ext[0]; rs++ {
-					gLo := grid.Add(b.lo[0], rs, numSlabs) * per
-					dst.CopyBandRange(cur, gLo, gLo+per, z)
-				}
-			})
+			g.footprintColumns(b, starts, counts, coord,
+				//lint:allow hotpath the copy callback is consumed inside footprintColumns and never escapes, so it stays on the stack
+				func(z int) {
+					for rs := 0; rs < b.ext[0]; rs++ {
+						gLo := grid.Add(b.lo[0], rs, numSlabs) * per
+						dst.CopyBandRange(cur, gLo, gLo+per, z)
+					}
+				})
 			continue
 		}
-		g.footprintColumns(b, starts, counts, coord, func(z int) {
-			ev.setColumn(z)
-			for rs := 0; rs < b.ext[0]; rs++ {
-				ev.evalSlab(dst, grid.Add(b.lo[0], rs, numSlabs), z)
-			}
-		})
+		g.footprintColumns(b, starts, counts, coord,
+			//lint:allow hotpath the eval callback is consumed inside footprintColumns and never escapes, so it stays on the stack
+			func(z int) {
+				ev.setColumn(z)
+				for rs := 0; rs < b.ext[0]; rs++ {
+					ev.evalSlab(dst, grid.Add(b.lo[0], rs, numSlabs), z)
+				}
+			})
 	}
 	return dst, nil
+}
+
+// boxClassifyBufs sizes the session's box-classification scratch (grown
+// geometrically off the hot path) and hands out the sliced views.
+func (s *Session) boxClassifyBufs(nBoxes, nPrev int) (copyable, matched []bool) {
+	if cap(s.copyable) < nBoxes {
+		s.copyable = make([]bool, nBoxes)
+		s.matchedB = make([]bool, nBoxes)
+	}
+	if cap(s.matchedA) < nPrev {
+		s.matchedA = make([]bool, nPrev)
+	}
+	return s.copyable[:nBoxes], s.matchedA[:nPrev]
 }
 
 // sameBox reports whether two fault boxes are identical in tile geometry
@@ -475,6 +489,8 @@ func (s *Session) DrainDelta() (cols []int32, full bool) {
 // vectors no longer match a re-derived boundary contact. Kept columns'
 // vectors stay canonical by Lemma 7 (see the package comment), so the
 // embedding is bit-identical to a from-scratch extraction.
+//
+//ftnet:hotpath
 func (s *Session) extractIncremental(bs *bands.Set, tpl *template) error {
 	g, sc := s.g, s.sc
 	n := g.P.N()
@@ -502,7 +518,7 @@ func (s *Session) extractIncremental(bs *bands.Set, tpl *template) error {
 		// island probes on first contact.
 		anchor := bs.UnmaskedRows(0, rowflat[:0:n])
 		if len(anchor) != n {
-			return fmt.Errorf("core: column 0 has %d unmasked rows, want %d", len(anchor), n)
+			return fterr.New(fterr.Internal, "core", "column 0 has %d unmasked rows, want %d", len(anchor), n)
 		}
 		s.oldDev = append(s.oldDev, dev[0])
 		rowmap[0] = anchor
@@ -532,6 +548,7 @@ func (s *Session) extractIncremental(bs *bands.Set, tpl *template) error {
 	// Seeding may need several passes: a changed component enclosed by
 	// not-yet-confirmed islands becomes seedable only after those islands
 	// are contacted. assign transfers zFrom -> zTo into zTo's backing slot.
+	//lint:allow hotpath assign is called only inside this function and never escapes; one stack closure per Eval, not per column
 	assign := func(zFrom, zTo int) error {
 		dst := rowflat[zTo*n : (zTo+1)*n]
 		s.oldDev = append(s.oldDev, dev[zTo])
@@ -574,7 +591,7 @@ func (s *Session) extractIncremental(bs *bands.Set, tpl *template) error {
 		}
 		s.pending = rest
 		if !progress && len(s.pending) > 0 {
-			return fmt.Errorf("core: internal: %d changed columns unreachable from any trusted column", len(s.pending))
+			return fterr.New(fterr.Internal, "core", "%d changed columns unreachable from any trusted column", len(s.pending))
 		}
 		// Flood: walk the frontier of trusted vectors, re-deriving changed
 		// columns and probing kept islands on first contact. A confirmed
@@ -667,6 +684,8 @@ func (s *Session) extractIncremental(bs *bands.Set, tpl *template) error {
 // (its cross-column edges face new vectors), and every deviating column
 // whose fault membership changed since the last certified state; plus
 // the masked-under-default check for all faults in non-deviating columns.
+//
+//ftnet:hotpath
 func (s *Session) verifyIncremental(faults *fault.Set, tpl *template) error {
 	g, sc := s.g, s.sc
 	dev := sc.devCols
@@ -679,6 +698,7 @@ func (s *Session) verifyIncremental(faults *fault.Set, tpl *template) error {
 	s.gen++
 	gen := s.gen
 	s.verify = s.verify[:0]
+	//lint:allow hotpath add never escapes verifyIncremental; one stack closure per Eval, not per column
 	add := func(z int) {
 		if s.mark[z] != gen && dev[z] {
 			s.mark[z] = gen
@@ -699,10 +719,12 @@ func (s *Session) verifyIncremental(faults *fault.Set, tpl *template) error {
 	}
 	s.nbuf = nbuf
 
+	//lint:allow hotpath inSet never escapes verifyIncremental; one stack closure per Eval, not per column
 	inSet := func(z int) bool { return s.mark[z] == gen }
 	for _, z32 := range s.verify {
 		z := int(z32)
 		if err := g.verifyColumn(e, faults, sc, z, faultCol[z] == fgen,
+			//lint:allow hotpath the skipPair predicate is consumed inside verifyColumn and never escapes; it stays on the stack
 			func(zn int) bool { return inSet(zn) && zn < z }); err != nil {
 			return err
 		}

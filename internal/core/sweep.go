@@ -47,4 +47,6 @@ func (st *SweepTrial) NoteFaults(added []int) { st.ses.NoteAdded(added) }
 // aliases the SweepTrial and is valid only until the next Eval or Reset.
 // An *UnhealthyError is a survival failure (state stays warm: the next,
 // larger rung diffs against the last healthy rung); other errors are bugs.
+//
+//ftnet:hotpath
 func (st *SweepTrial) Eval(faults *fault.Set) (*Result, error) { return st.ses.Eval(faults) }

@@ -156,6 +156,8 @@ func (s *Set) Bernoulli(r rng.Source, p float64) {
 // the same random skips but are not recorded, so the marginal inclusion
 // probability of every healthy node is exactly p regardless of the set's
 // prior contents — the property the nested ladder sampler relies on.
+//
+//ftnet:hotpath
 func (s *Set) BernoulliRecord(r rng.Source, p float64, added []int) []int {
 	if p <= 0 {
 		return added
@@ -189,12 +191,15 @@ func (s *Set) BernoulliRecord(r rng.Source, p float64, added []int) []int {
 // itself costs one pass over the bitset words. The churn engine uses the
 // returned delta to tell the incremental pipeline which columns lost a
 // fault, exactly as Extend's added list reports which gained one.
+//
+//ftnet:hotpath
 func (s *Set) RemoveRecord(r rng.Source, p float64, removed []int) []int {
 	if p <= 0 || s.count == 0 {
 		return removed
 	}
 	if p >= 1 {
 		start := len(removed)
+		//lint:allow hotpath the p>=1 full-heal branch is cold (never taken by the churn samplers), so its visitor closure may allocate
 		s.ForEach(func(i int) { removed = append(removed, i) })
 		for _, i := range removed[start:] {
 			s.Remove(i)
@@ -268,6 +273,8 @@ func (s *Set) Nth(k int) int {
 // yields F(pFrom) ⊆ F(pTo) with the exact Bernoulli(pTo) marginal, at
 // O(n·(pTo-pFrom)) cost. Newly added nodes are appended to added (in
 // increasing order) and the grown slice returned.
+//
+//ftnet:hotpath
 func (s *Set) Extend(r rng.Source, pFrom, pTo float64, added []int) ([]int, error) {
 	if pTo < pFrom {
 		return added, fterr.New(fterr.Invalid, "fault", "Extend from p=%v down to p=%v", pFrom, pTo)

@@ -10,8 +10,9 @@
 // (errors.Is(err, ftnet.ErrNotTolerated)) keep working across the
 // wrapping; CodeOf walks the same chain to find the innermost code.
 //
-// The CI lint scripts/linters/errcheck-codes enforces adoption: public
-// packages must not construct bare fmt.Errorf/errors.New errors.
+// The errcodes analyzer (internal/analysis/errcodes, run by the
+// ftnetvet CI step) enforces adoption: public packages must not
+// construct bare fmt.Errorf/errors.New errors.
 package fterr
 
 import (

@@ -178,6 +178,8 @@ func checkGeometry(side, dims, gen int64) error {
 
 // appendFaults packs a strictly increasing fault list: count, first
 // value, then successive differences (all uvarints).
+//
+//ftnet:hotpath
 func appendFaults(b []byte, faults []int) ([]byte, error) {
 	b = binary.AppendUvarint(b, uint64(len(faults)))
 	prev := -1
@@ -195,6 +197,8 @@ func appendFaults(b []byte, faults []int) ([]byte, error) {
 // increasing edge-fault list: count, then per edge the uvarint gap
 // du = u - prevU and a second uvarint dv — v - u - 1 when u advanced,
 // v - prevV - 1 when it did not (v strictly increases within a u run).
+//
+//ftnet:hotpath
 func appendEdges(b []byte, edges [][2]int) ([]byte, error) {
 	b = binary.AppendUvarint(b, uint64(len(edges)))
 	prevU, prevV := 0, -1
@@ -220,6 +224,8 @@ func appendEdges(b []byte, edges [][2]int) ([]byte, error) {
 
 // appendVals packs map entries as zigzag deltas against the previous
 // entry (prev starts at 0).
+//
+//ftnet:hotpath
 func appendVals(b []byte, vals []int) ([]byte, error) {
 	prev := 0
 	for _, v := range vals {
